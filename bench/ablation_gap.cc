@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Gap decomposition — an ablation over the DESIGN.md modeling choices.
+ *
+ * The golden reference differs from sim-alpha by a specific set of
+ * ingredients (the Section 4.1 shortcomings plus hardware-only
+ * behaviours). This bench adds each ingredient to sim-alpha one at a
+ * time and measures how much of the golden/sim-alpha macrobenchmark gap
+ * it explains, quantifying which unmodeled behaviour "matters" — the
+ * question the paper's Section 4.1 inventory raises but cannot answer
+ * on real hardware.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "validate/metrics.hh"
+#include "workloads/macro.hh"
+
+using namespace simalpha;
+using namespace simalpha::workloads;
+using namespace simalpha::validate;
+
+namespace {
+
+double
+suiteHmean(const AlphaCoreParams &params,
+           const std::vector<Program> &suite)
+{
+    std::vector<RunResult> runs;
+    for (const Program &prog : suite) {
+        AlphaCore core(params);
+        runs.push_back(core.run(prog));
+    }
+    return aggregateIpc(runs);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::vector<Program> suite = spec2000Suite();
+
+    double alpha = suiteHmean(AlphaCoreParams::simAlpha(), suite);
+    double golden = suiteHmean(AlphaCoreParams::golden(), suite);
+
+    std::printf("Gap decomposition: golden-vs-sim-alpha ingredients "
+                "(macro hmean IPC)\n\n");
+    std::printf("%-44s %10s %10s\n", "configuration", "hmean",
+                "vs alpha");
+    std::printf("----------------------------------------------------"
+                "--------------\n");
+    std::printf("%-44s %10.3f %9.2f%%\n", "sim-alpha (baseline)",
+                alpha, 0.0);
+
+    struct Ingredient
+    {
+        const char *label;
+        std::function<void(AlphaCoreParams &)> apply;
+    };
+    const Ingredient ingredients[] = {
+        {"+ true DRAM timing (drop calibration)",
+         [](AlphaCoreParams &p) { p.mem.dram = DramParams{}; }},
+        {"+ reordering memory controller",
+         [](AlphaCoreParams &p) {
+             p.mem.dram = DramParams{};
+             p.mem.dram.reorderingController = true;
+         }},
+        {"+ OS page coloring",
+         [](AlphaCoreParams &p) {
+             p.mem.itlb.pageColoring = true;
+             p.mem.dtlb.pageColoring = true;
+         }},
+        {"+ PAL-code TLB refill (pipeline stalls)",
+         [](AlphaCoreParams &p) {
+             p.mem.itlb.hardwareWalk = false;
+             p.mem.dtlb.hardwareWalk = false;
+         }},
+        {"+ shared 8-entry MAF",
+         [](AlphaCoreParams &p) { p.mem.sharedMaf = true; }},
+        {"+ stores contend for D-cache ports",
+         [](AlphaCoreParams &p) {
+             p.mem.l1d.storesContend = true;
+         }},
+        {"+ extra mbox trap sources",
+         [](AlphaCoreParams &p) { p.mboxExtraTraps = true; }},
+        {"+ immediate IQ entry removal",
+         [](AlphaCoreParams &p) { p.approxDelayedIqRemoval = false; }},
+        {"+ squash-all load-use recovery",
+         [](AlphaCoreParams &p) { p.squashDependentsOnly = false; }},
+        {"+ exact store-trap address compare",
+         [](AlphaCoreParams &p) {
+             p.approxMaskedStoreTrapAddr = false;
+         }},
+    };
+
+    for (const Ingredient &ing : ingredients) {
+        AlphaCoreParams p = AlphaCoreParams::simAlpha();
+        ing.apply(p);
+        double h = suiteHmean(p, suite);
+        std::printf("%-44s %10.3f %+9.2f%%\n", ing.label, h,
+                    (h - alpha) / alpha * 100.0);
+    }
+
+    std::printf("----------------------------------------------------"
+                "--------------\n");
+    std::printf("%-44s %10.3f %+9.2f%%\n", "golden (all ingredients)",
+                golden, (golden - alpha) / alpha * 100.0);
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Regenerates Figure 2: register-file sensitivity.
+ *
+ * Compares an 8-wide abstract machine (standing in for the in-house
+ * simulator of Cruz et al.) against sim-alpha on a SPEC95-like suite
+ * under three register-file configurations: 1-cycle with full bypass,
+ * 2-cycle with full bypass, and 2-cycle with partial bypass. The paper's
+ * point: the abstract machine loses heavily under partial bypass while
+ * the validated machine, bottlenecked elsewhere, does not — and the two
+ * disagree strikingly in absolute IPC.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "outorder/ruu_core.hh"
+#include "validate/metrics.hh"
+#include "workloads/macro.hh"
+
+using namespace simalpha;
+using namespace simalpha::workloads;
+using namespace simalpha::validate;
+
+namespace {
+
+struct RfConfig
+{
+    const char *label;
+    int regreadCycles;
+    bool fullBypass;
+};
+
+const RfConfig kConfigs[] = {
+    {"1-cycle, full bypass", 1, true},
+    {"2-cycle, full bypass", 2, true},
+    {"2-cycle, partial bypass", 2, false},
+};
+
+RunResult
+runAbstract(const Program &prog, const RfConfig &cfg)
+{
+    RuuCoreParams p = RuuCoreParams::simOutorder();
+    p.name = "abstract-8way";
+    // The Cruz et al. machine: 8-wide issue, big window.
+    p.fetchWidth = 8;
+    p.decodeWidth = 8;
+    p.issueWidth = 8;
+    p.commitWidth = 8;
+    // A modest window: the Cruz machine's performance rides on prompt
+    // back-to-back wakeups, which is what makes it bypass-sensitive.
+    p.ruuEntries = 32;
+    p.intAlus = 8;
+    p.fpAddUnits = 4;
+    p.fpMulUnits = 4;
+    p.memPorts = 4;
+    p.regreadCycles = cfg.regreadCycles;
+    p.fullBypass = cfg.fullBypass;
+    RuuCore m(p);
+    return m.run(prog);
+}
+
+RunResult
+runAlpha(const Program &prog, const RfConfig &cfg)
+{
+    AlphaCoreParams p = AlphaCoreParams::simAlpha();
+    p.regreadCycles = cfg.regreadCycles;
+    p.fullBypass = cfg.fullBypass;
+    AlphaCore m(p);
+    return m.run(prog);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::vector<Program> suite = spec95Suite();
+
+    std::printf("Figure 2: register file sensitivity (IPC)\n\n");
+    std::printf("%-10s |", "bench");
+    for (const RfConfig &cfg : kConfigs)
+        std::printf("  8way:%-22s", cfg.label);
+    std::printf("|");
+    for (const RfConfig &cfg : kConfigs)
+        std::printf("  alpha:%-21s", cfg.label);
+    std::printf("\n");
+
+    std::vector<double> abstract_ipc[3], alpha_ipc[3];
+
+    for (const Program &prog : suite) {
+        std::printf("%-10s |", prog.name.c_str());
+        for (int c = 0; c < 3; c++) {
+            RunResult r = runAbstract(prog, kConfigs[c]);
+            abstract_ipc[c].push_back(r.ipc());
+            std::printf("  %-27.2f", r.ipc());
+        }
+        std::printf("|");
+        for (int c = 0; c < 3; c++) {
+            RunResult r = runAlpha(prog, kConfigs[c]);
+            alpha_ipc[c].push_back(r.ipc());
+            std::printf("  %-28.2f", r.ipc());
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    std::printf("%-10s |", "hmean");
+    for (int c = 0; c < 3; c++)
+        std::printf("  %-27.2f", harmonicMean(abstract_ipc[c]));
+    std::printf("|");
+    for (int c = 0; c < 3; c++)
+        std::printf("  %-28.2f", harmonicMean(alpha_ipc[c]));
+    std::printf("\n\n");
+
+    // The headline deltas.
+    auto loss = [](const std::vector<double> &a,
+                   const std::vector<double> &b) {
+        return (harmonicMean(a) - harmonicMean(b)) /
+               harmonicMean(a) * 100.0;
+    };
+    std::printf("abstract 8-way: partial-bypass loss vs 1-cycle: "
+                "%.1f%%\n",
+                loss(abstract_ipc[0], abstract_ipc[2]));
+    std::printf("sim-alpha:      partial-bypass loss vs 1-cycle: "
+                "%.1f%%\n",
+                loss(alpha_ipc[0], alpha_ipc[2]));
+    return 0;
+}

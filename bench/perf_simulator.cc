@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself: simulated
+ * instructions per second for the detailed core, the abstract core, and
+ * the functional emulator, plus the hot predictor and cache paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "isa/emulator.hh"
+#include "memory/cache.hh"
+#include "outorder/ruu_core.hh"
+#include "predictors/branch.hh"
+#include "workloads/microbench.hh"
+
+using namespace simalpha;
+
+namespace {
+
+void
+BM_EmulatorThroughput(benchmark::State &state)
+{
+    Program prog = workloads::executeIndependent({});
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        Emulator emu(prog);
+        std::uint64_t n = 0;
+        while (!emu.halted() && n < 100000) {
+            emu.step();
+            n++;
+        }
+        benchmark::DoNotOptimize(n);
+        total += n;
+    }
+    state.SetItemsProcessed(std::int64_t(total));
+}
+BENCHMARK(BM_EmulatorThroughput);
+
+void
+BM_AlphaCoreThroughput(benchmark::State &state)
+{
+    setQuiet(true);
+    Program prog = workloads::executeIndependent({});
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        AlphaCore core(AlphaCoreParams::simAlpha());
+        RunResult r = core.run(prog, 100000);
+        benchmark::DoNotOptimize(r.cycles);
+        total += r.instsCommitted;
+    }
+    state.SetItemsProcessed(std::int64_t(total));
+}
+BENCHMARK(BM_AlphaCoreThroughput);
+
+void
+BM_RuuCoreThroughput(benchmark::State &state)
+{
+    setQuiet(true);
+    Program prog = workloads::executeIndependent({});
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        RuuCore core(RuuCoreParams::simOutorder());
+        RunResult r = core.run(prog, 100000);
+        benchmark::DoNotOptimize(r.cycles);
+        total += r.instsCommitted;
+    }
+    state.SetItemsProcessed(std::int64_t(total));
+}
+BENCHMARK(BM_RuuCoreThroughput);
+
+void
+BM_TournamentPredictor(benchmark::State &state)
+{
+    TournamentPredictor pred(true);
+    Addr pc = 0x120000000ULL;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        BranchSnapshot snap;
+        bool taken = (i & 3) != 0;
+        pred.predict(pc + (i % 64) * 4, snap);
+        pred.update(pc + (i % 64) * 4, taken, snap);
+        i++;
+    }
+    state.SetItemsProcessed(std::int64_t(i));      // one lookup per iter
+}
+BENCHMARK(BM_TournamentPredictor);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheParams params;
+    params.name = "bench-l1";
+    Cache cache(params, nullptr);
+    Cycle now = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        cache.access(addr, false, now);
+        addr = (addr + 64) & 0xFFFFF;
+        now++;
+    }
+    state.SetItemsProcessed(std::int64_t(now));    // one access per iter
+}
+BENCHMARK(BM_CacheAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

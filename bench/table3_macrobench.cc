@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Regenerates Table 3: macrobenchmark validation.
+ *
+ * Runs the ten synthetic SPEC2000 programs on the golden reference,
+ * sim-alpha, sim-stripped, and sim-outorder; reports IPC per benchmark
+ * and the percent error in CPI against the reference, with harmonic-
+ * mean IPC aggregates and arithmetic-mean absolute errors.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "validate/machines.hh"
+#include "validate/metrics.hh"
+#include "workloads/macro.hh"
+
+using namespace simalpha;
+using namespace simalpha::workloads;
+using namespace simalpha::validate;
+
+int
+main()
+{
+    setQuiet(true);
+    std::vector<Program> suite = spec2000Suite();
+
+    std::printf("Table 3: macrobenchmark validation "
+                "(IPC; %% error in CPI vs reference)\n\n");
+    std::printf("%-8s %7s | %7s %7s | %7s %7s | %7s %7s\n",
+                "bench", "ds10l", "alpha", "%err", "strip", "%diff",
+                "outord", "%diff");
+    std::printf("--------------------------------------------------"
+                "--------------------\n");
+
+    std::vector<RunResult> refs, alphas, strips, outords;
+    std::vector<double> err_alpha, err_strip, err_out;
+
+    for (const Program &prog : suite) {
+        RunResult ref = makeMachine("ds10l")->run(prog);
+        RunResult alpha = makeMachine("sim-alpha")->run(prog);
+        RunResult strip = makeMachine("sim-stripped")->run(prog);
+        RunResult outord = makeMachine("sim-outorder")->run(prog);
+
+        refs.push_back(ref);
+        alphas.push_back(alpha);
+        strips.push_back(strip);
+        outords.push_back(outord);
+        err_alpha.push_back(percentErrorCpi(ref, alpha));
+        err_strip.push_back(percentErrorCpi(ref, strip));
+        err_out.push_back(percentErrorCpi(ref, outord));
+
+        std::printf("%-8s %7.2f | %7.2f %6.1f%% | %7.2f %6.1f%% | "
+                    "%7.2f %6.1f%%\n",
+                    prog.name.c_str(), ref.ipc(), alpha.ipc(),
+                    err_alpha.back(), strip.ipc(), err_strip.back(),
+                    outord.ipc(), err_out.back());
+    }
+
+    std::printf("--------------------------------------------------"
+                "--------------------\n");
+    std::printf("%-8s %7.2f | %7.2f %6.1f%% | %7.2f %6.1f%% | "
+                "%7.2f %6.1f%%\n",
+                "hmean", aggregateIpc(refs), aggregateIpc(alphas),
+                meanAbsoluteError(err_alpha), aggregateIpc(strips),
+                meanAbsoluteError(err_strip), aggregateIpc(outords),
+                meanAbsoluteError(err_out));
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Regenerates the Section 4.2 memory-system calibration.
+ *
+ * Sweeps the DRAM parameters — RAS, CAS, precharge, controller latency
+ * and page policy — running M-M, the stream kernels, and an lmbench-
+ * style latency walk on sim-alpha with each candidate, and reports the
+ * parameter set minimizing mean absolute execution-time error against
+ * the golden reference (the paper settled on open page, 2-cycle RAS,
+ * 4-cycle CAS, 2-cycle precharge, 2 cycles of controller latency).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "validate/metrics.hh"
+#include "workloads/membench.hh"
+#include "workloads/microbench.hh"
+
+using namespace simalpha;
+using namespace simalpha::workloads;
+using namespace simalpha::validate;
+
+namespace {
+
+std::vector<Program>
+calibrationSuite()
+{
+    std::vector<Program> suite;
+    suite.push_back(memoryMain({}));
+    suite.push_back(streamBenchmark(StreamKernel::Copy, 65536, 2));
+    suite.push_back(streamBenchmark(StreamKernel::Triad, 65536, 2));
+    suite.push_back(lmbenchLatency(8192, 64, 30000));
+    return suite;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::vector<Program> suite = calibrationSuite();
+
+    // Reference cycle counts from the golden machine.
+    std::vector<RunResult> ref;
+    for (const Program &prog : suite) {
+        AlphaCore golden(AlphaCoreParams::golden());
+        ref.push_back(golden.run(prog));
+    }
+
+    std::printf("Memory calibration (Section 4.2): "
+                "mean |exec-time error| per DRAM parameter set\n\n");
+    std::printf("%-5s %4s %4s %5s %5s | %8s\n", "page", "ras", "cas",
+                "pre", "ctrl", "mean err");
+    std::printf("--------------------------------------\n");
+
+    double best_err = 1e9;
+    DramParams best{};
+
+    for (bool open_page : {true, false}) {
+        for (int ras : {2, 3}) {
+            for (int cas : {2, 3, 4}) {
+                for (int pre : {1, 2}) {
+                    for (int ctrl : {0, 2}) {
+                        AlphaCoreParams p = AlphaCoreParams::simAlpha();
+                        p.mem.dram.openPage = open_page;
+                        p.mem.dram.rasCycles = ras;
+                        p.mem.dram.casCycles = cas;
+                        p.mem.dram.prechargeCycles = pre;
+                        p.mem.dram.controllerCycles = ctrl;
+
+                        std::vector<double> errs;
+                        for (std::size_t i = 0; i < suite.size(); i++) {
+                            AlphaCore m(p);
+                            RunResult r = m.run(suite[i]);
+                            errs.push_back(
+                                (double(r.cycles) -
+                                 double(ref[i].cycles)) /
+                                double(ref[i].cycles) * 100.0);
+                        }
+                        double err = meanAbsoluteError(errs);
+                        std::printf("%-5s %4d %4d %5d %5d | %7.2f%%\n",
+                                    open_page ? "open" : "close", ras,
+                                    cas, pre, ctrl, err);
+                        if (err < best_err) {
+                            best_err = err;
+                            best = p.mem.dram;
+                        }
+                    }
+                }
+            }
+        }
+        std::fflush(stdout);
+    }
+
+    std::printf("\nbest: %s page, RAS=%d, CAS=%d, precharge=%d, "
+                "controller=%d (mean err %.2f%%)\n",
+                best.openPage ? "open" : "closed", best.rasCycles,
+                best.casCycles, best.prechargeCycles,
+                best.controllerCycles, best_err);
+    std::printf("paper: open page, RAS=2, CAS=4, precharge=2, "
+                "controller=2\n");
+    return 0;
+}

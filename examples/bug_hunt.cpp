@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bug-hunt example: re-enacts the Section 3.4 debugging methodology.
+ *
+ * Start from the buggy first-cut simulator (sim-initial), pick the
+ * microbenchmark with the worst error, and use event-count comparison
+ * (the Bose & Conte technique of Section 6) to localize which
+ * mechanism diverges from the reference. Then fix one injected bug at a
+ * time and watch the mean error fall — the paper's 74.7% -> 2% journey
+ * in miniature.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "validate/events.hh"
+#include "validate/machines.hh"
+#include "validate/metrics.hh"
+#include "workloads/microbench.hh"
+
+using namespace simalpha;
+using namespace simalpha::workloads;
+using namespace simalpha::validate;
+
+namespace {
+
+double
+meanSuiteError(const AlphaCoreParams &params,
+               const std::vector<Program> &suite,
+               const std::vector<RunResult> &refs)
+{
+    std::vector<double> errs;
+    for (std::size_t i = 0; i < suite.size(); i++) {
+        AlphaCore sim(params);
+        errs.push_back(percentErrorCpi(refs[i], sim.run(suite[i])));
+    }
+    return meanAbsoluteError(errs);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    // A fast subset of the validation suite (control + one of each).
+    std::vector<Program> suite;
+    suite.push_back(controlConditionalA({}));
+    suite.push_back(controlSwitch(1, {}));
+    suite.push_back(executeDependentMul({}));
+    suite.push_back(memoryDependent({}));
+
+    std::vector<RunResult> refs;
+    for (const Program &p : suite) {
+        AlphaCore golden(AlphaCoreParams::golden());
+        refs.push_back(golden.run(p));
+    }
+
+    // Step 1: measure the buggy simulator and find the worst bench.
+    std::printf("step 1: where does sim-initial hurt?\n");
+    AlphaCoreParams buggy = AlphaCoreParams::simInitial();
+    std::size_t worst = 0;
+    double worst_err = 0.0;
+    for (std::size_t i = 0; i < suite.size(); i++) {
+        AlphaCore sim(buggy);
+        double e = percentErrorCpi(refs[i], sim.run(suite[i]));
+        std::printf("  %-8s %+8.1f%%\n", suite[i].name.c_str(), e);
+        if (std::abs(e) > std::abs(worst_err)) {
+            worst_err = e;
+            worst = i;
+        }
+    }
+
+    // Step 2: event-count comparison on the worst bench (Section 6).
+    std::printf("\nstep 2: event divergences on %s\n",
+                suite[worst].name.c_str());
+    AlphaCore golden(AlphaCoreParams::golden());
+    golden.run(suite[worst]);
+    AlphaCore sim(buggy);
+    sim.run(suite[worst]);
+    auto divs = compareEvents(golden, sim, 0.05);
+    std::printf("%s", formatDivergences(divs, 6).c_str());
+
+    // Step 3: fix the injected bugs one at a time, tracking the mean.
+    std::printf("\nstep 3: fix one bug at a time "
+                "(mean |error| over the subset)\n");
+    std::printf("  %-38s %8.1f%%\n", "all bugs in",
+                meanSuiteError(buggy, suite, refs));
+
+    struct Fix
+    {
+        const char *label;
+        void (*apply)(AlphaCoreParams &);
+    };
+    const Fix fixes[] = {
+        {"+ early branch recovery (slot adder)",
+         [](AlphaCoreParams &p) { p.bugLateBranchRecovery = false; }},
+        {"+ speculative predictor update",
+         [](AlphaCoreParams &p) { p.speculativeUpdate = true; }},
+        {"+ correct way-predictor charge",
+         [](AlphaCoreParams &p) { p.bugExtraWayPredCycle = false; }},
+        {"+ 10-cycle jump flush",
+         [](AlphaCoreParams &p) { p.bugUnderchargedJump = false; }},
+        {"+ 7-cycle multiply latency",
+         [](AlphaCoreParams &p) { p.bugShortMulLatency = false; }},
+        {"+ full trap-address compare",
+         [](AlphaCoreParams &p) { p.bugMaskedLoadTrapAddr = false; }},
+        {"+ remaining fixes (full sim-alpha)",
+         [](AlphaCoreParams &p) { p = AlphaCoreParams::simAlpha(); }},
+    };
+    for (const Fix &fix : fixes) {
+        fix.apply(buggy);
+        std::printf("  %-38s %8.1f%%\n", fix.label,
+                    meanSuiteError(buggy, suite, refs));
+    }
+
+    std::printf("\nThis is the paper's Section 3.4 arc: each fix is one "
+                "of the catalogued\nmodeling/specification/abstraction "
+                "errors, and the validation suite\nquantifies its "
+                "contribution.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Design-space / stability example: evaluate a "proposed optimization"
+ * (halving the L1 D-cache load-to-use latency) the way the paper's
+ * Section 5.3 recommends — across several simulator configurations at
+ * once — and see whether the conclusion is stable.
+ *
+ * A researcher using only one simulator would report a single number;
+ * this example shows how much that number moves across the validated
+ * model, a stripped model, and the abstract RUU model.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "validate/machines.hh"
+#include "validate/metrics.hh"
+#include "workloads/macro.hh"
+
+using namespace simalpha;
+using namespace simalpha::workloads;
+using namespace simalpha::validate;
+
+int
+main()
+{
+    setQuiet(true);
+    std::vector<Program> suite = spec2000Suite();
+
+    const char *configs[] = {"sim-alpha", "sim-alpha-no-luse",
+                             "sim-stripped", "sim-outorder"};
+
+    std::printf("Proposed optimization: 3-cycle -> 1-cycle L1 D-cache\n");
+    std::printf("(harmonic-mean IPC over the ten macrobenchmarks)\n\n");
+    std::printf("%-20s %10s %10s %10s\n", "simulator", "base",
+                "optimized", "gain");
+    std::printf("----------------------------------------------------\n");
+
+    for (const char *cfg : configs) {
+        std::vector<RunResult> base, fast;
+        for (const Program &prog : suite) {
+            base.push_back(
+                makeMachine(cfg, Optimization::None)->run(prog));
+            fast.push_back(
+                makeMachine(cfg, Optimization::FastL1)->run(prog));
+        }
+        double b = aggregateIpc(base);
+        double f = aggregateIpc(fast);
+        std::printf("%-20s %10.3f %10.3f %+9.2f%%\n", cfg, b, f,
+                    (f - b) / b * 100.0);
+    }
+
+    std::printf("\nA stable optimization shows similar gains down the "
+                "column; a large spread\nmeans the conclusion depends "
+                "on the simulator, not the idea (Section 5.3).\n");
+    return 0;
+}

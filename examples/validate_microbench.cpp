@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Validation-workflow example: pick one microbenchmark (by name, from
+ * the command line) and run it across the four machines of the paper's
+ * Table 2 — the golden reference, the buggy first-cut simulator, the
+ * validated simulator, and the abstract RUU machine — then show the
+ * IPCs, the percent CPI errors, and what a DCPI-style sampled
+ * measurement of the reference would have reported.
+ *
+ * Usage:
+ *   ./build/examples/validate_microbench [bench-name]
+ *   ./build/examples/validate_microbench C-R
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+#include "validate/dcpi.hh"
+#include "validate/machines.hh"
+#include "validate/metrics.hh"
+#include "workloads/microbench.hh"
+
+using namespace simalpha;
+using namespace simalpha::workloads;
+using namespace simalpha::validate;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::string which = argc > 1 ? argv[1] : "C-R";
+
+    auto suite = microbenchSuite();
+    auto names = microbenchNames();
+    const Program *prog = nullptr;
+    for (std::size_t i = 0; i < names.size(); i++)
+        if (names[i] == which)
+            prog = &suite[i];
+    if (!prog) {
+        std::printf("unknown benchmark '%s'; choose one of:\n",
+                    which.c_str());
+        for (const std::string &n : names)
+            std::printf("  %s\n", n.c_str());
+        return 1;
+    }
+
+    std::printf("validating '%s' (%zu static instructions)\n\n",
+                which.c_str(), prog->text.size());
+
+    RunResult ref = makeMachine("ds10l")->run(*prog);
+    std::printf("%-14s IPC %6.3f  (%llu insts in %llu cycles)\n",
+                "ds10l", ref.ipc(),
+                (unsigned long long)ref.instsCommitted,
+                (unsigned long long)ref.cycles);
+
+    for (const char *name :
+         {"sim-initial", "sim-alpha", "sim-outorder"}) {
+        RunResult r = makeMachine(name)->run(*prog);
+        std::printf("%-14s IPC %6.3f  error %+7.1f%%\n", name, r.ipc(),
+                    percentErrorCpi(ref, r));
+    }
+
+    // What would DCPI have reported for the reference machine?
+    std::printf("\nDCPI-style measurement of the reference "
+                "(sampled, Section 2.3):\n");
+    for (Cycle interval : {Cycle(1000), Cycle(40000), Cycle(64000)}) {
+        DcpiParams dp;
+        dp.samplingInterval = interval;
+        DcpiMeasurement m = measure(ref, dp);
+        std::printf("  interval %6llu: reported IPC %6.3f "
+                    "(measurement error %+5.2f%%)\n",
+                    (unsigned long long)interval, m.reportedIpc,
+                    m.cycleError * 100.0);
+    }
+    return 0;
+}

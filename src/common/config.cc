@@ -1,0 +1,139 @@
+#include "config.hh"
+
+#include "logging.hh"
+
+namespace simalpha {
+
+void
+Config::set(const std::string &key, std::int64_t value)
+{
+    _entries[key] = Entry{Kind::Int, value, false, 0.0, {}};
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    _entries[key] = Entry{Kind::Bool, 0, value, 0.0, {}};
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    _entries[key] = Entry{Kind::Double, 0, false, value, {}};
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    _entries[key] = Entry{Kind::String, 0, false, 0.0, value};
+}
+
+void
+Config::set(const std::string &key, const char *value)
+{
+    set(key, std::string(value));
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return _entries.count(key) != 0;
+}
+
+const Config::Entry &
+Config::lookup(const std::string &key, Kind kind) const
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        fatal("config key '%s' not set and no default given", key.c_str());
+    if (it->second.kind != kind)
+        fatal("config key '%s' accessed with wrong type", key.c_str());
+    return it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key) const
+{
+    return lookup(key, Kind::Int).i;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t dflt) const
+{
+    return has(key) ? getInt(key) : dflt;
+}
+
+bool
+Config::getBool(const std::string &key) const
+{
+    return lookup(key, Kind::Bool).b;
+}
+
+bool
+Config::getBool(const std::string &key, bool dflt) const
+{
+    return has(key) ? getBool(key) : dflt;
+}
+
+double
+Config::getDouble(const std::string &key) const
+{
+    return lookup(key, Kind::Double).d;
+}
+
+double
+Config::getDouble(const std::string &key, double dflt) const
+{
+    return has(key) ? getDouble(key) : dflt;
+}
+
+std::string
+Config::getString(const std::string &key) const
+{
+    return lookup(key, Kind::String).s;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &dflt) const
+{
+    return has(key) ? getString(key) : dflt;
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &kv : other._entries)
+        _entries[kv.first] = kv.second;
+}
+
+std::string
+Config::renderValue(const std::string &key) const
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        fatal("config key '%s' not set", key.c_str());
+    const Entry &e = it->second;
+    switch (e.kind) {
+      case Kind::Int:
+        return std::to_string(e.i);
+      case Kind::Bool:
+        return e.b ? "true" : "false";
+      case Kind::Double:
+        return std::to_string(e.d);
+      case Kind::String:
+        return e.s;
+    }
+    return "";
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> ks;
+    ks.reserve(_entries.size());
+    for (const auto &kv : _entries)
+        ks.push_back(kv.first);
+    return ks;
+}
+
+} // namespace simalpha

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A typed key/value configuration dictionary.
+ *
+ * Machine factories build Config objects; model constructors read typed
+ * parameters with explicit defaults. Unknown-key reads with no default are
+ * user errors (fatal), matching the gem5 configuration discipline.
+ */
+
+#ifndef SIMALPHA_COMMON_CONFIG_HH
+#define SIMALPHA_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simalpha {
+
+class Config
+{
+  public:
+    Config() = default;
+
+    void set(const std::string &key, std::int64_t value);
+    void set(const std::string &key, bool value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, const char *value);
+
+    bool has(const std::string &key) const;
+
+    std::int64_t getInt(const std::string &key) const;
+    std::int64_t getInt(const std::string &key, std::int64_t dflt) const;
+    bool getBool(const std::string &key) const;
+    bool getBool(const std::string &key, bool dflt) const;
+    double getDouble(const std::string &key) const;
+    double getDouble(const std::string &key, double dflt) const;
+    std::string getString(const std::string &key) const;
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+
+    /** Merge other's entries over this one's (other wins on conflict). */
+    void merge(const Config &other);
+
+    /** All keys, sorted. */
+    std::vector<std::string> keys() const;
+
+    /** Render the stored value of a key as text (any type). */
+    std::string renderValue(const std::string &key) const;
+
+  private:
+    enum class Kind { Int, Bool, Double, String };
+
+    struct Entry
+    {
+        Kind kind;
+        std::int64_t i;
+        bool b;
+        double d;
+        std::string s;
+    };
+
+    const Entry &lookup(const std::string &key, Kind kind) const;
+
+    std::map<std::string, Entry> _entries;
+};
+
+} // namespace simalpha
+
+#endif // SIMALPHA_COMMON_CONFIG_HH

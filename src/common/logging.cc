@@ -1,0 +1,84 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace simalpha {
+
+namespace {
+
+std::atomic<std::uint64_t> warn_counter{0};
+std::atomic<bool> quiet_mode{false};
+
+void
+vreport(const char *tag, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    warn_counter.fetch_add(1, std::memory_order_relaxed);
+    if (quiet_mode.load(std::memory_order_relaxed))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    if (quiet_mode.load(std::memory_order_relaxed))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", fmt, args);
+    va_end(args);
+}
+
+std::uint64_t
+warnCount()
+{
+    return warn_counter.load(std::memory_order_relaxed);
+}
+
+void
+setQuiet(bool quiet)
+{
+    quiet_mode.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace simalpha

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random source (xorshift128+). All stochastic model
+ * behaviour (synthetic workload generation, DCPI sampling jitter) draws
+ * from explicitly seeded instances so every run is reproducible.
+ */
+
+#ifndef SIMALPHA_COMMON_RANDOM_HH
+#define SIMALPHA_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace simalpha {
+
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x2545F4914F6CDD1DULL)
+    {
+        // SplitMix64 to spread the seed across both state words.
+        std::uint64_t z = seed;
+        for (auto *word : {&_s0, &_s1}) {
+            z += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t x = z;
+            x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+            *word = x ^ (x >> 31);
+        }
+        if (_s0 == 0 && _s1 == 0)
+            _s0 = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = _s0;
+        const std::uint64_t y = _s1;
+        _s0 = y;
+        x ^= x << 23;
+        _s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return _s1 + y;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    unit()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool
+    chance(double p)
+    {
+        return unit() < p;
+    }
+
+  private:
+    std::uint64_t _s0;
+    std::uint64_t _s1;
+};
+
+} // namespace simalpha
+
+#endif // SIMALPHA_COMMON_RANDOM_HH

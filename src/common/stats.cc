@@ -1,0 +1,157 @@
+#include "stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "logging.hh"
+
+namespace simalpha {
+namespace stats {
+
+Distribution::Distribution(std::uint64_t min, std::uint64_t max,
+                           std::uint64_t bucket_size)
+    : _min(min), _max(max), _bucketSize(bucket_size)
+{
+    if (bucket_size == 0)
+        fatal("Distribution bucket size must be nonzero");
+    if (max < min)
+        fatal("Distribution max < min");
+    _buckets.assign((max - min) / bucket_size + 1, 0);
+}
+
+void
+Distribution::sample(std::uint64_t value, std::uint64_t count)
+{
+    _samples += count;
+    _total += value * count;
+    if (value > _max) {
+        _overflow += count;
+        return;
+    }
+    std::uint64_t v = value < _min ? 0 : (value - _min) / _bucketSize;
+    _buckets[v] += count;
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _overflow = 0;
+    _samples = 0;
+    _total = 0;
+}
+
+double
+Distribution::mean() const
+{
+    return _samples ? double(_total) / double(_samples) : 0.0;
+}
+
+Counter &
+Group::counter(const std::string &name)
+{
+    return _counters[name];
+}
+
+Distribution &
+Group::distribution(const std::string &name)
+{
+    auto it = _distributions.find(name);
+    if (it == _distributions.end())
+        it = _distributions.emplace(name, Distribution()).first;
+    return it->second;
+}
+
+void
+Group::formula(const std::string &name, std::function<double()> fn)
+{
+    _formulas[name] = std::move(fn);
+}
+
+std::uint64_t
+Group::get(const std::string &name) const
+{
+    auto it = _counters.find(name);
+    return it == _counters.end() ? 0 : it->second.value();
+}
+
+bool
+Group::has(const std::string &name) const
+{
+    return _counters.count(name) != 0;
+}
+
+void
+Group::reset()
+{
+    for (auto &kv : _counters)
+        kv.second.reset();
+    for (auto &kv : _distributions)
+        kv.second.reset();
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &kv : _counters)
+        os << _name << "." << kv.first << " " << kv.second.value() << "\n";
+    for (const auto &kv : _formulas)
+        os << _name << "." << kv.first << " " << kv.second() << "\n";
+    for (const auto &kv : _distributions) {
+        os << _name << "." << kv.first << ".samples "
+           << kv.second.samples() << "\n";
+        os << _name << "." << kv.first << ".mean "
+           << kv.second.mean() << "\n";
+    }
+}
+
+std::vector<std::string>
+Group::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(_counters.size());
+    for (const auto &kv : _counters)
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace stats
+
+double
+arithmeticMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / double(xs.size());
+}
+
+double
+harmonicMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double inv = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            fatal("harmonicMean requires positive inputs (got %f)", x);
+        inv += 1.0 / x;
+    }
+    return double(xs.size()) / inv;
+}
+
+double
+stdDeviation(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double mean = arithmeticMean(xs);
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    return std::sqrt(var / double(xs.size()));
+}
+
+} // namespace simalpha

@@ -1,0 +1,115 @@
+#include "trace.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "logging.hh"
+
+namespace simalpha {
+namespace trace {
+
+namespace {
+
+std::atomic<std::uint32_t> enabled_mask{0};
+
+struct NamedCategory
+{
+    const char *name;
+    Category cat;
+};
+
+constexpr NamedCategory kCategories[] = {
+    {"fetch", Category::Fetch},       {"map", Category::Map},
+    {"issue", Category::Issue},       {"retire", Category::Retire},
+    {"recovery", Category::Recovery}, {"memory", Category::Memory},
+    {"predictor", Category::Predictor}, {"trap", Category::Trap},
+};
+
+const char *
+nameOf(Category cat)
+{
+    for (const NamedCategory &nc : kCategories)
+        if (nc.cat == cat)
+            return nc.name;
+    return "?";
+}
+
+/** One-time initialization from the environment. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        if (const char *spec = std::getenv("SIMALPHA_TRACE"))
+            enableFromString(spec);
+    }
+};
+
+EnvInit env_init;
+
+} // namespace
+
+bool
+enabled(Category cat)
+{
+    return (enabled_mask.load(std::memory_order_relaxed) &
+            std::uint32_t(cat)) != 0;
+}
+
+void
+setEnabled(Category cat, bool on)
+{
+    if (on)
+        enabled_mask.fetch_or(std::uint32_t(cat),
+                              std::memory_order_relaxed);
+    else
+        enabled_mask.fetch_and(~std::uint32_t(cat),
+                               std::memory_order_relaxed);
+}
+
+void
+enableFromString(const char *spec)
+{
+    std::string s(spec ? spec : "");
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        std::string token = s.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        if (token == "all") {
+            for (const NamedCategory &nc : kCategories)
+                setEnabled(nc.cat, true);
+            continue;
+        }
+        bool found = false;
+        for (const NamedCategory &nc : kCategories) {
+            if (token == nc.name) {
+                setEnabled(nc.cat, true);
+                found = true;
+            }
+        }
+        if (!found)
+            warn("unknown trace category '%s'", token.c_str());
+    }
+}
+
+void
+emit(Category cat, const char *fmt, ...)
+{
+    std::fprintf(stderr, "%-9s: ", nameOf(cat));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace trace
+} // namespace simalpha

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Category-based debug tracing in the gem5 DPRINTF idiom.
+ *
+ * Categories are enabled at process start through the SIMALPHA_TRACE
+ * environment variable (comma-separated, e.g.
+ * `SIMALPHA_TRACE=fetch,recovery ./build/tools/simalpha ...`), so a
+ * release build carries zero-cost disabled trace points:
+ *
+ *     TRACE(Fetch, "[%llu] fetch pc=%llx", cycle, pc);
+ *
+ * Output goes to stderr, prefixed with the category name.
+ */
+
+#ifndef SIMALPHA_COMMON_TRACE_HH
+#define SIMALPHA_COMMON_TRACE_HH
+
+#include <cstdint>
+
+namespace simalpha {
+namespace trace {
+
+/** Trace categories, one bit each. */
+enum class Category : std::uint32_t
+{
+    Fetch = 1u << 0,
+    Map = 1u << 1,
+    Issue = 1u << 2,
+    Retire = 1u << 3,
+    Recovery = 1u << 4,
+    Memory = 1u << 5,
+    Predictor = 1u << 6,
+    Trap = 1u << 7,
+};
+
+/** Is a category enabled (cheap mask test)? */
+bool enabled(Category cat);
+
+/** Enable/disable a category programmatically (tests). */
+void setEnabled(Category cat, bool on);
+
+/** Parse a comma-separated category list ("fetch,recovery" or "all");
+ *  unknown names are ignored with a warning. Called once at startup
+ *  from the SIMALPHA_TRACE environment variable, and directly by
+ *  tests. */
+void enableFromString(const char *spec);
+
+/** Emit one trace line (already gated by enabled()). */
+void emit(Category cat, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace trace
+} // namespace simalpha
+
+/** Trace-point macro: evaluates arguments only when the category is on. */
+#define TRACE(cat, ...)                                                     \
+    do {                                                                    \
+        if (::simalpha::trace::enabled(                                     \
+                ::simalpha::trace::Category::cat))                          \
+            ::simalpha::trace::emit(                                        \
+                ::simalpha::trace::Category::cat, __VA_ARGS__);             \
+    } while (0)
+
+#endif // SIMALPHA_COMMON_TRACE_HH

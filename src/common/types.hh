@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ */
+
+#ifndef SIMALPHA_COMMON_TYPES_HH
+#define SIMALPHA_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace simalpha {
+
+/** A memory address (byte granularity, 64-bit virtual or physical). */
+using Addr = std::uint64_t;
+
+/** A simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** A dynamic instruction sequence number (the 21264 "inum" generalized). */
+using InstSeq = std::uint64_t;
+
+/** A 64-bit architectural register value. */
+using RegVal = std::uint64_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+constexpr Cycle kNoCycle = ~Cycle(0);
+
+/** Sentinel for invalid addresses. */
+constexpr Addr kNoAddr = ~Addr(0);
+
+} // namespace simalpha
+
+#endif // SIMALPHA_COMMON_TYPES_HH

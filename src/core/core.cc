@@ -1,0 +1,1249 @@
+#include "core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace simalpha {
+
+namespace {
+
+/** Byte-range overlap of two memory accesses. */
+bool
+overlapExact(Addr a, int a_bytes, Addr b, int b_bytes)
+{
+    return a < b + Addr(b_bytes) && b < a + Addr(a_bytes);
+}
+
+/** Word-granular (low-3-bits-masked) conflict compare. */
+bool
+overlapWord(Addr a, Addr b)
+{
+    return (a >> 3) == (b >> 3);
+}
+
+Addr
+octawordEnd(Addr pc)
+{
+    return (pc & ~Addr(15)) + 16;
+}
+
+/**
+ * The slot-stage subcluster assignment: a static table keyed by
+ * instruction class and packet position, mirroring the predetermined
+ * slotting rules of the 21264.
+ * @return 1 for upper, 0 for lower
+ */
+int
+slotAssignment(const Instruction &inst, int packet_slot)
+{
+    switch (inst.opClass()) {
+      case OpClass::IntLoad: case OpClass::IntStore:
+      case OpClass::FpLoad: case OpClass::FpStore:
+        return 0;       // memory ops use the lower subclusters
+      case OpClass::IntMul:
+      case OpClass::CondBranch: case OpClass::UncondBranch:
+      case OpClass::Call: case OpClass::IndirectJump:
+      case OpClass::Return:
+        return 1;       // multiplies and branches live in the uppers
+      default:
+        // Plain ALU ops alternate by packet position (slots 0 and 3 go
+        // upper) so a full packet spreads across the subclusters.
+        return (packet_slot == 0 || packet_slot == 3) ? 1 : 0;
+    }
+}
+
+} // namespace
+
+AlphaCore::AlphaCore(const AlphaCoreParams &params)
+    : _p(params), _stats(params.name)
+{
+}
+
+void
+AlphaCore::resetMachine(const Program &program)
+{
+    _prog = &program;
+    _oracle = std::make_unique<OracleStream>(program);
+    _mem = std::make_unique<MemorySystem>(_p.mem);
+    _rename = std::make_unique<RenameUnit>(_p.physIntRegs, _p.physFpRegs);
+    _scoreboard =
+        std::make_unique<Scoreboard>(_p.physIntRegs + _p.physFpRegs);
+    _fuPool = std::make_unique<FuPool>(_p.bugWrongFuMix);
+    _branchPred =
+        std::make_unique<TournamentPredictor>(_p.speculativeUpdate);
+    _linePred = std::make_unique<LinePredictor>(1024, 1);
+    int icache_sets =
+        _p.mem.l1i.sizeBytes / (_p.mem.l1i.blockBytes * _p.mem.l1i.assoc);
+    _wayPred = std::make_unique<WayPredictor>(icache_sets);
+    _ras = std::make_unique<ReturnAddressStack>();
+    _loadUsePred = std::make_unique<LoadUsePredictor>();
+    _storeWait = std::make_unique<StoreWaitPredictor>();
+    int removal_delay = _p.approxDelayedIqRemoval ? 2 : 1;
+    _intIq = std::make_unique<IssueQueue>(_p.intIqEntries, removal_delay);
+    _fpIq = std::make_unique<IssueQueue>(_p.fpIqEntries, removal_delay);
+
+    _cycle = 0;
+    _seqCounter = 0;
+    _committed = 0;
+    _finished = false;
+    _fetchPc = program.entryPc;
+    _fetchResumeAt = 0;
+    _wrongPathMode = false;
+    _haltFetched = false;
+    _mapBlockedUntil = 0;
+    _lqUsed = 0;
+    _sqUsed = 0;
+    _lastCommitCycle = 0;
+    _fetchQueue.clear();
+    _rob.clear();
+    _recovery.reset();
+    _loadUseChecks.clear();
+    _outstandingMisses.clear();
+    _stats.reset();
+}
+
+RunResult
+AlphaCore::run(const Program &program, std::uint64_t max_insts)
+{
+    resetMachine(program);
+    _maxInsts = max_insts;
+
+    while (!_finished && (_maxInsts == 0 || _committed < _maxInsts)) {
+        cycleTick();
+        if (_cycle - _lastCommitCycle > 500000) {
+            std::fprintf(stderr,
+                         "deadlock state: fetchPc=0x%llx resumeAt=%llu "
+                         "wrongPath=%d haltFetched=%d rob=%zu fq=%zu "
+                         "mapBlocked=%llu recovery=%d intIq=%d "
+                         "fpIq=%d\n",
+                         (unsigned long long)_fetchPc,
+                         (unsigned long long)_fetchResumeAt,
+                         int(_wrongPathMode), int(_haltFetched),
+                         _rob.size(), _fetchQueue.size(),
+                         (unsigned long long)_mapBlockedUntil,
+                         int(_recovery.has_value()), _intIq->size(),
+                         _fpIq->size());
+            if (!_rob.empty()) {
+                const DynInst &h = _rob.front();
+                std::fprintf(stderr,
+                             "rob head: seq=%llu pc=0x%llx %s wp=%d "
+                             "issued=%d done=%llu mispred=%d\n",
+                             (unsigned long long)h.seq,
+                             (unsigned long long)h.pc,
+                             h.inst.disassemble().c_str(),
+                             int(h.wrongPath), int(h.issued),
+                             (unsigned long long)h.doneCycle,
+                             int(h.mispredicted));
+            }
+            panic("%s deadlocked on '%s' at cycle %llu (committed %llu)",
+                  _p.name.c_str(), program.name.c_str(),
+                  (unsigned long long)_cycle,
+                  (unsigned long long)_committed);
+        }
+    }
+
+    RunResult res;
+    res.machine = _p.name;
+    res.program = program.name;
+    res.cycles = _cycle;
+    res.instsCommitted = _committed;
+    res.finished = _finished;
+    _stats.counter("cycles").set(_cycle);
+    _stats.counter("insts_committed").set(_committed);
+    return res;
+}
+
+void
+AlphaCore::cycleTick()
+{
+    doVerify();
+    doRetire();
+    if (_finished)
+        return;
+    doIssue();
+    doMap();
+    doFetch();
+    _cycle++;
+}
+
+// ---------------------------------------------------------------------
+// Retire
+// ---------------------------------------------------------------------
+
+void
+AlphaCore::doRetire()
+{
+    int retired = 0;
+    while (retired < _p.retireWidth && !_rob.empty()) {
+        DynInst &head = _rob.front();
+        if (head.wrongPath) {
+            // A wrong-path head can only exist while its squashing
+            // recovery is still pending.
+            sim_assert(_recovery.has_value());
+            break;
+        }
+        if (!head.completed || head.doneCycle > _cycle)
+            break;
+        if (_recovery && head.seq >= _recovery->seq) {
+            // A pending recovery will squash (or, for a resolving
+            // branch, redirect at) this instruction; hold retirement
+            // until the recovery fires.
+            break;
+        }
+
+        // Commit-time actions.
+        if (head.inst.isStore()) {
+            _mem->dataAccess(head.effAddr, true, _cycle);
+            _sqUsed--;
+        }
+        if (head.inst.isLoad())
+            _lqUsed--;
+        if (head.inst.isCondBranch() && head.hasBpSnap)
+            _branchPred->update(head.pc, head.taken, head.bpSnap);
+        if (!_p.speculativeUpdate) {
+            if (head.lpTrainPc != kNoAddr)
+                _linePred->train(head.lpTrainPc, head.lpTrainNext);
+            if (head.inst.isCall())
+                _ras->push(head.pc + 4);
+            else if (head.inst.isReturn())
+                _ras->pop();
+        }
+        _rename->release(head.oldPhys);
+        _oracle->retireBefore(head.oracleSeq + 1);
+
+        if (head.inst.isControl())
+            ++_stats.counter("branches_retired");
+        if (head.mispredicted)
+            ++_stats.counter("mispredicts_retired");
+
+        _committed++;
+        _lastCommitCycle = _cycle;
+        retired++;
+
+        // Make sure no issue-queue pointer survives the pop.
+        _intIq->remove(&head);
+        _fpIq->remove(&head);
+        if (head.halt) {
+            _finished = true;
+            _rob.pop_front();
+            return;
+        }
+        _rob.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Verification: load-use speculation checks and recovery execution
+// ---------------------------------------------------------------------
+
+void
+AlphaCore::doVerify()
+{
+    // Load-use mis-speculation: replay what issued inside the window.
+    for (std::size_t i = 0; i < _loadUseChecks.size();) {
+        if (_loadUseChecks[i].verifyAt <= _cycle) {
+            unissueForReplay(_loadUseChecks[i]);
+            _loadUseChecks.erase(_loadUseChecks.begin() +
+                                 std::ptrdiff_t(i));
+        } else {
+            i++;
+        }
+    }
+
+    if (!_recovery || _recovery->atCycle > _cycle)
+        return;
+
+    Recovery rec = *_recovery;
+    _recovery.reset();
+    TRACE(Recovery,
+          "[%llu] execute kind=%d seq=%llu resume=0x%llx oracle=0x%llx",
+          (unsigned long long)_cycle, int(rec.kind),
+          (unsigned long long)rec.seq,
+          (unsigned long long)rec.resumePc,
+          (unsigned long long)_oracle->nextPc());
+
+    bool inclusive = rec.kind == Recovery::Kind::Trap;
+    squashFrom(inclusive ? rec.seq : rec.seq + 1, inclusive);
+
+    if (rec.kind == Recovery::Kind::BranchMispredict) {
+        // Fix the resolving branch's own speculative history shift and
+        // repair the line predictor toward the actual target.
+        DynInst *causer = nullptr;
+        for (auto it = _rob.rbegin(); it != _rob.rend(); ++it) {
+            if (it->seq == rec.seq) {
+                causer = &*it;
+                break;
+            }
+        }
+        if (causer) {
+            if (causer->inst.isCondBranch() && causer->hasBpSnap)
+                _branchPred->recover(causer->bpSnap, causer->taken);
+            _linePred->train(causer->pc, rec.resumePc);
+            ++_stats.counter(causer->inst.isIndirect()
+                                 ? "jump_mispredicts"
+                                 : "branch_mispredicts");
+            // The redirect is a one-shot fetch event: if a load-use
+            // replay later re-issues this instruction, it must not
+            // redirect again.
+            causer->mispredicted = false;
+        }
+        Cycle restart = rec.indirect ? Cycle(_p.indirectRestartCycles)
+                                     : Cycle(_p.branchRestartCycles);
+        if (_p.bugLateBranchRecovery && !rec.indirect) {
+            // sim-initial discovered line mispredictions only after
+            // execute and initiated a full rollback: an excessive
+            // penalty on every recovery.
+            restart += Cycle(_p.lateRecoveryExtraCycles);
+        }
+        _fetchPc = rec.resumePc;
+        _fetchResumeAt = std::max(_fetchResumeAt, _cycle + restart);
+        _wrongPathMode = false;
+    } else {
+        // Replay trap: refetch from the victim itself.
+        if (rec.markStoreWait && _p.storeWaitTable)
+            _storeWait->markConflict(rec.storeWaitPc);
+        ++_stats.counter("replay_traps");
+        _fetchPc = rec.resumePc;
+        _fetchResumeAt =
+            std::max(_fetchResumeAt, _cycle + Cycle(_p.trapRestartCycles));
+        _wrongPathMode = false;
+        _haltFetched = false;
+    }
+}
+
+void
+AlphaCore::squashFrom(InstSeq seq, bool refetch_inclusive)
+{
+    // Drop pending load-use checks and outstanding-miss records for the
+    // squashed region.
+    std::erase_if(_loadUseChecks, [seq](const LoadUseCheck &c) {
+        return c.loadSeq >= seq;
+    });
+
+    // Un-fetched/un-mapped instructions first (youngest first so
+    // predictor snapshots unwind in reverse order).
+    while (!_fetchQueue.empty() && _fetchQueue.back().seq >= seq) {
+        DynInst &di = _fetchQueue.back();
+        if (di.hasBpSnap)
+            _branchPred->restore(di.bpSnap);
+        if (di.hasRasSnap)
+            _ras->restore(di.rasSnap);
+        _fetchQueue.pop_back();
+    }
+
+    _intIq->squashFrom(seq);
+    _fpIq->squashFrom(seq);
+
+    InstSeq lowest_oracle = kNoCycle;
+    while (!_rob.empty() && _rob.back().seq >= seq) {
+        DynInst &di = _rob.back();
+        if (di.hasBpSnap)
+            _branchPred->restore(di.bpSnap);
+        if (di.hasRasSnap)
+            _ras->restore(di.rasSnap);
+        if (!di.wrongPath) {
+            if (di.dstPhys != kNoPhys) {
+                _scoreboard->setReadyNow(di.dstPhys);
+                _rename->undo(di.archDst, di.dstPhys, di.oldPhys);
+            }
+            if (di.inst.isLoad())
+                _lqUsed--;
+            if (di.inst.isStore())
+                _sqUsed--;
+            lowest_oracle = di.oracleSeq;
+        }
+        ++_stats.counter("insts_squashed");
+        _rob.pop_back();
+    }
+
+    // Rewind the oracle if architecturally executed instructions were
+    // squashed (replay traps refetch them).
+    if (refetch_inclusive && lowest_oracle != kNoCycle)
+        _oracle->rewindTo(lowest_oracle);
+}
+
+void
+AlphaCore::scheduleRecovery(const Recovery &rec)
+{
+    TRACE(Recovery,
+          "[%llu] schedule kind=%d seq=%llu at=%llu resume=0x%llx",
+          (unsigned long long)_cycle, int(rec.kind),
+          (unsigned long long)rec.seq, (unsigned long long)rec.atCycle,
+          (unsigned long long)rec.resumePc);
+    if (!_recovery || rec.seq < _recovery->seq)
+        _recovery = rec;
+}
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+Cycle
+AlphaCore::operandReadyCycle(const DynInst &inst, int cluster) const
+{
+    Cycle ready = 0;
+    for (int i = 0; i < inst.numSrcs; i++) {
+        PhysReg src = inst.srcPhys[i];
+        Cycle r;
+        if (_p.approxBypassLatency || _p.bugAggressiveCluster) {
+            // The sim-alpha bypass shortcut: bypassed values ignore the
+            // cross-cluster skew.
+            Cycle r0 = _scoreboard->readyAt(src, 0);
+            Cycle r1 = _scoreboard->readyAt(src, 1);
+            r = std::min(r0, r1);
+        } else {
+            r = _scoreboard->readyAt(src, cluster);
+        }
+        if (r == kNoCycle)
+            return kNoCycle;
+        if (!_p.fullBypass && _p.regreadCycles > 1) {
+            // Partial bypass on the 21264: same-pipe forwarding always
+            // remains, so only the register-file cycles beyond the
+            // first are exposed to dependents (the paper's observation
+            // that the Alpha's scheduling absorbs one-cycle bubbles).
+            r += Cycle(_p.regreadCycles - 1);
+        }
+        ready = std::max(ready, r);
+    }
+    return ready;
+}
+
+bool
+AlphaCore::operandsReady(const DynInst &inst, int cluster) const
+{
+    Cycle r = operandReadyCycle(inst, cluster);
+    return r != kNoCycle && r <= _cycle;
+}
+
+void
+AlphaCore::doIssue()
+{
+    _intIq->compact(_cycle);
+    _fpIq->compact(_cycle);
+
+    // Per-pipe arbitration: each execution pipe issues the oldest queue
+    // entry that can use it this cycle and whose operands have reached
+    // its cluster — the collapsible-queue oldest-first policy of the
+    // 21264, one winner per pipe.
+    for (int pipe = 0; pipe < _fuPool->numPipes(); pipe++) {
+        bool fp_pipe = _fuPool->pipeIsFp(pipe);
+        IssueQueue &queue = fp_pipe ? *_fpIq : *_intIq;
+        int cluster = fp_pipe ? -1 : _fuPool->pipeCluster(pipe);
+
+        for (DynInst *inst : queue.entries()) {
+            if (inst->issued || inst->retiredEarly)
+                continue;
+            if (inst->replayBlockedUntil > _cycle)
+                continue;
+            if (inst->mapCycle + Cycle(_p.mapToIssueCycles) > _cycle)
+                continue;
+
+            OpClass cls = inst->inst.opClass();
+            if (!_fuPool->pipeCanIssue(pipe, cls,
+                                       inst->slottedUpper != 0,
+                                       _p.slotRestrict, _cycle))
+                continue;
+
+            if (!inst->wrongPath) {
+                // Operands must have reached this pipe's cluster.
+                int rc = cluster < 0 ? 0 : cluster;
+                if (!operandsReady(*inst, rc))
+                    continue;
+                if (inst->inst.isLoad() && !storeWaitClear(*inst))
+                    continue;
+            }
+
+            _fuPool->reservePipe(pipe, cls, _cycle);
+            performIssue(*inst, cluster);
+            break;      // this pipe is consumed for the cycle
+        }
+    }
+}
+
+bool
+AlphaCore::storeWaitClear(const DynInst &ld)
+{
+    // A load flagged by the store-wait table waits for every earlier
+    // store to resolve its address.
+    if (!_p.mboxTraps || !_p.storeWaitTable)
+        return true;
+    if (!_storeWait->shouldWait(ld.pc, _cycle))
+        return true;
+    for (const DynInst &older : _rob) {
+        if (older.seq >= ld.seq)
+            break;
+        if (older.inst.isStore() && !older.memIssued)
+            return false;
+    }
+    return true;
+}
+
+void
+AlphaCore::performIssue(DynInst &inst, int cluster)
+{
+    inst.issued = true;
+    inst.issueCycle = _cycle;
+    inst.cluster = cluster < 0 ? 0 : cluster;
+    ++_stats.counter("insts_issued");
+
+    OpClass cls = inst.inst.opClass();
+
+    if (inst.wrongPath) {
+        inst.doneCycle = _cycle + Cycle(inst.inst.latency());
+        inst.completed = true;
+        return;
+    }
+
+    if (inst.inst.isLoad()) {
+        issueLoad(inst);
+        return;
+    }
+    if (inst.inst.isStore()) {
+        issueStore(inst);
+        return;
+    }
+
+    int latency = inst.inst.latency();
+    if (_p.bugShortMulLatency && cls == OpClass::IntMul)
+        latency = 1;
+    Cycle done = _cycle + Cycle(latency);
+    if (inst.dstPhys != kNoPhys)
+        _scoreboard->setReady(inst.dstPhys, done, cluster);
+    inst.doneCycle = done;
+    inst.completed = true;
+
+    // Control resolution: a mispredicted transfer schedules recovery at
+    // its execute cycle.
+    if (inst.mispredicted) {
+        Cycle resolve = _cycle + Cycle(_p.regreadCycles) + 1;
+        Recovery rec;
+        rec.kind = Recovery::Kind::BranchMispredict;
+        rec.seq = inst.seq;
+        rec.atCycle = resolve;
+        rec.resumePc = inst.nextPc;
+        rec.indirect =
+            inst.inst.isIndirect() && !_p.bugUnderchargedJump;
+        scheduleRecovery(rec);
+        inst.doneCycle = std::max(inst.doneCycle, resolve);
+    }
+}
+
+void
+AlphaCore::issueLoad(DynInst &ld)
+{
+    ld.memIssued = true;
+
+    bool is_fp = ld.inst.isFp();
+    // Load-to-use latency tracks the configured D-cache hit latency
+    // (fp loads pay one extra cycle, Table 1).
+    int hit_lat = _p.mem.l1d.hitLatency + (is_fp ? 1 : 0);
+
+    // Search older stores for a forwarding or conflict partner.
+    bool forwarded = false;
+    for (auto it = _rob.rbegin(); it != _rob.rend(); ++it) {
+        if (it->seq >= ld.seq)
+            continue;
+        if (!it->inst.isStore() || it->wrongPath)
+            continue;
+        bool overlap = _p.approxMaskedStoreTrapAddr
+                           ? overlapWord(it->effAddr, ld.effAddr)
+                           : overlapExact(it->effAddr,
+                                          it->inst.memBytes(),
+                                          ld.effAddr,
+                                          ld.inst.memBytes());
+        if (it->memIssued && overlap) {
+            // Store-to-load forwarding from the store queue.
+            forwarded = true;
+            break;
+        }
+    }
+
+    Cycle hit_done = _cycle + Cycle(hit_lat);
+    Cycle real_done;
+    bool hit;
+
+    if (forwarded) {
+        hit = true;
+        real_done = hit_done;
+        ++_stats.counter("store_forwards");
+    } else {
+        MemAccessResult r = _mem->dataAccess(
+            ld.effAddr, false, _cycle + Cycle(_p.regreadCycles));
+        hit = r.l1Hit;
+        if (r.pipelineStall) {
+            // PAL-code DTLB refill stalls the machine front end.
+            _fetchResumeAt =
+                std::max(_fetchResumeAt, _cycle + r.pipelineStall);
+            _mapBlockedUntil =
+                std::max(_mapBlockedUntil, _cycle + r.pipelineStall);
+        }
+        real_done = hit ? hit_done : r.done;
+        if (!hit && _p.bugExtraRegreadOnMiss)
+            real_done += 1;
+    }
+
+    // Load-use (hit/miss) speculation.
+    bool pred_hit = _loadUsePred->predictHit();
+    ld.predictedHit = pred_hit;
+    _loadUsePred->update(hit);
+
+    if (_p.loadUseSpec && pred_hit) {
+        // Consumers wake as if the load hits; a miss replays the window.
+        if (ld.dstPhys != kNoPhys)
+            _scoreboard->setReady(ld.dstPhys, hit_done, ld.cluster);
+        if (!hit) {
+            LoadUseCheck check;
+            check.loadSeq = ld.seq;
+            check.verifyAt = hit_done + 2;
+            check.missDone = real_done;
+            check.loadDst = ld.dstPhys;
+            check.windowStart = hit_done;
+            _loadUseChecks.push_back(check);
+        }
+    } else {
+        // Conservative scheduling: consumers wait for the verified
+        // outcome (two extra cycles on a hit).
+        Cycle ready = hit ? hit_done + 2 : real_done;
+        if (_p.loadUseSpec && !pred_hit && !hit)
+            ready = real_done;
+        if (ld.dstPhys != kNoPhys)
+            _scoreboard->setReady(ld.dstPhys, ready, ld.cluster);
+    }
+
+    ld.dcacheHit = hit;
+    ld.doneCycle = real_done;
+    ld.completed = true;
+
+    if (!_p.mboxTraps)
+        return;
+
+    // Load-load order traps: this load may reveal that a younger load
+    // to a conflicting address already executed out of order.
+    for (auto it = _rob.rbegin(); it != _rob.rend(); ++it) {
+        if (it->seq <= ld.seq || it->wrongPath)
+            continue;
+        if (!it->inst.isLoad() || !it->memIssued)
+            continue;
+        bool conflict = _p.bugMaskedLoadTrapAddr
+                            ? overlapWord(it->effAddr, ld.effAddr)
+                            : overlapExact(it->effAddr,
+                                           it->inst.memBytes(),
+                                           ld.effAddr,
+                                           ld.inst.memBytes());
+        if (conflict) {
+            Recovery rec;
+            rec.kind = Recovery::Kind::Trap;
+            rec.seq = it->seq;
+            rec.atCycle = _cycle + 2;
+            rec.resumePc = it->pc;
+            scheduleRecovery(rec);
+            ++_stats.counter("load_order_traps");
+            break;
+        }
+    }
+
+    // Golden-only mbox trap conditions: MAF pressure and same-set
+    // concurrent misses flush the pipeline (the art pathology).
+    if (_p.mboxExtraTraps && !hit && !forwarded) {
+        std::erase_if(_outstandingMisses, [this](const OutstandingMiss &m) {
+            return m.done <= _cycle;
+        });
+        Addr block = ld.effAddr >> 6;
+        std::size_t sets =
+            std::size_t(_p.mem.l1d.sizeBytes /
+                        (_p.mem.l1d.blockBytes * _p.mem.l1d.assoc));
+        std::size_t set = std::size_t(block & Addr(sets - 1));
+        bool already = false;
+        int same_set = 0;
+        for (const OutstandingMiss &m : _outstandingMisses) {
+            if (m.block == block)
+                already = true;
+            else if (m.set == set)
+                same_set++;
+        }
+        // MAF exhaustion, or a third concurrent miss to one 2-way set
+        // (no place to put the fill), flushes the pipe.
+        bool trap = int(_outstandingMisses.size()) >=
+                        _p.mem.l1d.mshrEntries ||
+                    same_set >= _p.mem.l1d.assoc;
+        if (!already)
+            _outstandingMisses.push_back({block, set, real_done});
+        if (trap) {
+            Recovery rec;
+            rec.kind = Recovery::Kind::Trap;
+            rec.seq = ld.seq;
+            rec.atCycle = _cycle + 2;
+            rec.resumePc = ld.pc;
+            scheduleRecovery(rec);
+            ++_stats.counter("mbox_extra_traps");
+        }
+    }
+}
+
+void
+AlphaCore::issueStore(DynInst &st)
+{
+    st.memIssued = true;
+    st.doneCycle = _cycle + 1;
+    st.completed = true;
+
+    if (!_p.mboxTraps)
+        return;
+
+    // Store replay trap: a younger load to a conflicting address already
+    // executed; squash and refetch it, and teach the store-wait table.
+    const DynInst *victim = nullptr;
+    for (const DynInst &di : _rob) {
+        if (di.seq <= st.seq || di.wrongPath)
+            continue;
+        if (!di.inst.isLoad() || !di.memIssued)
+            continue;
+        bool conflict = _p.approxMaskedStoreTrapAddr
+                            ? overlapWord(di.effAddr, st.effAddr)
+                            : overlapExact(di.effAddr,
+                                           di.inst.memBytes(),
+                                           st.effAddr,
+                                           st.inst.memBytes());
+        if (conflict) {
+            victim = &di;
+            break;
+        }
+    }
+    if (victim) {
+        Recovery rec;
+        rec.kind = Recovery::Kind::Trap;
+        rec.seq = victim->seq;
+        rec.atCycle = _cycle + 2;
+        rec.resumePc = victim->pc;
+        rec.markStoreWait = true;
+        rec.storeWaitPc = victim->pc;
+        scheduleRecovery(rec);
+        ++_stats.counter("store_replay_traps");
+    }
+}
+
+void
+AlphaCore::unissueForReplay(const LoadUseCheck &check)
+{
+    // The load's destination becomes ready only when the miss returns.
+    if (check.loadDst != kNoPhys)
+        _scoreboard->setReady(check.loadDst, check.missDone, -1);
+
+    Cycle recovery_cycles =
+        _p.bugUnderchargedLoadUseRecovery
+            ? Cycle(_p.loadUseRecoveryCycles - 1)
+            : Cycle(_p.loadUseRecoveryCycles);
+
+    // Poison propagation for dependents-only squash.
+    std::vector<bool> poisoned(
+        std::size_t(_p.physIntRegs + _p.physFpRegs), false);
+    if (check.loadDst != kNoPhys)
+        poisoned[std::size_t(check.loadDst)] = true;
+
+    bool any = false;
+    for (DynInst &di : _rob) {
+        if (di.seq == check.loadSeq || !di.issued || di.retiredEarly)
+            continue;
+        if (di.issueCycle < check.windowStart ||
+            di.issueCycle >= check.windowStart + 2)
+            continue;
+        bool squash;
+        if (_p.squashDependentsOnly) {
+            squash = false;
+            for (int i = 0; i < di.numSrcs; i++)
+                if (di.srcPhys[i] != kNoPhys &&
+                    poisoned[std::size_t(di.srcPhys[i])])
+                    squash = true;
+        } else {
+            squash = !di.wrongPath;
+        }
+        if (!squash)
+            continue;
+
+        any = true;
+        di.issued = false;
+        di.issueCycle = kNoCycle;
+        di.completed = false;
+        di.memIssued = false;
+        di.replayBlockedUntil = check.verifyAt + recovery_cycles;
+        if (di.dstPhys != kNoPhys) {
+            _scoreboard->setPending(di.dstPhys);
+            poisoned[std::size_t(di.dstPhys)] = true;
+        }
+        if (di.inst.isFp() && !di.inst.isMem())
+            _fpIq->reinsert(&di);
+        else
+            _intIq->reinsert(&di);
+        ++_stats.counter("load_use_replays");
+    }
+    if (any)
+        ++_stats.counter("load_use_violations");
+}
+
+// ---------------------------------------------------------------------
+// Map (rename/dispatch)
+// ---------------------------------------------------------------------
+
+void
+AlphaCore::doMap()
+{
+    if (_mapBlockedUntil > _cycle)
+        return;
+
+    int mapped = 0;
+    while (mapped < _p.mapWidth && !_fetchQueue.empty()) {
+        DynInst &front = _fetchQueue.front();
+        if (front.readyForMap > _cycle)
+            break;
+        if (int(_rob.size()) >= _p.robEntries)
+            break;
+
+        bool is_nop = front.inst.isNop();
+        bool remove_early = is_nop && _p.earlyUnopRetire &&
+                            !_p.bugNoUnopRemoval;
+
+        if (!remove_early) {
+            // Queue space.
+            bool fp_queue = front.inst.isFp() && !front.inst.isMem();
+            IssueQueue &iq = fp_queue ? *_fpIq : *_intIq;
+            if (iq.full())
+                break;
+            if (front.inst.isLoad() && _lqUsed >= _p.lqEntries)
+                break;
+            if (front.inst.isStore() && _sqUsed >= _p.sqEntries)
+                break;
+        }
+
+        // Rename (correct path only).
+        if (!front.wrongPath) {
+            RegIndex dst = front.inst.dstReg();
+            if (dst != kNoReg && !front.inst.isNop()) {
+                bool fp = isFpRegIndex(dst);
+                int free_regs = fp ? _rename->freeFpRegs()
+                                   : _rename->freeIntRegs();
+                if (_p.mapStall && free_regs < _p.minFreeRegs) {
+                    // The rename table stalls three cycles when fewer
+                    // than eight free names remain.
+                    _mapBlockedUntil = _cycle + Cycle(_p.mapStallCycles);
+                    ++_stats.counter("map_stalls");
+                    return;
+                }
+                if (free_regs == 0)
+                    break;
+            }
+        }
+
+        // Commit the dequeue.
+        DynInst di = std::move(front);
+        _fetchQueue.pop_front();
+        di.mapCycle = _cycle;
+
+        if (!di.wrongPath) {
+            RegIndex dst = di.inst.dstReg();
+            // Resolve sources before allocating the destination so
+            // "r1 = r1 + 1" reads the old mapping.
+            RegIndex srcs[3];
+            int n = di.inst.srcRegs(srcs);
+            di.numSrcs = 0;
+            if (!remove_early) {
+                for (int i = 0; i < n; i++)
+                    di.srcPhys[di.numSrcs++] = _rename->lookup(srcs[i]);
+            }
+            if (dst != kNoReg && !remove_early) {
+                PhysReg old_phys = kNoPhys;
+                PhysReg p = _rename->allocate(dst, old_phys);
+                sim_assert(p != kNoPhys);
+                di.dstPhys = p;
+                di.oldPhys = old_phys;
+                di.archDst = dst;
+                _scoreboard->setPending(p);
+            }
+            if (di.inst.isLoad())
+                _lqUsed++;
+            if (di.inst.isStore())
+                _sqUsed++;
+        }
+
+        _rob.push_back(std::move(di));
+        DynInst &placed = _rob.back();
+
+        if (remove_early) {
+            // Unops vanish at map: they hold a ROB slot but never issue.
+            placed.retiredEarly = true;
+            placed.issued = true;
+            placed.completed = true;
+            placed.issueCycle = _cycle;
+            placed.doneCycle = _cycle;
+            ++_stats.counter("unops_removed");
+        } else {
+            bool fp_queue = placed.inst.isFp() && !placed.inst.isMem();
+            (fp_queue ? *_fpIq : *_intIq).insert(&placed);
+        }
+        mapped++;
+        ++_stats.counter("insts_mapped");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+Cycle
+AlphaCore::icacheTiming(Addr pc, Cycle now)
+{
+    MemAccessResult f = _mem->fetchAccess(pc, now);
+    Cycle done = f.done;
+
+    if (f.pipelineStall) {
+        // PAL-code ITLB refill: the front end stalls outright.
+        done += f.pipelineStall;
+    }
+
+    if (f.l1Hit) {
+        Addr paddr = _mem->itlb().translateProbe(pc);
+        int actual = _mem->icache().wayOf(paddr);
+        int predicted = _wayPred->predict(pc);
+        if (actual >= 0 && actual != predicted) {
+            done += 2;      // way misprediction bubble
+            if (_p.bugExtraWayPredCycle)
+                done += 1;  // over-charged way-predictor access
+            ++_stats.counter("way_mispredicts");
+        }
+        if (actual >= 0)
+            _wayPred->update(pc, actual);
+    } else {
+        ++_stats.counter("icache_miss_stalls");
+        if (_p.bugExtraWayPredCycle)
+            done += 1;
+    }
+
+    return done;
+}
+
+Addr
+AlphaCore::predictControl(DynInst &di, Addr lp_next)
+{
+    // Returns the front end's chosen next-fetch PC given that the packet
+    // cuts at this (predicted- or actually-taken) control instruction.
+    const Instruction &inst = di.inst;
+    bool early_target = _p.slotAdder && !_p.bugLateBranchRecovery;
+
+    if (inst.isPcRelBranch()) {
+        Addr target = _prog->pcOf(std::size_t(inst.target));
+        if (early_target)
+            return target;
+        return lp_next;     // only the line predictor steers fetch
+    }
+    if (inst.isReturn()) {
+        if (_p.speculativeUpdate)
+            return _ras->pop();
+        return _ras->peek();
+    }
+    // Indirect jump/call: the slot adder cannot help; the line predictor
+    // supplies the target guess.
+    return lp_next;
+}
+
+void
+AlphaCore::enqueuePacket(std::vector<DynInst> &packet, Cycle fetch_done)
+{
+    for (DynInst &di : packet) {
+        di.fetchCycle = _cycle;
+        di.readyForMap = fetch_done + Cycle(_p.fetchToMapCycles);
+        _fetchQueue.push_back(std::move(di));
+    }
+    packet.clear();
+}
+
+void
+AlphaCore::doFetch()
+{
+    if (_cycle < _fetchResumeAt)
+        return;
+    if (_haltFetched && !_wrongPathMode)
+        return;
+    if (int(_fetchQueue.size()) + _p.fetchWidth > _p.fetchQueueEntries)
+        return;
+    if (!_wrongPathMode && _oracle->exhausted())
+        return;
+
+    if (_wrongPathMode)
+        fetchWrongPath();
+    else
+        fetchCorrectPath();
+    ++_stats.counter("fetch_packets");
+}
+
+void
+AlphaCore::fetchCorrectPath()
+{
+    Addr packet_pc = _fetchPc;
+    TRACE(Fetch, "[%llu] fetch pc=0x%llx",
+          (unsigned long long)_cycle, (unsigned long long)packet_pc);
+    if (_oracle->nextPc() != packet_pc)
+        panic("%s: fetch/oracle desync at cycle %llu: fetchPc=0x%llx "
+              "oracle=0x%llx committed=%llu",
+              _p.name.c_str(), (unsigned long long)_cycle,
+              (unsigned long long)packet_pc,
+              (unsigned long long)_oracle->nextPc(),
+              (unsigned long long)_committed);
+
+    Cycle fdone = icacheTiming(packet_pc, _cycle);
+    Addr oct_end = octawordEnd(packet_pc);
+    Addr lp_next = _linePred->predict(packet_pc);
+
+    std::vector<DynInst> packet;
+    packet.reserve(4);
+
+    Addr pc_cur = packet_pc;
+    DynInst *cut_inst = nullptr;     // control inst that ends the packet
+    bool cut_predicted_taken = false;
+    bool nt_mispredict = false;      // predicted NT, actually taken
+    bool ends_halt = false;
+
+    while (pc_cur < oct_end && int(packet.size()) < _p.fetchWidth &&
+           !_oracle->exhausted()) {
+        const ExecutedInst &rec = _oracle->next();
+        sim_assert(rec.pc == pc_cur);
+
+        DynInst di;
+        di.seq = nextSeq();
+        di.oracleSeq = rec.seq;
+        di.pc = rec.pc;
+        di.inst = rec.inst;
+        di.nextPc = rec.nextPc;
+        di.taken = rec.taken;
+        di.effAddr = rec.effAddr;
+        di.halt = rec.halted;
+        di.slottedUpper = slotAssignment(di.inst, int(packet.size()));
+
+        if (di.inst.isControl()) {
+            // Direction prediction (conditional) / always-taken.
+            bool pred_taken = true;
+            if (di.inst.isCondBranch()) {
+                di.hasBpSnap = true;
+                pred_taken = _branchPred->predict(di.pc, di.bpSnap);
+            }
+            if (di.inst.isCall() || di.inst.isReturn()) {
+                di.hasRasSnap = _p.speculativeUpdate;
+                if (di.hasRasSnap)
+                    di.rasSnap = _ras->snapshot();
+            }
+            if (di.inst.isCall() && _p.speculativeUpdate)
+                _ras->push(di.pc + 4);
+            di.predTaken = pred_taken;
+
+            if (pred_taken) {
+                packet.push_back(std::move(di));
+                cut_inst = &packet.back();
+                cut_predicted_taken = true;
+                break;
+            }
+            if (rec.taken) {
+                // Predicted not-taken, actually taken: a direction
+                // mispredict. Fetch believes nothing happened and keeps
+                // streaming sequentially (wrong path).
+                di.mispredicted = true;
+                packet.push_back(std::move(di));
+                cut_inst = &packet.back();
+                nt_mispredict = true;
+                break;
+            }
+            // Correctly predicted not-taken: the packet continues.
+            packet.push_back(std::move(di));
+        } else {
+            bool halted = rec.halted;
+            packet.push_back(std::move(di));
+            if (halted) {
+                ends_halt = true;
+                break;
+            }
+        }
+        pc_cur += 4;
+    }
+
+    if (packet.empty()) {
+        // Nothing fetched (oracle exhausted at packet start).
+        return;
+    }
+
+    Cycle bubbles = 0;
+
+    if (ends_halt) {
+        _haltFetched = true;
+        enqueuePacket(packet, fdone);
+        _fetchResumeAt = fdone;
+        return;
+    }
+
+    if (nt_mispredict) {
+        // Fill the rest of the octaword with wrong-path slots and keep
+        // fetching sequentially until the branch resolves.
+        Addr wp = cut_inst->pc + 4;
+        while (wp < oct_end && int(packet.size()) < _p.fetchWidth) {
+            DynInst wdi;
+            wdi.seq = nextSeq();
+            wdi.pc = wp;
+            wdi.inst = _prog->fetch(wp);
+            wdi.wrongPath = true;
+            wdi.slottedUpper = slotAssignment(wdi.inst,
+                                              int(packet.size()));
+            packet.push_back(std::move(wdi));
+            wp += 4;
+        }
+        // push_back may have reallocated; re-find the mispredicted inst.
+        for (DynInst &d : packet)
+            if (d.mispredicted)
+                cut_inst = &d;
+        cut_inst->predNextFetch = oct_end;
+        _wrongPathMode = true;
+        _fetchPc = oct_end;
+        ++_stats.counter("direction_mispredicts");
+        enqueuePacket(packet, fdone);
+        _fetchResumeAt = fdone;
+        return;
+    }
+
+    if (cut_predicted_taken) {
+        Addr frontend_next = predictControl(*cut_inst, lp_next);
+        cut_inst->predNextFetch = frontend_next;
+
+        bool early_target = _p.slotAdder && !_p.bugLateBranchRecovery;
+        bool slot_steered =
+            (cut_inst->inst.isPcRelBranch() && early_target) ||
+            cut_inst->inst.isReturn();
+        if (slot_steered && frontend_next != lp_next) {
+            // Branch predictor / RAS overrides the line predictor: one
+            // bubble while fetch resteers (slot miss).
+            bubbles += 1;
+            ++_stats.counter("slot_misses");
+        }
+        if (_p.speculativeUpdate && slot_steered &&
+            frontend_next != lp_next) {
+            // Speculative line training applies only when the slot
+            // stage has new information (an override); reinforcing the
+            // line predictor's own guess would fight the recovery-time
+            // correction.
+            _linePred->speculativeTrain(packet_pc, frontend_next);
+        } else if (!_p.speculativeUpdate) {
+            cut_inst->lpTrainPc = packet_pc;
+            cut_inst->lpTrainNext =
+                cut_inst->taken ? cut_inst->nextPc : cut_inst->pc + 4;
+        }
+
+        if (_p.bugOctawordSquashPenalty &&
+            (cut_inst->pc + 4) < oct_end) {
+            // Buggy one-cycle charge for clearing the squashed slots
+            // after a taken branch inside the octaword.
+            bubbles += 1;
+        }
+
+        Addr actual_next =
+            cut_inst->taken ? cut_inst->nextPc : cut_inst->pc + 4;
+        if (frontend_next == actual_next) {
+            _fetchPc = frontend_next;
+        } else {
+            // Target or direction mispredict: fetch goes down the
+            // predicted (wrong) path until the transfer resolves.
+            cut_inst->mispredicted = true;
+            TRACE(Predictor,
+                  "[%llu] mispredict seq=%llu pc=0x%llx pred=0x%llx "
+                  "actual=0x%llx",
+                  (unsigned long long)_cycle,
+                  (unsigned long long)cut_inst->seq,
+                  (unsigned long long)cut_inst->pc,
+                  (unsigned long long)frontend_next,
+                  (unsigned long long)actual_next);
+            _wrongPathMode = true;
+            _fetchPc = frontend_next;
+            ++_stats.counter(cut_inst->inst.isCondBranch()
+                                 ? "direction_mispredicts"
+                                 : "target_mispredicts");
+        }
+        enqueuePacket(packet, fdone);
+        _fetchResumeAt = fdone + bubbles;
+        return;
+    }
+
+    // The packet ran to the end of the octaword with no (predicted or
+    // actual) taken control transfer: sequential flow.
+    Addr actual_next = oct_end;
+    _fetchPc = actual_next;
+    if (lp_next == actual_next) {
+        _fetchResumeAt = fdone;
+    } else {
+        // Line predictor misfired on straight-line code; the slot stage
+        // notices there is no branch to justify the jump and resteers —
+        // unless the buggy first-cut simulator is modeled, which only
+        // discovered line mispredictions after execute and initiated a
+        // full rollback (Section 3.4).
+        ++_stats.counter("line_misfires");
+        Cycle bubble = 2;
+        if (_p.bugLateBranchRecovery)
+            bubble = 7 + Cycle(_p.lateRecoveryExtraCycles);
+        _fetchResumeAt = fdone + bubble;
+    }
+    _linePred->train(packet_pc, actual_next);
+    enqueuePacket(packet, fdone);
+}
+
+void
+AlphaCore::fetchWrongPath()
+{
+    Addr packet_pc = _fetchPc;
+    Cycle fdone = icacheTiming(packet_pc, _cycle);
+    Addr oct_end = octawordEnd(packet_pc);
+    Addr lp_next = _linePred->predict(packet_pc);
+
+    std::vector<DynInst> packet;
+    packet.reserve(4);
+
+    Addr pc_cur = packet_pc;
+    Addr next_fetch = oct_end;
+    Cycle bubbles = 0;
+
+    while (pc_cur < oct_end && int(packet.size()) < _p.fetchWidth) {
+        DynInst di;
+        di.seq = nextSeq();
+        di.pc = pc_cur;
+        di.inst = _prog->fetch(pc_cur);
+        di.wrongPath = true;
+        di.slottedUpper = slotAssignment(di.inst, int(packet.size()));
+
+        if (di.inst.isControl()) {
+            bool pred_taken = true;
+            if (di.inst.isCondBranch()) {
+                di.hasBpSnap = true;
+                pred_taken = _branchPred->predict(di.pc, di.bpSnap);
+            }
+            if ((di.inst.isCall() || di.inst.isReturn()) &&
+                _p.speculativeUpdate) {
+                di.hasRasSnap = true;
+                di.rasSnap = _ras->snapshot();
+            }
+            if (di.inst.isCall() && _p.speculativeUpdate)
+                _ras->push(di.pc + 4);
+            di.predTaken = pred_taken;
+
+            if (pred_taken) {
+                next_fetch = predictControl(di, lp_next);
+                packet.push_back(std::move(di));
+                break;
+            }
+        }
+        packet.push_back(std::move(di));
+        pc_cur += 4;
+    }
+
+    if (next_fetch == oct_end && lp_next != oct_end)
+        next_fetch = lp_next;   // line predictor steers the wrong path
+
+    _fetchPc = next_fetch;
+    enqueuePacket(packet, fdone);
+    _fetchResumeAt = fdone + bubbles;
+    ++_stats.counter("wrong_path_packets");
+}
+
+} // namespace simalpha

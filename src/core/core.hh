@@ -1,0 +1,162 @@
+/**
+ * @file
+ * AlphaCore: the detailed Alpha 21264 timing model — the paper's primary
+ * artifact. One class models the golden reference, sim-alpha,
+ * sim-initial, sim-stripped, and every Table-4 ablation, selected purely
+ * through AlphaCoreParams switches.
+ *
+ * The model is execute-at-fetch: a functional emulator (the oracle)
+ * steps along the correct path as instructions are fetched; mispredicted
+ * control flow sends fetch down the wrong path, where instructions are
+ * decoded from the static image and occupy front-end and execution
+ * resources until recovery squashes them. Replay traps rewind the oracle
+ * and refetch architecturally executed instructions.
+ */
+
+#ifndef SIMALPHA_CORE_CORE_HH
+#define SIMALPHA_CORE_CORE_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/fu_pool.hh"
+#include "core/issue_queue.hh"
+#include "core/oracle.hh"
+#include "core/params.hh"
+#include "core/rename.hh"
+#include "isa/machine.hh"
+#include "memory/hierarchy.hh"
+#include "predictors/branch.hh"
+#include "predictors/frontend.hh"
+
+namespace simalpha {
+
+class AlphaCore : public Machine
+{
+  public:
+    explicit AlphaCore(const AlphaCoreParams &params);
+
+    RunResult run(const Program &program,
+                  std::uint64_t max_insts = 0) override;
+
+    stats::Group &statGroup() override { return _stats; }
+    std::string name() const override { return _p.name; }
+
+    const AlphaCoreParams &params() const { return _p; }
+
+    /** The memory system of the last/current run (for inspection). */
+    MemorySystem *memorySystem() { return _mem.get(); }
+
+  private:
+    // ---- Per-run machine state --------------------------------------
+    struct Recovery
+    {
+        enum class Kind { BranchMispredict, Trap, LineMisfire };
+        Kind kind;
+        InstSeq seq;            ///< dynamic seq of the causing inst
+        Cycle atCycle;
+        Addr resumePc;
+        bool indirect = false;  ///< jump-style flush (longer restart)
+        bool markStoreWait = false;
+        Addr storeWaitPc = 0;
+    };
+
+    /** An outstanding load-use speculation awaiting verification. */
+    struct LoadUseCheck
+    {
+        InstSeq loadSeq;
+        Cycle verifyAt;
+        Cycle missDone;
+        PhysReg loadDst;
+        Cycle windowStart;
+    };
+
+    void resetMachine(const Program &program);
+    void cycleTick();
+
+    // Pipeline stages (called youngest-stage-last each cycle).
+    void doRetire();
+    void doVerify();        ///< load-use checks + pending recovery
+    void doIssue();
+    void doMap();
+    void doFetch();
+
+    // Fetch helpers.
+    void fetchCorrectPath();
+    void fetchWrongPath();
+    Cycle icacheTiming(Addr pc, Cycle now);
+    /** Direction/target prediction for a control instruction at fetch.
+     *  @return the front end's next fetch PC if the packet cuts here */
+    Addr predictControl(DynInst &di, Addr lp_next);
+    void enqueuePacket(std::vector<DynInst> &packet, Cycle fetch_done);
+
+    // Issue helpers.
+    void performIssue(DynInst &inst, int cluster);
+    bool storeWaitClear(const DynInst &ld);
+    bool operandsReady(const DynInst &inst, int cluster) const;
+    Cycle operandReadyCycle(const DynInst &inst, int cluster) const;
+    void issueLoad(DynInst &inst);
+    void issueStore(DynInst &inst);
+    void scheduleRecovery(const Recovery &rec);
+
+    // Squash machinery.
+    void squashFrom(InstSeq seq, bool refetch_inclusive);
+    void unissueForReplay(const LoadUseCheck &check);
+
+    InstSeq nextSeq() { return _seqCounter++; }
+
+    // ---- Configuration ----------------------------------------------
+    AlphaCoreParams _p;
+    stats::Group _stats;
+
+    // ---- Run state ---------------------------------------------------
+    const Program *_prog = nullptr;
+    std::unique_ptr<OracleStream> _oracle;
+    std::unique_ptr<MemorySystem> _mem;
+    std::unique_ptr<RenameUnit> _rename;
+    std::unique_ptr<Scoreboard> _scoreboard;
+    std::unique_ptr<FuPool> _fuPool;
+    std::unique_ptr<TournamentPredictor> _branchPred;
+    std::unique_ptr<LinePredictor> _linePred;
+    std::unique_ptr<WayPredictor> _wayPred;
+    std::unique_ptr<ReturnAddressStack> _ras;
+    std::unique_ptr<LoadUsePredictor> _loadUsePred;
+    std::unique_ptr<StoreWaitPredictor> _storeWait;
+    std::unique_ptr<IssueQueue> _intIq;
+    std::unique_ptr<IssueQueue> _fpIq;
+
+    Cycle _cycle = 0;
+    InstSeq _seqCounter = 0;
+    std::uint64_t _committed = 0;
+    std::uint64_t _maxInsts = 0;
+    bool _finished = false;
+
+    Addr _fetchPc = 0;
+    Cycle _fetchResumeAt = 0;
+    bool _wrongPathMode = false;
+    bool _haltFetched = false;
+    Cycle _mapBlockedUntil = 0;
+    int _lqUsed = 0;
+    int _sqUsed = 0;
+    Cycle _lastCommitCycle = 0;
+
+    std::deque<DynInst> _fetchQueue;
+    std::deque<DynInst> _rob;
+    std::optional<Recovery> _recovery;
+    std::vector<LoadUseCheck> _loadUseChecks;
+
+    /** Outstanding load misses (for the golden extra-trap conditions). */
+    struct OutstandingMiss
+    {
+        Addr block;
+        std::size_t set;
+        Cycle done;
+    };
+    std::vector<OutstandingMiss> _outstandingMisses;
+};
+
+} // namespace simalpha
+
+#endif // SIMALPHA_CORE_CORE_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The collapsible issue queues of the 21264: instructions issue strictly
+ * oldest-first (by inum), and issued entries vacate the queue either
+ * immediately or — under the sim-alpha approximation — two cycles after
+ * issue, which shrinks the queue's effective capacity under pressure but
+ * makes load-use replay cheaper.
+ */
+
+#ifndef SIMALPHA_CORE_ISSUE_QUEUE_HH
+#define SIMALPHA_CORE_ISSUE_QUEUE_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "core/dyninst.hh"
+
+namespace simalpha {
+
+class IssueQueue
+{
+  public:
+    /**
+     * @param capacity queue entries
+     * @param removal_delay cycles after issue before the entry frees
+     */
+    IssueQueue(int capacity, int removal_delay)
+        : _capacity(capacity), _removalDelay(removal_delay)
+    {
+    }
+
+    bool
+    full() const
+    {
+        return int(_entries.size()) >= _capacity;
+    }
+
+    int size() const { return int(_entries.size()); }
+    int capacity() const { return _capacity; }
+
+    /** Insert at map time (entries arrive in program order). */
+    void
+    insert(DynInst *inst)
+    {
+        _entries.push_back(inst);
+    }
+
+    /** Re-insert a replayed instruction, preserving age order. */
+    void
+    reinsert(DynInst *inst)
+    {
+        auto it = std::lower_bound(
+            _entries.begin(), _entries.end(), inst,
+            [](const DynInst *a, const DynInst *b) {
+                return a->seq < b->seq;
+            });
+        if (it != _entries.end() && *it == inst)
+            return;     // still resident (within the removal window)
+        _entries.insert(it, inst);
+    }
+
+    /** Free entries whose post-issue removal delay has elapsed. */
+    void
+    compact(Cycle now)
+    {
+        std::erase_if(_entries, [&](const DynInst *inst) {
+            return inst->issued &&
+                   now >= inst->issueCycle + Cycle(_removalDelay);
+        });
+    }
+
+    /** Remove squashed instructions with seq >= `from`. */
+    void
+    squashFrom(InstSeq from)
+    {
+        std::erase_if(_entries, [from](const DynInst *inst) {
+            return inst->seq >= from;
+        });
+    }
+
+    /** Remove one specific instruction (eager removal at issue). */
+    void
+    remove(const DynInst *inst)
+    {
+        std::erase_if(_entries,
+                      [inst](const DynInst *e) { return e == inst; });
+    }
+
+    /** Age-ordered scan access. */
+    const std::vector<DynInst *> &entries() const { return _entries; }
+
+    void clear() { _entries.clear(); }
+
+  private:
+    int _capacity;
+    int _removalDelay;
+    std::vector<DynInst *> _entries;
+};
+
+} // namespace simalpha
+
+#endif // SIMALPHA_CORE_ISSUE_QUEUE_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Configuration of the detailed 21264 core model.
+ *
+ * Every feature studied in Table 4, every sim-initial bug catalogued in
+ * Section 3.4, every residual sim-alpha approximation from Section 3.6,
+ * and every hardware-only behaviour the golden reference adds, is an
+ * independent switch here. The named factory presets build the exact
+ * machines the paper compares.
+ */
+
+#ifndef SIMALPHA_CORE_PARAMS_HH
+#define SIMALPHA_CORE_PARAMS_HH
+
+#include <string>
+
+#include "memory/hierarchy.hh"
+
+namespace simalpha {
+
+struct AlphaCoreParams
+{
+    std::string name = "sim-alpha";
+
+    // ---- Machine geometry -------------------------------------------
+    int fetchWidth = 4;             ///< one octaword per cycle
+    int fetchQueueEntries = 32;
+    int mapWidth = 4;
+    int retireWidth = 11;           ///< bursty retire (Section 2.1)
+    int intIqEntries = 20;
+    int fpIqEntries = 15;
+    int robEntries = 80;
+    /** Total physical registers per class: 32 architectural + 40 rename
+     *  (the paper's "40 integer and 40 floating point" rename pool). */
+    int physIntRegs = 72;
+    int physFpRegs = 72;
+    int lqEntries = 32;
+    int sqEntries = 32;
+    int fetchToMapCycles = 2;       ///< fetch -> slot -> map
+    int mapToIssueCycles = 1;
+    /** Register-file access time (Figure 2 varies this: 1 or 2). */
+    int regreadCycles = 1;
+    /** Full bypass network; when false, dependent wakeups pay the full
+     *  register-file read latency (Figure 2's partial-bypass case). */
+    bool fullBypass = true;
+    /** Extra front-end restart cycles after an indirect-jump flush; the
+     *  paper measured a 10-cycle total penalty per mispredicted jmp. */
+    int indirectRestartCycles = 4;
+    int branchRestartCycles = 1;
+    int trapRestartCycles = 10;     ///< mbox replay-trap flush
+    /** Extra full-rollback cycles charged by the sim-initial
+     *  late-branch-recovery bug. */
+    int lateRecoveryExtraCycles = 8;
+    int loadUseRecoveryCycles = 2;  ///< squash window depth (M-D fix)
+    int mapStallCycles = 3;         ///< stall when < minFreeRegs remain
+    int minFreeRegs = 8;
+
+    // ---- Performance-enhancing features (Table 4) -------------------
+    bool slotAdder = true;          ///< addr
+    bool earlyUnopRetire = true;    ///< eret
+    bool loadUseSpec = true;        ///< luse
+    bool icachePrefetch = true;     ///< pref
+    bool speculativeUpdate = true;  ///< spec (line + branch histories)
+    bool storeWaitTable = true;     ///< stwt
+    bool victimBuffer = true;       ///< vbuf
+
+    // ---- Performance-constraining features --------------------------
+    bool mapStall = true;           ///< maps
+    bool slotRestrict = true;       ///< slot
+    bool mboxTraps = true;          ///< trap (replay traps)
+
+    // ---- sim-initial bug injections (Section 3.4) -------------------
+    /** Line mispredictions recover only after execute (no slot-stage
+     *  override), the dominant C-C / C-R error. */
+    bool bugLateBranchRecovery = false;
+    /** Charge an extra cycle on every way-predictor access (eon). */
+    bool bugExtraWayPredCycle = false;
+    /** Charge a one-cycle bubble for clearing post-branch slots of a
+     *  fetched octaword. */
+    bool bugOctawordSquashPenalty = false;
+    /** Mask the low three address bits in the load-order trap compare,
+     *  producing spurious replay traps on same-word loads (M-D). */
+    bool bugMaskedLoadTrapAddr = false;
+    /** Two adders + two multipliers instead of 3 adders + 1 adder/mul. */
+    bool bugWrongFuMix = false;
+    /** Unops proceed to issue and consume real slots. */
+    bool bugNoUnopRemoval = false;
+    /** Idealized cluster scheduling (better than the real slot rules). */
+    bool bugAggressiveCluster = false;
+    /** Indirect jumps charged like ordinary branch mispredictions. */
+    bool bugUnderchargedJump = false;
+    /** Extra register-read cycle on loads that miss (M-L2's +1). */
+    bool bugExtraRegreadOnMiss = false;
+    /** One cycle too few of load-use mis-speculation recovery. */
+    bool bugUnderchargedLoadUseRecovery = false;
+    /** Integer multiply modeled as a one-cycle generic ALU op (the
+     *  E-DM1 85.7% overestimate). */
+    bool bugShortMulLatency = false;
+
+    // ---- Residual sim-alpha approximations (Section 3.6) ------------
+    /** Bypassed results ignore the cross-cluster skew (E-D3's +11.5%). */
+    bool approxBypassLatency = false;
+    /** Issued instructions leave the queue two cycles after issue. */
+    bool approxDelayedIqRemoval = false;
+    /** Load-use mis-speculation squashes only the dependents instead of
+     *  everything issued inside the speculation window (hardware). */
+    bool squashDependentsOnly = false;
+    /** Store replay traps compare at word granularity (conservative). */
+    bool approxMaskedStoreTrapAddr = false;
+
+    // ---- Hardware-only behaviours (golden reference machine) --------
+    /** mbox traps also fire on MAF conflicts / same-set concurrent
+     *  misses (the paper's explanation for art's replay-trap storm). */
+    bool mboxExtraTraps = false;
+
+    // ---- Memory system -----------------------------------------------
+    MemorySystemParams mem = MemorySystemParams::ds10l();
+
+    // ------------------------------------------------------------------
+    /** The validated simulator of the paper. */
+    static AlphaCoreParams simAlpha();
+
+    /** The non-validated first cut with all Section 3.4 bugs. */
+    static AlphaCoreParams simInitial();
+
+    /** The golden reference standing in for the DS-10L hardware. */
+    static AlphaCoreParams golden();
+
+    /** sim-alpha minus all ten low-level features (Section 5.1). */
+    static AlphaCoreParams simStripped();
+
+    /**
+     * sim-alpha minus one Table-4 feature.
+     * @param feature one of: addr eret luse pref spec stwt vbuf maps
+     *        slot trap
+     */
+    static AlphaCoreParams withoutFeature(const std::string &feature);
+
+    /** Apply a single feature removal to this parameter set. */
+    void removeFeature(const std::string &feature);
+};
+
+} // namespace simalpha
+
+#endif // SIMALPHA_CORE_PARAMS_HH

@@ -1,0 +1,330 @@
+#include "emulator.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace simalpha {
+
+SparseMemory::Page *
+SparseMemory::findPage(Addr addr) const
+{
+    auto it = _pages.find(addr >> kPageShift);
+    return it == _pages.end() ? nullptr : it->second.get();
+}
+
+SparseMemory::Page &
+SparseMemory::touchPage(Addr addr)
+{
+    auto &slot = _pages[addr >> kPageShift];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+RegVal
+SparseMemory::read64(Addr addr) const
+{
+    RegVal v = 0;
+    // Handle straddling page boundaries byte-by-byte; the common case is
+    // an aligned access entirely within one page.
+    for (int i = 0; i < 8; i++) {
+        Addr a = addr + Addr(i);
+        const Page *p = findPage(a);
+        std::uint8_t byte = p ? (*p)[a & (kPageBytes - 1)] : 0;
+        v |= RegVal(byte) << (8 * i);
+    }
+    return v;
+}
+
+void
+SparseMemory::write64(Addr addr, RegVal value)
+{
+    for (int i = 0; i < 8; i++) {
+        Addr a = addr + Addr(i);
+        touchPage(a)[a & (kPageBytes - 1)] =
+            std::uint8_t((value >> (8 * i)) & 0xff);
+    }
+}
+
+std::uint32_t
+SparseMemory::read32(Addr addr) const
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; i++) {
+        Addr a = addr + Addr(i);
+        const Page *p = findPage(a);
+        std::uint8_t byte = p ? (*p)[a & (kPageBytes - 1)] : 0;
+        v |= std::uint32_t(byte) << (8 * i);
+    }
+    return v;
+}
+
+void
+SparseMemory::write32(Addr addr, std::uint32_t value)
+{
+    for (int i = 0; i < 4; i++) {
+        Addr a = addr + Addr(i);
+        touchPage(a)[a & (kPageBytes - 1)] =
+            std::uint8_t((value >> (8 * i)) & 0xff);
+    }
+}
+
+std::vector<std::pair<Addr, RegVal>>
+SparseMemory::exportWords() const
+{
+    std::vector<std::pair<Addr, RegVal>> words;
+    for (const auto &[page_no, page] : _pages) {
+        Addr base = page_no << kPageShift;
+        for (Addr off = 0; off < kPageBytes; off += 8) {
+            RegVal v = 0;
+            for (int i = 0; i < 8; i++)
+                v |= RegVal((*page)[off + Addr(i)]) << (8 * i);
+            if (v != 0)
+                words.emplace_back(base + off, v);
+        }
+    }
+    return words;
+}
+
+namespace {
+
+double
+asDouble(RegVal v)
+{
+    double d;
+    std::memcpy(&d, &v, sizeof(d));
+    return d;
+}
+
+RegVal
+asBits(double d)
+{
+    RegVal v;
+    std::memcpy(&v, &d, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+Emulator::Emulator(const Program &program)
+    : _prog(program), _pc(program.entryPc)
+{
+    for (const auto &[addr, value] : program.data)
+        _mem.write64(addr, value);
+}
+
+RegVal
+Emulator::reg(RegIndex r) const
+{
+    if (r == kNoReg || isZeroRegIndex(r))
+        return 0;
+    return _regs[r];
+}
+
+void
+Emulator::setReg(RegIndex r, RegVal v)
+{
+    if (r == kNoReg || isZeroRegIndex(r))
+        return;
+    _regs[r] = v;
+}
+
+RegVal
+Emulator::readIntReg(int i) const
+{
+    return reg(intReg(i));
+}
+
+RegVal
+Emulator::readFpRaw(int i) const
+{
+    return reg(fpReg(i));
+}
+
+double
+Emulator::readFpReg(int i) const
+{
+    return asDouble(reg(fpReg(i)));
+}
+
+void
+Emulator::writeIntReg(int i, RegVal v)
+{
+    setReg(intReg(i), v);
+}
+
+void
+Emulator::writeFpReg(int i, double v)
+{
+    setReg(fpReg(i), asBits(v));
+}
+
+Checkpoint
+Emulator::checkpoint() const
+{
+    Checkpoint c;
+    c.regs = _regs;
+    c.pc = _pc;
+    c.seq = _seq;
+    c.halted = _halted;
+    c.memory = _mem.exportWords();
+    return c;
+}
+
+void
+Emulator::restore(const Checkpoint &ckpt)
+{
+    _regs = ckpt.regs;
+    _pc = ckpt.pc;
+    _seq = ckpt.seq;
+    _halted = ckpt.halted;
+    _mem.clear();
+    for (const auto &[addr, value] : ckpt.memory)
+        _mem.write64(addr, value);
+}
+
+ExecutedInst
+Emulator::step()
+{
+    sim_assert(!_halted);
+
+    std::int64_t idx = _prog.indexOf(_pc);
+    if (idx < 0)
+        panic("PC 0x%llx outside text segment of '%s'",
+              (unsigned long long)_pc, _prog.name.c_str());
+
+    const Instruction &inst = _prog.text[std::size_t(idx)];
+
+    ExecutedInst rec;
+    rec.seq = _seq++;
+    rec.pc = _pc;
+    rec.inst = inst;
+
+    Addr next_pc = _pc + 4;
+    bool taken = false;
+
+    auto branch_target = [&]() -> Addr {
+        sim_assert(inst.target >= 0);
+        return _prog.pcOf(std::size_t(inst.target));
+    };
+
+    const RegVal a = reg(inst.ra);
+    const RegVal b = reg(inst.rb);
+    const std::int64_t sa = std::int64_t(a);
+
+    switch (inst.op) {
+      case Op::Addq: setReg(inst.rc, a + b); break;
+      case Op::Subq: setReg(inst.rc, a - b); break;
+      case Op::Mulq: setReg(inst.rc, a * b); break;
+      case Op::And: setReg(inst.rc, a & b); break;
+      case Op::Bis: setReg(inst.rc, a | b); break;
+      case Op::Xor: setReg(inst.rc, a ^ b); break;
+      case Op::Sll: setReg(inst.rc, a << (b & 63)); break;
+      case Op::Srl: setReg(inst.rc, a >> (b & 63)); break;
+      case Op::Cmpeq: setReg(inst.rc, a == b ? 1 : 0); break;
+      case Op::Cmplt:
+        setReg(inst.rc, sa < std::int64_t(b) ? 1 : 0);
+        break;
+      case Op::Cmple:
+        setReg(inst.rc, sa <= std::int64_t(b) ? 1 : 0);
+        break;
+      case Op::Lda:
+        setReg(inst.rc, b + RegVal(inst.imm));
+        break;
+      case Op::Cmoveq:
+        if (a == 0)
+            setReg(inst.rc, b);
+        break;
+      case Op::Cmovne:
+        if (a != 0)
+            setReg(inst.rc, b);
+        break;
+
+      case Op::Ldq: case Op::Ldt:
+        rec.effAddr = b + RegVal(inst.imm);
+        setReg(inst.rc, _mem.read64(rec.effAddr));
+        break;
+      case Op::Ldl:
+        rec.effAddr = b + RegVal(inst.imm);
+        setReg(inst.rc,
+               RegVal(std::int64_t(std::int32_t(
+                   _mem.read32(rec.effAddr)))));
+        break;
+      case Op::Stq: case Op::Stt:
+        rec.effAddr = b + RegVal(inst.imm);
+        _mem.write64(rec.effAddr, a);
+        break;
+      case Op::Stl:
+        rec.effAddr = b + RegVal(inst.imm);
+        _mem.write32(rec.effAddr, std::uint32_t(a));
+        break;
+
+      case Op::Addt:
+        setReg(inst.rc, asBits(asDouble(a) + asDouble(b)));
+        break;
+      case Op::Subt:
+        setReg(inst.rc, asBits(asDouble(a) - asDouble(b)));
+        break;
+      case Op::Mult:
+        setReg(inst.rc, asBits(asDouble(a) * asDouble(b)));
+        break;
+      case Op::Divt: case Op::Divs:
+        setReg(inst.rc, asBits(asDouble(a) / asDouble(b)));
+        break;
+      case Op::Sqrtt: case Op::Sqrts:
+        setReg(inst.rc, asBits(std::sqrt(asDouble(b))));
+        break;
+      case Op::Cpys:
+        setReg(inst.rc, a);
+        break;
+
+      case Op::Beq: taken = (a == 0); break;
+      case Op::Bne: taken = (a != 0); break;
+      case Op::Blt: taken = (sa < 0); break;
+      case Op::Ble: taken = (sa <= 0); break;
+      case Op::Bgt: taken = (sa > 0); break;
+      case Op::Bge: taken = (sa >= 0); break;
+
+      case Op::Br:
+        taken = true;
+        break;
+      case Op::Bsr:
+        setReg(inst.ra, _pc + 4);
+        taken = true;
+        break;
+      case Op::Jmp:
+        taken = true;
+        next_pc = b;
+        break;
+      case Op::Jsr:
+        setReg(inst.ra, _pc + 4);
+        taken = true;
+        next_pc = b;
+        break;
+      case Op::Ret:
+        taken = true;
+        next_pc = b;
+        break;
+
+      case Op::Unop:
+        break;
+      case Op::Halt:
+        _halted = true;
+        rec.halted = true;
+        break;
+    }
+
+    if (inst.isPcRelBranch() && taken)
+        next_pc = branch_target();
+
+    rec.taken = taken;
+    rec.nextPc = next_pc;
+    _pc = next_pc;
+    return rec;
+}
+
+} // namespace simalpha

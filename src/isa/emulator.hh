@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The MiniAlpha functional emulator ("oracle core").
+ *
+ * Timing models drive their correct path from this emulator: each step()
+ * architecturally executes one instruction and reports everything the
+ * timing model needs (actual next PC, branch outcome, effective address).
+ * Wrong-path work is decoded from the static Program image instead and is
+ * never executed here.
+ */
+
+#ifndef SIMALPHA_ISA_EMULATOR_HH
+#define SIMALPHA_ISA_EMULATOR_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace simalpha {
+
+/** One architecturally executed (correct-path) dynamic instruction. */
+struct ExecutedInst
+{
+    InstSeq seq = 0;            ///< dynamic instruction number
+    Addr pc = 0;
+    Addr nextPc = 0;            ///< actual successor PC
+    Instruction inst;
+    bool taken = false;         ///< control transfer taken (non-fallthrough)
+    Addr effAddr = kNoAddr;     ///< effective address for memory ops
+    bool halted = false;        ///< this instruction was a Halt
+};
+
+/**
+ * Sparse byte-addressable memory backed by 4 KB pages. Loads of never-
+ * written locations return zero, matching a zero-filled address space.
+ */
+class SparseMemory
+{
+  public:
+    RegVal read64(Addr addr) const;
+    void write64(Addr addr, RegVal value);
+    std::uint32_t read32(Addr addr) const;
+    void write32(Addr addr, std::uint32_t value);
+
+    /** Number of distinct pages touched (for tests / footprint stats). */
+    std::size_t pagesTouched() const { return _pages.size(); }
+
+    /** Export all touched memory as (address, word) pairs. */
+    std::vector<std::pair<Addr, RegVal>> exportWords() const;
+
+    /** Drop every page (restore starts from a zero-filled space). */
+    void clear() { _pages.clear(); }
+
+  private:
+    static constexpr Addr kPageShift = 12;
+    static constexpr Addr kPageBytes = Addr(1) << kPageShift;
+
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    Page *findPage(Addr addr) const;
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> _pages;
+};
+
+/**
+ * A snapshot of complete architectural state (registers, PC, memory),
+ * restorable onto an emulator of the same program — the checkpoint
+ * facility sim-alpha inherited from the SimpleScalar tool set.
+ */
+struct Checkpoint
+{
+    std::array<RegVal, kNumIntRegs + kNumFpRegs> regs{};
+    Addr pc = 0;
+    InstSeq seq = 0;
+    bool halted = false;
+    /** Dirty memory as (address, 64-bit word) pairs, page-packed. */
+    std::vector<std::pair<Addr, RegVal>> memory;
+};
+
+class Emulator
+{
+  public:
+    explicit Emulator(const Program &program);
+
+    /** Capture the full architectural state. */
+    Checkpoint checkpoint() const;
+
+    /** Restore a previously captured state of the same program. */
+    void restore(const Checkpoint &ckpt);
+
+    /** Execute one instruction; undefined after halted(). */
+    ExecutedInst step();
+
+    bool halted() const { return _halted; }
+    Addr pc() const { return _pc; }
+    InstSeq instsExecuted() const { return _seq; }
+
+    RegVal readIntReg(int i) const;
+    RegVal readFpRaw(int i) const;
+    double readFpReg(int i) const;
+    void writeIntReg(int i, RegVal v);
+    void writeFpReg(int i, double v);
+
+    SparseMemory &memory() { return _mem; }
+    const SparseMemory &memory() const { return _mem; }
+
+    const Program &program() const { return _prog; }
+
+  private:
+    RegVal reg(RegIndex r) const;
+    void setReg(RegIndex r, RegVal v);
+
+    const Program &_prog;
+    SparseMemory _mem;
+    std::array<RegVal, kNumIntRegs + kNumFpRegs> _regs{};
+    Addr _pc;
+    InstSeq _seq = 0;
+    bool _halted = false;
+};
+
+} // namespace simalpha
+
+#endif // SIMALPHA_ISA_EMULATOR_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The abstract timed-machine interface every simulator model implements
+ * (the detailed 21264 model and the abstract RUU model), plus the run
+ * result record the validation harness consumes.
+ */
+
+#ifndef SIMALPHA_ISA_MACHINE_HH
+#define SIMALPHA_ISA_MACHINE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace simalpha {
+
+/** Outcome of running one program to completion on a machine. */
+struct RunResult
+{
+    std::string machine;
+    std::string program;
+    Cycle cycles = 0;
+    std::uint64_t instsCommitted = 0;
+    bool finished = false;      ///< program halted (vs hit the inst limit)
+
+    double
+    ipc() const
+    {
+        return cycles ? double(instsCommitted) / double(cycles) : 0.0;
+    }
+
+    double
+    cpi() const
+    {
+        return instsCommitted ? double(cycles) / double(instsCommitted)
+                              : 0.0;
+    }
+};
+
+class Machine
+{
+  public:
+    virtual ~Machine() = default;
+
+    /**
+     * Run a program until it halts or the instruction limit is reached.
+     * @param program the workload
+     * @param max_insts committed-instruction limit (0 = unlimited)
+     */
+    virtual RunResult run(const Program &program,
+                          std::uint64_t max_insts = 0) = 0;
+
+    /** Event counters accumulated during the last run. */
+    virtual stats::Group &statGroup() = 0;
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace simalpha
+
+#endif // SIMALPHA_ISA_MACHINE_HH

@@ -1,0 +1,85 @@
+#include "dram.hh"
+
+#include "common/logging.hh"
+
+namespace simalpha {
+
+Dram::Dram(const DramParams &params)
+    : _p(params),
+      _banks(std::size_t(params.banks)),
+      _bus(params.busBytesPerBeat, params.busCpuCyclesPerBeat),
+      _stats("dram")
+{
+    if (_p.banks <= 0 || (_p.banks & (_p.banks - 1)) != 0)
+        fatal("DRAM bank count must be a power of two");
+    if (_p.rowBytes <= 0 || (_p.rowBytes & (_p.rowBytes - 1)) != 0)
+        fatal("DRAM row size must be a power of two");
+}
+
+AccessResult
+Dram::access(Addr addr, bool is_write, Cycle now)
+{
+    ++_stats.counter(is_write ? "writes" : "reads");
+
+    if (_p.flatLatency > 0) {
+        AccessResult flat;
+        flat.done = now + Cycle(_p.flatLatency);
+        flat.hit = true;
+        flat.belowHit = true;
+        return flat;
+    }
+
+    // Banks interleave on row-sized chunks.
+    Addr row = addr / Addr(_p.rowBytes);
+    std::size_t bank_idx = std::size_t(row & Addr(_p.banks - 1));
+    Bank &bank = _banks[bank_idx];
+
+    const Cycle dram_cycle = Cycle(_p.cpuCyclesPerDramCycle);
+
+    // One-way controller latency before the command reaches the device.
+    Cycle cmd_at = now + Cycle(_p.controllerCycles) / 2;
+    Cycle start = cmd_at > bank.nextFree ? cmd_at : bank.nextFree;
+
+    Cycle latency = 0;
+    if (_p.openPage) {
+        if (bank.openRow == row) {
+            ++_stats.counter("row_hits");
+        } else {
+            ++_stats.counter("row_misses");
+            Cycle toggle = Cycle(_p.rasCycles) * dram_cycle;
+            if (bank.openRow != kNoAddr)
+                toggle += Cycle(_p.prechargeCycles) * dram_cycle;
+            if (_p.reorderingController)
+                toggle /= 2;    // precharge hidden behind other requests
+            latency += toggle;
+            bank.openRow = row;
+        }
+    } else {
+        // Closed-page: the row was precharged after the last access, so
+        // every access activates, and the precharge after this access
+        // overlaps subsequent idle time (charged to bank occupancy).
+        ++_stats.counter("row_misses");
+        latency += Cycle(_p.rasCycles) * dram_cycle;
+        bank.openRow = kNoAddr;
+    }
+
+    latency += Cycle(_p.casCycles) * dram_cycle;
+
+    Cycle data_ready = start + latency;
+    bank.nextFree = data_ready;
+    if (!_p.openPage)
+        bank.nextFree += Cycle(_p.prechargeCycles) * dram_cycle;
+
+    // Transfer one block over the memory bus, then the return-trip
+    // controller latency.
+    Cycle done = _bus.transfer(data_ready, _p.blockBytes);
+    done += Cycle(_p.controllerCycles) - Cycle(_p.controllerCycles) / 2;
+
+    AccessResult res;
+    res.done = done;
+    res.hit = true;     // DRAM always "hits"
+    res.belowHit = true;
+    return res;
+}
+
+} // namespace simalpha

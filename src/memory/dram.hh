@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A synchronous DRAM timing model after Cuppu et al. [ISCA 1999], the
+ * model the paper plugs into sim-alpha.
+ *
+ * The device is organized as independent banks, each with one open row.
+ * An access pays:
+ *   - controller overhead (CPU cycles each way),
+ *   - precharge if the bank has a different row open (row miss under the
+ *     open-page policy, or always under the closed-page policy),
+ *   - RAS (row activate) if no row is open,
+ *   - CAS (column access),
+ * all in DRAM cycles scaled by the CPU/DRAM clock ratio, plus the data
+ * transfer on the memory bus.
+ *
+ * The calibrated DS-10L parameters from Section 4.2 of the paper are the
+ * defaults: open-page policy, 2-cycle RAS, 4-cycle CAS, 2-cycle
+ * precharge, 2 CPU cycles of controller latency (total, both ways).
+ */
+
+#ifndef SIMALPHA_MEMORY_DRAM_HH
+#define SIMALPHA_MEMORY_DRAM_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "memory/memlevel.hh"
+
+namespace simalpha {
+
+struct DramParams
+{
+    int banks = 4;
+    int rowBytes = 4096;            ///< DRAM page (row) size
+    int rasCycles = 2;              ///< row activate, DRAM cycles
+    int casCycles = 4;              ///< column access, DRAM cycles
+    int prechargeCycles = 2;        ///< precharge, DRAM cycles
+    int controllerCycles = 2;       ///< CPU cycles, total both ways
+    int cpuCyclesPerDramCycle = 4;  ///< DRAM runs at ~25% CPU speed
+    bool openPage = true;           ///< open- vs closed-page policy
+    /** When nonzero, bypass the bank model entirely and charge this
+     *  fixed latency (the abstract sim-outorder memory). */
+    int flatLatency = 0;
+    /** Controller request reordering (the hardware-only optimization the
+     *  paper suspects): precharge/activate overlap behind other work,
+     *  halving the row-miss penalty. */
+    bool reorderingController = false;
+    int busBytesPerBeat = 8;        ///< 64-bit memory bus
+    int busCpuCyclesPerBeat = 4;
+    int blockBytes = 64;            ///< transfer granularity (L2 block)
+};
+
+class Dram : public MemLevel
+{
+  public:
+    explicit Dram(const DramParams &params);
+
+    AccessResult access(Addr addr, bool is_write, Cycle now) override;
+
+    stats::Group &statGroup() { return _stats; }
+    std::uint64_t rowHits() const { return _stats.get("row_hits"); }
+    std::uint64_t rowMisses() const { return _stats.get("row_misses"); }
+
+  private:
+    struct Bank
+    {
+        Cycle nextFree = 0;
+        Addr openRow = kNoAddr;
+    };
+
+    DramParams _p;
+    std::vector<Bank> _banks;
+    Bus _bus;
+    stats::Group _stats;
+};
+
+} // namespace simalpha
+
+#endif // SIMALPHA_MEMORY_DRAM_HH

@@ -1,0 +1,112 @@
+#include "hierarchy.hh"
+
+namespace simalpha {
+
+MemorySystemParams
+MemorySystemParams::ds10l()
+{
+    MemorySystemParams p;
+
+    p.l1i.name = "l1i";
+    p.l1i.sizeBytes = 64 * 1024;
+    p.l1i.assoc = 2;
+    p.l1i.blockBytes = 64;
+    p.l1i.hitLatency = 1;
+    p.l1i.ports = 1;
+    p.l1i.mshrEntries = 8;
+    p.l1i.mshrTargets = 4;
+    p.l1i.victimEntries = 0;
+    p.l1i.prefetchLines = 4;    // fetch-stage hardware prefetch
+
+    p.l1d.name = "l1d";
+    p.l1d.sizeBytes = 64 * 1024;
+    p.l1d.assoc = 2;
+    p.l1d.blockBytes = 64;
+    // 3-cycle load-to-use for integer loads (Table 1); the extra cycle of
+    // an FP load is charged by the core.
+    p.l1d.hitLatency = 3;
+    p.l1d.ports = 2;            // double-pumped: two accesses per cycle
+    p.l1d.mshrEntries = 8;
+    p.l1d.mshrTargets = 4;
+    p.l1d.victimEntries = 8;    // the 8-entry victim/write-back buffer
+    p.l1d.prefetchLines = 0;
+
+    p.l2.name = "l2";
+    p.l2.sizeBytes = 2 * 1024 * 1024;
+    p.l2.assoc = 1;             // direct mapped
+    p.l2.blockBytes = 64;
+    // 13-cycle load-to-use for an L1 miss / L2 hit: the backside bus
+    // round trip supplies part of it, the array the rest.
+    p.l2.hitLatency = 6;
+    p.l2.ports = 1;
+    p.l2.mshrEntries = 8;
+    p.l2.mshrTargets = 4;
+    p.l2.victimEntries = 0;
+
+    p.itlb.name = "itlb";
+    p.itlb.entries = 128;
+    p.dtlb.name = "dtlb";
+    p.dtlb.entries = 128;
+
+    return p;
+}
+
+MemorySystem::MemorySystem(const MemorySystemParams &params)
+    : _p(params)
+{
+    _dram = std::make_unique<Dram>(_p.dram);
+    _l2 = std::make_unique<Cache>(_p.l2, _dram.get());
+    // 128-bit backside bus between the L1s and the off-chip L2.
+    _l2Bus = std::make_unique<Bus>(16, _p.l2BusCpuCyclesPerBeat);
+    if (_p.sharedMaf)
+        _sharedMaf = std::make_unique<MshrPool>(_p.sharedMafEntries,
+                                                _p.sharedMafTargets);
+    _l1i = std::make_unique<Cache>(_p.l1i, _l2.get(), _l2Bus.get(),
+                                   _sharedMaf.get());
+    _l1d = std::make_unique<Cache>(_p.l1d, _l2.get(), _l2Bus.get(),
+                                   _sharedMaf.get());
+    _itlb = std::make_unique<Tlb>(_p.itlb, _l2.get());
+    _dtlb = std::make_unique<Tlb>(_p.dtlb, _l2.get());
+}
+
+MemAccessResult
+MemorySystem::fetchAccess(Addr pc, Cycle now)
+{
+    MemAccessResult res;
+    // Virtually indexed, physically tagged: the TLB lookup overlaps the
+    // array access, so translation costs nothing on a TLB hit.
+    TlbResult tr = _itlb->translate(pc, now);
+    res.tlbMiss = tr.miss;
+    res.pipelineStall = tr.pipelineStall;
+    Cycle start = now + tr.extraLatency;
+
+    AccessResult ar = _l1i->access(tr.paddr, false, start);
+    res.l1Hit = ar.hit;
+    res.l2Hit = ar.belowHit;
+    res.done = ar.done;
+    return res;
+}
+
+MemAccessResult
+MemorySystem::dataAccess(Addr vaddr, bool is_write, Cycle now)
+{
+    MemAccessResult res;
+    TlbResult tr = _dtlb->translate(vaddr, now);
+    res.tlbMiss = tr.miss;
+    res.pipelineStall = tr.pipelineStall;
+    Cycle start = now + tr.extraLatency;
+
+    AccessResult ar = _l1d->access(tr.paddr, is_write, start);
+    res.l1Hit = ar.hit;
+    res.l2Hit = ar.belowHit;
+    res.done = ar.done;
+    return res;
+}
+
+bool
+MemorySystem::dcacheProbe(Addr vaddr)
+{
+    return _l1d->probe(_dtlb->translateProbe(vaddr));
+}
+
+} // namespace simalpha

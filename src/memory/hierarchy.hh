@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The full memory hierarchy of the simulated DS-10L: split L1 I/D caches,
+ * a unified direct-mapped L2 over a 128-bit backside bus, SDRAM behind a
+ * 64-bit memory bus, I/D TLBs, and the virtually-indexed physically-
+ * tagged translation path.
+ */
+
+#ifndef SIMALPHA_MEMORY_HIERARCHY_HH
+#define SIMALPHA_MEMORY_HIERARCHY_HH
+
+#include <memory>
+
+#include "memory/cache.hh"
+#include "memory/dram.hh"
+#include "memory/tlb.hh"
+
+namespace simalpha {
+
+struct MemorySystemParams
+{
+    CacheParams l1i;
+    CacheParams l1d;
+    CacheParams l2;
+    DramParams dram;
+    TlbParams itlb;
+    TlbParams dtlb;
+    /** CPU cycles per beat on the 128-bit backside (L2) bus. */
+    int l2BusCpuCyclesPerBeat = 2;
+    /** One 8-entry MAF shared by all caches (hardware) vs per-cache. */
+    bool sharedMaf = false;
+    int sharedMafEntries = 8;
+    int sharedMafTargets = 4;
+
+    /** The validated DS-10L configuration (Section 4.2). */
+    static MemorySystemParams ds10l();
+};
+
+/** Outcome of a timed data access through the hierarchy. */
+struct MemAccessResult
+{
+    Cycle done = 0;             ///< data-available cycle
+    bool l1Hit = false;
+    bool l2Hit = false;         ///< meaningful only when !l1Hit
+    bool tlbMiss = false;
+    Cycle pipelineStall = 0;    ///< PAL-mode TLB refill stall
+};
+
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemorySystemParams &params);
+
+    /** Timed instruction fetch of the octaword containing `pc`. */
+    MemAccessResult fetchAccess(Addr pc, Cycle now);
+
+    /** Timed data access. */
+    MemAccessResult dataAccess(Addr vaddr, bool is_write, Cycle now);
+
+    /** Would this data address hit in the L1 D-cache right now? */
+    bool dcacheProbe(Addr vaddr);
+
+    Cache &icache() { return *_l1i; }
+    Cache &dcache() { return *_l1d; }
+    Cache &l2cache() { return *_l2; }
+    Dram &dram() { return *_dram; }
+    Tlb &itlb() { return *_itlb; }
+    Tlb &dtlb() { return *_dtlb; }
+
+    const MemorySystemParams &params() const { return _p; }
+
+  private:
+    MemorySystemParams _p;
+    std::unique_ptr<Dram> _dram;
+    std::unique_ptr<Cache> _l2;
+    std::unique_ptr<Bus> _l2Bus;
+    std::unique_ptr<MshrPool> _sharedMaf;
+    std::unique_ptr<Cache> _l1i;
+    std::unique_ptr<Cache> _l1d;
+    std::unique_ptr<Tlb> _itlb;
+    std::unique_ptr<Tlb> _dtlb;
+};
+
+} // namespace simalpha
+
+#endif // SIMALPHA_MEMORY_HIERARCHY_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Common interface for timed memory levels (caches, DRAM).
+ *
+ * The memory model is latency-bookkeeping rather than event-driven: an
+ * access request made at cycle `now` immediately computes the cycle at
+ * which its data is available, reserving bus/bank/MSHR occupancy along
+ * the way so later requests observe contention.
+ */
+
+#ifndef SIMALPHA_MEMORY_MEMLEVEL_HH
+#define SIMALPHA_MEMORY_MEMLEVEL_HH
+
+#include "common/types.hh"
+
+namespace simalpha {
+
+/** Result of a timed memory access. */
+struct AccessResult
+{
+    Cycle done = 0;         ///< cycle at which data is available
+    bool hit = false;       ///< hit at the level that was asked
+    bool belowHit = false;  ///< hit somewhere below (e.g. L2 for an L1 miss)
+};
+
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Perform a timed access.
+     * @param addr physical address
+     * @param is_write true for stores/writebacks
+     * @param now request cycle
+     */
+    virtual AccessResult access(Addr addr, bool is_write, Cycle now) = 0;
+};
+
+/**
+ * A shared bus with a width (bytes per beat) and a clock divider relative
+ * to the CPU clock. Transfers serialize: a request issued while the bus
+ * is busy waits for the current transfer to finish.
+ */
+class Bus
+{
+  public:
+    /**
+     * @param bytes_per_beat bus width
+     * @param cpu_cycles_per_beat CPU cycles per bus beat
+     */
+    Bus(int bytes_per_beat, int cpu_cycles_per_beat)
+        : _bytesPerBeat(bytes_per_beat),
+          _cyclesPerBeat(cpu_cycles_per_beat)
+    {
+    }
+
+    /**
+     * Acquire the bus for a transfer of `bytes`.
+     * @param ready earliest cycle the transfer could start
+     * @return cycle at which the transfer completes
+     */
+    Cycle
+    transfer(Cycle ready, int bytes)
+    {
+        Cycle start = ready > _nextFree ? ready : _nextFree;
+        int beats = (bytes + _bytesPerBeat - 1) / _bytesPerBeat;
+        if (beats < 1)
+            beats = 1;
+        Cycle done = start + Cycle(beats) * Cycle(_cyclesPerBeat);
+        _nextFree = done;
+        _transfers++;
+        return done;
+    }
+
+    Cycle nextFree() const { return _nextFree; }
+    std::uint64_t transfers() const { return _transfers; }
+
+  private:
+    int _bytesPerBeat;
+    int _cyclesPerBeat;
+    Cycle _nextFree = 0;
+    std::uint64_t _transfers = 0;
+};
+
+} // namespace simalpha
+
+#endif // SIMALPHA_MEMORY_MEMLEVEL_HH

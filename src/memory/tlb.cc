@@ -1,0 +1,106 @@
+#include "tlb.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace simalpha {
+
+Tlb::Tlb(const TlbParams &params, MemLevel *walk_target)
+    : _p(params), _walkTarget(walk_target),
+      _entries(std::size_t(params.entries)),
+      _stats(params.name)
+{
+    if (_p.pageBytes <= 0 || (_p.pageBytes & (_p.pageBytes - 1)) != 0)
+        fatal("%s: page size must be a power of two", _p.name.c_str());
+    _pageShift = 0;
+    while ((1 << _pageShift) < _p.pageBytes)
+        _pageShift++;
+}
+
+Addr
+Tlb::vpnOf(Addr vaddr) const
+{
+    return vaddr >> _pageShift;
+}
+
+Addr
+Tlb::mapPage(Addr vpn) const
+{
+    if (_p.pageColoring) {
+        // Colored mapping: preserve the virtual page number's low bits so
+        // L2 index bits and DRAM row locality survive translation. Fold
+        // the high bits down so physical addresses stay compact.
+        return vpn & 0xFFFFF;
+    }
+    // Uncolored mapping: mostly linear (pages are largely allocated in
+    // order at program start) with every 32nd page displaced by a
+    // hash, the way an unconstrained free-page list fragments. The
+    // displaced pages cost extra L2 conflicts and DRAM row misses that
+    // a page-coloring allocator would have avoided.
+    if ((vpn & 31) != 0)
+        return vpn & 0xFFFFF;
+    Addr h = vpn * 0x9E3779B97F4A7C15ULL;
+    return (h >> 40) & 0xFFFFF;
+}
+
+Addr
+Tlb::translateProbe(Addr vaddr) const
+{
+    return (mapPage(vpnOf(vaddr)) << _pageShift) |
+           (vaddr & Addr(_p.pageBytes - 1));
+}
+
+TlbResult
+Tlb::translate(Addr vaddr, Cycle now)
+{
+    ++_stats.counter("lookups");
+
+    Addr vpn = vpnOf(vaddr);
+    TlbResult res;
+    res.paddr = (mapPage(vpn) << _pageShift) |
+                (vaddr & Addr(_p.pageBytes - 1));
+
+    for (Entry &e : _entries) {
+        if (e.vpn == vpn) {
+            e.lastUse = ++_useTick;
+            return res;
+        }
+    }
+
+    ++_stats.counter("misses");
+    res.miss = true;
+
+    if (_p.hardwareWalk) {
+        // Walk the page-table levels through the memory hierarchy; the
+        // walk delays only this access.
+        Cycle at = now;
+        for (int level = 0; level < _p.walkLevels; level++) {
+            if (_walkTarget) {
+                // Derive a pseudo page-table address per level so upper
+                // levels hit in the cache across nearby walks.
+                Addr pte = 0x7F0000000ULL + ((vpn >> (9 * level)) << 3);
+                AccessResult r = _walkTarget->access(pte, false, at);
+                at = r.done;
+            } else {
+                at += 4;
+            }
+        }
+        res.extraLatency = at - now;
+    } else {
+        // PAL-code refill: the whole pipeline stalls.
+        res.pipelineStall = Cycle(_p.palStallCycles);
+    }
+
+    // Refill (LRU victim).
+    auto victim = std::min_element(
+        _entries.begin(), _entries.end(),
+        [](const Entry &a, const Entry &b) {
+            return a.lastUse < b.lastUse;
+        });
+    victim->vpn = vpn;
+    victim->lastUse = ++_useTick;
+    return res;
+}
+
+} // namespace simalpha

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * TLB model with two miss-handling modes:
+ *  - PAL-code software refill (the real 21264: the pipeline stalls for a
+ *    fixed trap-and-refill penalty), and
+ *  - a five-level hardware page-table walk (what sim-alpha modeled: each
+ *    level costs a memory-hierarchy access, and the pipeline does NOT
+ *    stall — only the faulting access is delayed).
+ *
+ * Also owns the virtual-to-physical mapping. Two mapping policies stand
+ * in for the page-allocation behaviour the paper could not replicate:
+ * identity-like mapping (models OS page coloring: virtual locality is
+ * preserved in the physical address, minimizing L2 conflicts and DRAM
+ * page misses) and a hashed mapping (uncolored allocation).
+ */
+
+#ifndef SIMALPHA_MEMORY_TLB_HH
+#define SIMALPHA_MEMORY_TLB_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "memory/memlevel.hh"
+
+namespace simalpha {
+
+struct TlbParams
+{
+    std::string name = "tlb";
+    int entries = 128;          ///< fully associative
+    bool hardwareWalk = true;   ///< hw walk (sim-alpha) vs PAL stall
+    int walkLevels = 5;
+    int palStallCycles = 50;    ///< pipeline stall per software refill
+    bool pageColoring = false;  ///< colored (hardware-like) page mapping
+    int pageBytes = 8192;       ///< Alpha 8KB pages
+};
+
+/** Outcome of a TLB translation. */
+struct TlbResult
+{
+    Addr paddr = 0;
+    bool miss = false;
+    Cycle extraLatency = 0;     ///< added to the access (hardware walk)
+    Cycle pipelineStall = 0;    ///< stalls the whole pipeline (PAL mode)
+};
+
+class Tlb
+{
+  public:
+    /**
+     * @param params geometry and policy
+     * @param walk_target memory level charged for hardware-walk accesses
+     *        (typically the L2); may be nullptr for a fixed-cost walk
+     */
+    Tlb(const TlbParams &params, MemLevel *walk_target);
+
+    TlbResult translate(Addr vaddr, Cycle now);
+
+    /** Pure address mapping with no TLB state change (for probes). */
+    Addr translateProbe(Addr vaddr) const;
+
+    stats::Group &statGroup() { return _stats; }
+    std::uint64_t misses() const { return _stats.get("misses"); }
+
+  private:
+    Addr vpnOf(Addr vaddr) const;
+    Addr mapPage(Addr vpn) const;
+
+    struct Entry
+    {
+        Addr vpn = kNoAddr;
+        std::uint64_t lastUse = 0;
+    };
+
+    TlbParams _p;
+    MemLevel *_walkTarget;
+    std::vector<Entry> _entries;
+    std::uint64_t _useTick = 0;
+    int _pageShift;
+    stats::Group _stats;
+};
+
+} // namespace simalpha
+
+#endif // SIMALPHA_MEMORY_TLB_HH

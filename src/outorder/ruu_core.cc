@@ -1,0 +1,456 @@
+#include "ruu_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace simalpha {
+
+RuuCoreParams
+RuuCoreParams::simOutorder()
+{
+    RuuCoreParams p;
+    p.name = "sim-outorder";
+    p.mem = MemorySystemParams::ds10l();
+    // The paper's configuration: similarly configured caches, a 62-cycle
+    // flat DRAM, combined 64-entry LSQ, 64-entry RUU, no victim buffer
+    // or hardware I-prefetch (SimpleScalar models neither).
+    p.mem.l1i.prefetchLines = 0;
+    p.mem.l1d.victimEntries = 0;
+    p.mem.dram.flatLatency = 62;
+    return p;
+}
+
+RuuCore::RuuCore(const RuuCoreParams &params)
+    : _p(params), _stats(params.name)
+{
+}
+
+void
+RuuCore::resetMachine(const Program &program)
+{
+    _prog = &program;
+    _oracle = std::make_unique<OracleStream>(program);
+    _mem = std::make_unique<MemorySystem>(_p.mem);
+    // The paper gives sim-outorder a 2-level adaptive predictor "with a
+    // similar quantity of state" to the Alpha's tournament; we model
+    // that as the same tournament structure (so prediction quality is
+    // comparable and the remaining differences are microarchitectural).
+    _branchPred = std::make_unique<TournamentPredictor>(true);
+    _btb = std::make_unique<Btb>(512, 4);
+    _ras = std::make_unique<ReturnAddressStack>();
+
+    _cycle = 0;
+    _seqCounter = 0;
+    _committed = 0;
+    _finished = false;
+    _fetchPc = program.entryPc;
+    _fetchResumeAt = 0;
+    _wrongPathMode = false;
+    _haltFetched = false;
+    _regWriter.assign(kNumIntRegs + kNumFpRegs, kNoCycle);
+    _fetchBuf.clear();
+    _ruu.clear();
+    _recovery.reset();
+    _fuCycle = kNoCycle;
+    _lastCommitCycle = 0;
+    _stats.reset();
+}
+
+RunResult
+RuuCore::run(const Program &program, std::uint64_t max_insts)
+{
+    resetMachine(program);
+    _maxInsts = max_insts;
+
+    while (!_finished && (_maxInsts == 0 || _committed < _maxInsts)) {
+        doRecovery();
+        doCommit();
+        doIssue();
+        doDispatch();
+        doFetch();
+        _cycle++;
+        if (_cycle - _lastCommitCycle > 500000)
+            panic("%s deadlocked on '%s' at cycle %llu",
+                  _p.name.c_str(), program.name.c_str(),
+                  (unsigned long long)_cycle);
+    }
+
+    RunResult res;
+    res.machine = _p.name;
+    res.program = program.name;
+    res.cycles = _cycle;
+    res.instsCommitted = _committed;
+    res.finished = _finished;
+    _stats.counter("cycles").set(_cycle);
+    _stats.counter("insts_committed").set(_committed);
+    return res;
+}
+
+void
+RuuCore::doRecovery()
+{
+    if (!_recovery || _recovery->atCycle > _cycle)
+        return;
+    PendingRecovery rec = *_recovery;
+    _recovery.reset();
+
+    while (!_fetchBuf.empty() && _fetchBuf.back().seq > rec.seq)
+        _fetchBuf.pop_back();
+    while (!_ruu.empty() && _ruu.back().seq > rec.seq) {
+        sim_assert(_ruu.back().wrongPath);
+        _ruu.pop_back();
+    }
+    _fetchPc = rec.resumePc;
+    _fetchResumeAt =
+        std::max(_fetchResumeAt, _cycle + Cycle(_p.mispredictExtra));
+    _wrongPathMode = false;
+    ++_stats.counter("branch_mispredicts");
+}
+
+void
+RuuCore::doCommit()
+{
+    int committed = 0;
+    while (committed < _p.commitWidth && !_ruu.empty()) {
+        RuuInst &head = _ruu.front();
+        if (head.wrongPath) {
+            sim_assert(_recovery.has_value());
+            break;
+        }
+        if (!head.completed || head.doneCycle > _cycle)
+            break;
+        if (head.mispredicted && _recovery &&
+            _recovery->seq == head.seq)
+            break;
+
+        if (head.inst.isStore())
+            _mem->dataAccess(head.effAddr, true, _cycle);
+        if (head.inst.isCondBranch() && head.hasBpSnap)
+            _branchPred->update(head.pc, head.taken, head.bpSnap);
+        if (head.inst.isControl() && head.taken)
+            _btb->update(head.pc, head.nextPc);
+        if (head.dst != kNoReg && _regWriter[head.dst] == head.seq)
+            _regWriter[head.dst] = kNoCycle;
+
+        _oracle->retireBefore(head.oracleSeq + 1);
+        _committed++;
+        _lastCommitCycle = _cycle;
+        committed++;
+        if (head.halt) {
+            _finished = true;
+            return;
+        }
+        _ruu.pop_front();
+    }
+}
+
+Cycle
+RuuCore::srcReady(const RuuInst &inst) const
+{
+    Cycle ready = 0;
+    for (int i = 0; i < inst.numSrcs; i++) {
+        InstSeq writer = inst.producers[i];
+        if (writer == kNoCycle)
+            continue;   // value was architecturally ready at dispatch
+        // Find the producer in the RUU (seq-ordered).
+        auto it = std::lower_bound(
+            _ruu.begin(), _ruu.end(), writer,
+            [](const RuuInst &a, InstSeq s) { return a.seq < s; });
+        if (it == _ruu.end() || it->seq != writer)
+            continue;
+        if (!it->issued)
+            return kNoCycle;
+        ready = std::max(ready, it->doneCycle);
+    }
+    return ready;
+}
+
+bool
+RuuCore::fuAvailable(OpClass cls) const
+{
+    if (_fuCycle != _cycle)
+        return true;
+    switch (cls) {
+      case OpClass::IntMul:
+        return _mulUsed < _p.intMuls;
+      case OpClass::FpAdd: case OpClass::FpDivS: case OpClass::FpDivD:
+      case OpClass::FpSqrtS: case OpClass::FpSqrtD:
+        return _fpAddUsed < _p.fpAddUnits;
+      case OpClass::FpMul:
+        return _fpMulUsed < _p.fpMulUnits;
+      case OpClass::IntLoad: case OpClass::IntStore:
+      case OpClass::FpLoad: case OpClass::FpStore:
+        return _memUsed < _p.memPorts;
+      default:
+        return _aluUsed < _p.intAlus;
+    }
+}
+
+void
+RuuCore::consumeFu(OpClass cls)
+{
+    if (_fuCycle != _cycle) {
+        _fuCycle = _cycle;
+        _aluUsed = _mulUsed = _fpAddUsed = _fpMulUsed = _memUsed = 0;
+    }
+    switch (cls) {
+      case OpClass::IntMul:
+        _mulUsed++;
+        break;
+      case OpClass::FpAdd: case OpClass::FpDivS: case OpClass::FpDivD:
+      case OpClass::FpSqrtS: case OpClass::FpSqrtD:
+        _fpAddUsed++;
+        break;
+      case OpClass::FpMul:
+        _fpMulUsed++;
+        break;
+      case OpClass::IntLoad: case OpClass::IntStore:
+      case OpClass::FpLoad: case OpClass::FpStore:
+        _memUsed++;
+        break;
+      default:
+        _aluUsed++;
+        break;
+    }
+}
+
+void
+RuuCore::doIssue()
+{
+    int issued = 0;
+    for (RuuInst &inst : _ruu) {
+        if (issued >= _p.issueWidth)
+            break;
+        if (inst.issued || !inst.dispatched)
+            continue;
+        if (inst.dispatchCycle + 1 > _cycle)
+            continue;
+        if (!inst.wrongPath) {
+            Cycle r = srcReady(inst);
+            if (r == kNoCycle || r > _cycle)
+                continue;
+        }
+        OpClass cls = inst.inst.opClass();
+        if (!fuAvailable(cls))
+            continue;
+        consumeFu(cls);
+
+        inst.issued = true;
+        inst.issueCycle = _cycle;
+        issued++;
+        ++_stats.counter("insts_issued");
+
+        Cycle done;
+        if (inst.wrongPath) {
+            done = _cycle + Cycle(inst.inst.latency());
+        } else if (inst.inst.isLoad()) {
+            // Perfect disambiguation: forward from any older in-flight
+            // store to the same word, else access the cache.
+            bool forwarded = false;
+            for (auto it = _ruu.rbegin(); it != _ruu.rend(); ++it) {
+                if (it->seq >= inst.seq || it->wrongPath)
+                    continue;
+                if (it->inst.isStore() &&
+                    (it->effAddr >> 3) == (inst.effAddr >> 3)) {
+                    forwarded = true;
+                    break;
+                }
+            }
+            if (forwarded) {
+                done = _cycle + Cycle(inst.inst.latency());
+                ++_stats.counter("store_forwards");
+            } else {
+                MemAccessResult r =
+                    _mem->dataAccess(inst.effAddr, false, _cycle + 1);
+                done = r.l1Hit ? _cycle + Cycle(inst.inst.latency())
+                               : r.done;
+            }
+        } else if (inst.inst.isStore()) {
+            done = _cycle + 1;
+        } else {
+            done = _cycle + Cycle(inst.inst.latency());
+        }
+        // Without a full bypass network the result is not visible to
+        // consumers until it has been written through the register
+        // file.
+        if (!_p.fullBypass && inst.dst != kNoReg)
+            done += Cycle(_p.regreadCycles);
+        inst.doneCycle = done;
+        inst.completed = true;
+
+        if (inst.mispredicted && !inst.wrongPath) {
+            Cycle resolve =
+                _cycle + Cycle(_p.regreadCycles) + 1;
+            if (!_recovery || inst.seq < _recovery->seq)
+                _recovery = PendingRecovery{inst.seq, resolve,
+                                            inst.nextPc};
+            if (inst.inst.isCondBranch() && inst.hasBpSnap)
+                _branchPred->recover(inst.bpSnap, inst.taken);
+            inst.doneCycle = std::max(inst.doneCycle, resolve);
+        }
+    }
+}
+
+void
+RuuCore::doDispatch()
+{
+    int dispatched = 0;
+    while (dispatched < _p.decodeWidth && !_fetchBuf.empty()) {
+        RuuInst &front = _fetchBuf.front();
+        if (front.readyForDispatch > _cycle)
+            break;
+        if (int(_ruu.size()) >= _p.ruuEntries)
+            break;
+        if (front.inst.isMem()) {
+            int lsq = 0;
+            for (const RuuInst &ri : _ruu)
+                if (ri.inst.isMem())
+                    lsq++;
+            if (lsq >= _p.lsqEntries)
+                break;
+        }
+        if (_p.physRegs > 0 && front.dst != kNoReg &&
+            !front.wrongPath) {
+            int inflight = 0;
+            for (const RuuInst &ri : _ruu)
+                if (ri.dst != kNoReg && !ri.wrongPath)
+                    inflight++;
+            if (inflight >= _p.physRegs)
+                break;
+        }
+
+        RuuInst inst = std::move(front);
+        _fetchBuf.pop_front();
+        inst.dispatched = true;
+        inst.dispatchCycle = _cycle;
+        if (!inst.wrongPath) {
+            for (int i = 0; i < inst.numSrcs; i++) {
+                InstSeq writer = _regWriter[inst.srcs[i]];
+                if (writer != kNoCycle && writer < inst.seq)
+                    inst.producers[i] = writer;
+            }
+            if (inst.dst != kNoReg)
+                _regWriter[inst.dst] = inst.seq;
+        }
+        _ruu.push_back(std::move(inst));
+        dispatched++;
+        ++_stats.counter("insts_dispatched");
+    }
+}
+
+void
+RuuCore::doFetch()
+{
+    if (_cycle < _fetchResumeAt)
+        return;
+    if (_haltFetched && !_wrongPathMode)
+        return;
+    if (int(_fetchBuf.size()) + _p.fetchWidth > 4 * _p.fetchWidth)
+        return;
+    if (!_wrongPathMode && _oracle->exhausted())
+        return;
+
+    MemAccessResult f = _mem->fetchAccess(_fetchPc, _cycle);
+    Cycle fdone = f.done;
+
+    int fetched = 0;
+    Addr pc = _fetchPc;
+    bool redirected = false;
+
+    while (fetched < _p.fetchWidth) {
+        RuuInst ri;
+        ri.seq = _seqCounter++;
+        ri.pc = pc;
+        ri.readyForDispatch = fdone + Cycle(_p.fetchToDispatch);
+
+        if (_wrongPathMode) {
+            ri.inst = _prog->fetch(pc);
+            ri.wrongPath = true;
+        } else {
+            if (_oracle->exhausted())
+                break;
+            sim_assert(_oracle->nextPc() == pc);
+            const ExecutedInst &rec = _oracle->next();
+            ri.oracleSeq = rec.seq;
+            ri.inst = rec.inst;
+            ri.nextPc = rec.nextPc;
+            ri.taken = rec.taken;
+            ri.effAddr = rec.effAddr;
+            ri.halt = rec.halted;
+        }
+        RegIndex srcs[3];
+        ri.numSrcs = ri.inst.srcRegs(srcs);
+        for (int i = 0; i < ri.numSrcs; i++)
+            ri.srcs[i] = srcs[i];
+        ri.dst = ri.inst.dstReg();
+
+        fetched++;
+
+        bool cut = false;
+        Addr next_fetch = pc + 4;
+
+        if (ri.inst.isControl()) {
+            bool pred_taken = true;
+            if (ri.inst.isCondBranch()) {
+                ri.hasBpSnap = true;
+                pred_taken = _branchPred->predict(ri.pc, ri.bpSnap);
+            }
+            ri.predTaken = pred_taken;
+
+            Addr pred_target = kNoAddr;
+            if (pred_taken) {
+                if (ri.inst.isPcRelBranch())
+                    pred_target =
+                        _prog->pcOf(std::size_t(ri.inst.target));
+                else if (ri.inst.isReturn())
+                    pred_target = _ras->pop();
+                else
+                    pred_target = _btb->lookup(ri.pc);
+                if (pred_target == kNoAddr) {
+                    // BTB miss on an indirect: fall through and let the
+                    // resolution redirect (a mispredict).
+                    pred_target = pc + 4;
+                    pred_taken = false;
+                }
+            }
+            if (ri.inst.isCall())
+                _ras->push(ri.pc + 4);
+
+            if (!_wrongPathMode) {
+                Addr actual = ri.taken ? ri.nextPc : pc + 4;
+                Addr frontend = pred_taken ? pred_target : pc + 4;
+                if (frontend != actual) {
+                    ri.mispredicted = true;
+                    _wrongPathMode = true;
+                    redirected = true;
+                    next_fetch = frontend;
+                    cut = pred_taken;
+                } else if (pred_taken) {
+                    next_fetch = pred_target;
+                    cut = true;     // taken branches end the packet
+                }
+            } else {
+                if (pred_taken) {
+                    next_fetch = pred_target;
+                    cut = true;
+                }
+            }
+        } else if (!_wrongPathMode && ri.halt) {
+            _haltFetched = true;
+            _fetchBuf.push_back(std::move(ri));
+            break;
+        }
+
+        (void)redirected;
+        _fetchBuf.push_back(std::move(ri));
+        pc = next_fetch;
+        if (cut)
+            break;
+    }
+
+    _fetchPc = pc;
+    _fetchResumeAt = fdone;
+}
+
+} // namespace simalpha

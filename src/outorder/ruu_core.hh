@@ -1,0 +1,171 @@
+/**
+ * @file
+ * RuuCore: the abstract out-of-order comparator, modeled after
+ * SimpleScalar 3.0b's sim-outorder.
+ *
+ * A five-stage machine (fetch, dispatch, issue, writeback, commit) built
+ * around the Register Update Unit [Sohi], which combines the physical
+ * register file, reorder buffer and issue window in a single structure.
+ * There is no clustering, no slotting, no line/way prediction, no replay
+ * traps, and no cycle-time constraint on the front end — exactly the
+ * abstractions the paper shows make such simulators optimistic by about
+ * a third.
+ */
+
+#ifndef SIMALPHA_OUTORDER_RUU_CORE_HH
+#define SIMALPHA_OUTORDER_RUU_CORE_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "core/oracle.hh"
+#include "isa/machine.hh"
+#include "memory/hierarchy.hh"
+#include "predictors/branch.hh"
+
+namespace simalpha {
+
+struct RuuCoreParams
+{
+    std::string name = "sim-outorder";
+    int fetchWidth = 4;
+    int decodeWidth = 4;
+    int issueWidth = 4;
+    int commitWidth = 4;
+    int ruuEntries = 64;
+    int lsqEntries = 64;
+    /** Extra front-end refill cycles after a branch mispredict (the
+     *  shallow SimpleScalar pipe: 3 total with fetch depth). */
+    int mispredictExtra = 1;
+    int fetchToDispatch = 1;
+
+    // Functional units (generic resources).
+    int intAlus = 4;
+    int intMuls = 1;
+    int fpAddUnits = 1;     ///< matched to the 21264's fp add pipe
+    int fpMulUnits = 1;
+    int memPorts = 2;
+
+    /** Register-file / bypass study knobs (Figure 2). */
+    int regreadCycles = 1;
+    bool fullBypass = true;
+
+    /**
+     * Optional separate physical register file [Agarwal et al.]: when
+     * nonzero, dispatch stalls once this many results are in flight.
+     */
+    int physRegs = 0;
+
+    MemorySystemParams mem;
+
+    /** The paper's sim-outorder configuration matched to the 21264. */
+    static RuuCoreParams simOutorder();
+};
+
+class RuuCore : public Machine
+{
+  public:
+    explicit RuuCore(const RuuCoreParams &params);
+
+    RunResult run(const Program &program,
+                  std::uint64_t max_insts = 0) override;
+
+    stats::Group &statGroup() override { return _stats; }
+    std::string name() const override { return _p.name; }
+
+  private:
+    struct RuuInst
+    {
+        InstSeq seq = 0;
+        InstSeq oracleSeq = 0;
+        Addr pc = 0;
+        Instruction inst;
+        bool wrongPath = false;
+        Addr nextPc = 0;
+        bool taken = false;
+        Addr effAddr = kNoAddr;
+        bool halt = false;
+
+        bool predTaken = false;
+        bool mispredicted = false;
+        bool hasBpSnap = false;
+        BranchSnapshot bpSnap;      ///< predictor history snapshot
+
+        Cycle readyForDispatch = 0;
+        Cycle dispatchCycle = kNoCycle;
+        Cycle issueCycle = kNoCycle;
+        Cycle doneCycle = kNoCycle;
+        bool dispatched = false;
+        bool issued = false;
+        bool completed = false;
+
+        RegIndex srcs[3] = {kNoReg, kNoReg, kNoReg};
+        /** In-flight producer of each source, captured at dispatch
+         *  (kNoCycle = value already architecturally available). */
+        InstSeq producers[3] = {kNoCycle, kNoCycle, kNoCycle};
+        int numSrcs = 0;
+        RegIndex dst = kNoReg;
+    };
+
+    void resetMachine(const Program &program);
+    void doCommit();
+    void doRecovery();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+    bool fuAvailable(OpClass cls) const;
+    void consumeFu(OpClass cls);
+    Cycle srcReady(const RuuInst &inst) const;
+
+    RuuCoreParams _p;
+    stats::Group _stats;
+
+    const Program *_prog = nullptr;
+    std::unique_ptr<OracleStream> _oracle;
+    std::unique_ptr<MemorySystem> _mem;
+    std::unique_ptr<TournamentPredictor> _branchPred;
+    std::unique_ptr<Btb> _btb;
+    std::unique_ptr<ReturnAddressStack> _ras;
+
+    Cycle _cycle = 0;
+    InstSeq _seqCounter = 0;
+    std::uint64_t _committed = 0;
+    std::uint64_t _maxInsts = 0;
+    bool _finished = false;
+
+    Addr _fetchPc = 0;
+    Cycle _fetchResumeAt = 0;
+    bool _wrongPathMode = false;
+    bool _haltFetched = false;
+
+    /** Youngest in-flight writer of each architectural register
+     *  (kNoCycle = none); consumers capture their producer at
+     *  dispatch. */
+    std::vector<InstSeq> _regWriter;
+
+    std::deque<RuuInst> _fetchBuf;
+    std::deque<RuuInst> _ruu;
+
+    struct PendingRecovery
+    {
+        InstSeq seq;
+        Cycle atCycle;
+        Addr resumePc;
+    };
+    std::optional<PendingRecovery> _recovery;
+
+    // Per-cycle FU accounting.
+    Cycle _fuCycle = kNoCycle;
+    int _aluUsed = 0;
+    int _mulUsed = 0;
+    int _fpAddUsed = 0;
+    int _fpMulUsed = 0;
+    int _memUsed = 0;
+
+    Cycle _lastCommitCycle = 0;
+};
+
+} // namespace simalpha
+
+#endif // SIMALPHA_OUTORDER_RUU_CORE_HH

@@ -1,0 +1,256 @@
+#include "branch.hh"
+
+#include "common/logging.hh"
+
+namespace simalpha {
+
+namespace {
+
+/** Saturating 2-bit counter helpers. */
+inline void
+bump2(std::uint8_t &c, bool up)
+{
+    if (up) {
+        if (c < 3)
+            c++;
+    } else {
+        if (c > 0)
+            c--;
+    }
+}
+
+} // namespace
+
+TournamentPredictor::TournamentPredictor(bool speculative_update)
+    : _speculativeUpdate(speculative_update),
+      _localHistory(kLocalEntries, 0),
+      _localCounters(kLocalEntries, 3),      // weakly not-taken of 0..7
+      _globalCounters(kGlobalEntries, 1),
+      _choiceCounters(kChoiceEntries, 1)
+{
+}
+
+std::uint32_t
+TournamentPredictor::localIndexFor(Addr pc) const
+{
+    return std::uint32_t(pc >> 2) & (kLocalEntries - 1);
+}
+
+bool
+TournamentPredictor::predict(Addr pc, BranchSnapshot &snap)
+{
+    _lookups++;
+
+    std::uint32_t lidx = localIndexFor(pc);
+    std::uint16_t lhist = _localHistory[lidx];
+    bool local_pred =
+        _localCounters[lhist & ((1u << kLocalHistoryBits) - 1)] > 3;
+
+    std::uint32_t gidx = _globalHistory & (kGlobalEntries - 1);
+    bool global_pred = _globalCounters[gidx] > 1;
+
+    std::uint32_t cidx = std::uint32_t(pc >> 2) & (kChoiceEntries - 1);
+    bool use_global = _choiceCounters[cidx] > 1;
+
+    bool pred = use_global ? global_pred : local_pred;
+
+    snap.globalHistory = _globalHistory;
+    snap.localHistory = lhist;
+    snap.localIndex = lidx;
+    snap.usedGlobal = use_global;
+    snap.prediction = pred;
+
+    if (_speculativeUpdate) {
+        // Histories shift in the *predicted* outcome immediately and are
+        // repaired on recovery.
+        _globalHistory = std::uint16_t(
+            ((_globalHistory << 1) | (pred ? 1 : 0)) &
+            ((1u << kGlobalHistoryBits) - 1));
+        _localHistory[lidx] = std::uint16_t(
+            ((lhist << 1) | (pred ? 1 : 0)) &
+            ((1u << kLocalHistoryBits) - 1));
+    }
+
+    return pred;
+}
+
+void
+TournamentPredictor::update(Addr pc, bool taken, const BranchSnapshot &snap)
+{
+    // Train the counters the prediction actually read.
+    std::uint16_t lhist =
+        snap.localHistory & ((1u << kLocalHistoryBits) - 1);
+    std::uint8_t &lctr = _localCounters[lhist];
+    if (taken) {
+        if (lctr < 7)
+            lctr++;
+    } else {
+        if (lctr > 0)
+            lctr--;
+    }
+    bool local_was_right = (lctr > 3) == taken;       // approximation
+
+    std::uint32_t gidx = snap.globalHistory & (kGlobalEntries - 1);
+    bump2(_globalCounters[gidx], taken);
+    bool global_was_right =
+        (_globalCounters[gidx] > 1) == taken;          // approximation
+
+    std::uint32_t cidx = std::uint32_t(pc >> 2) & (kChoiceEntries - 1);
+    if (global_was_right != local_was_right)
+        bump2(_choiceCounters[cidx], global_was_right);
+
+    if (!_speculativeUpdate) {
+        _globalHistory = std::uint16_t(
+            ((_globalHistory << 1) | (taken ? 1 : 0)) &
+            ((1u << kGlobalHistoryBits) - 1));
+        _localHistory[snap.localIndex] = std::uint16_t(
+            ((_localHistory[snap.localIndex] << 1) | (taken ? 1 : 0)) &
+            ((1u << kLocalHistoryBits) - 1));
+    }
+}
+
+void
+TournamentPredictor::recover(const BranchSnapshot &snap, bool actual_taken)
+{
+    if (!_speculativeUpdate)
+        return;
+    // Rebuild the histories as if the branch had been predicted correctly.
+    _globalHistory = std::uint16_t(
+        ((snap.globalHistory << 1) | (actual_taken ? 1 : 0)) &
+        ((1u << kGlobalHistoryBits) - 1));
+    _localHistory[snap.localIndex] = std::uint16_t(
+        ((snap.localHistory << 1) | (actual_taken ? 1 : 0)) &
+        ((1u << kLocalHistoryBits) - 1));
+}
+
+void
+TournamentPredictor::restore(const BranchSnapshot &snap)
+{
+    if (!_speculativeUpdate)
+        return;
+    _globalHistory = snap.globalHistory;
+    _localHistory[snap.localIndex] = snap.localHistory;
+}
+
+ReturnAddressStack::ReturnAddressStack()
+    : _stack(kEntries, 0)
+{
+}
+
+ReturnAddressStack::Snapshot
+ReturnAddressStack::snapshot() const
+{
+    Snapshot s;
+    s.tos = _tos;
+    s.tosValue = _stack[(_tos + kEntries - 1) % kEntries];
+    return s;
+}
+
+void
+ReturnAddressStack::restore(const Snapshot &snap)
+{
+    _tos = snap.tos;
+    _stack[(_tos + kEntries - 1) % kEntries] = snap.tosValue;
+}
+
+void
+ReturnAddressStack::push(Addr return_pc)
+{
+    _stack[_tos] = return_pc;
+    _tos = std::uint8_t((_tos + 1) % kEntries);
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    _tos = std::uint8_t((_tos + kEntries - 1) % kEntries);
+    return _stack[_tos];
+}
+
+Addr
+ReturnAddressStack::peek() const
+{
+    return _stack[(_tos + kEntries - 1) % kEntries];
+}
+
+Btb::Btb(int sets, int ways)
+    : _sets(sets), _ways(ways), _entries(std::size_t(sets) * ways)
+{
+    if (sets <= 0 || (sets & (sets - 1)) != 0)
+        fatal("BTB set count must be a positive power of two (got %d)",
+              sets);
+}
+
+Addr
+Btb::lookup(Addr pc)
+{
+    std::size_t set = std::size_t((pc >> 2) & Addr(_sets - 1));
+    for (int w = 0; w < _ways; w++) {
+        Entry &e = _entries[set * _ways + w];
+        if (e.tag == pc) {
+            e.lastUse = ++_useTick;
+            return e.target;
+        }
+    }
+    return kNoAddr;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    std::size_t set = std::size_t((pc >> 2) & Addr(_sets - 1));
+    Entry *victim = nullptr;
+    for (int w = 0; w < _ways; w++) {
+        Entry &e = _entries[set * _ways + w];
+        if (e.tag == pc) {
+            e.target = target;
+            e.lastUse = ++_useTick;
+            return;
+        }
+        if (!victim || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->tag = pc;
+    victim->target = target;
+    victim->lastUse = ++_useTick;
+}
+
+TwoLevelPredictor::TwoLevelPredictor(int table_entries, int history_bits)
+    : _historyBits(history_bits),
+      _counters(std::size_t(table_entries), 1)
+{
+    if (table_entries <= 0 || (table_entries & (table_entries - 1)) != 0)
+        fatal("2-level table size must be a power of two");
+}
+
+std::uint32_t
+TwoLevelPredictor::indexFor(Addr pc, std::uint32_t history) const
+{
+    std::uint32_t folded = std::uint32_t(pc >> 2) ^ history;
+    return folded & std::uint32_t(_counters.size() - 1);
+}
+
+bool
+TwoLevelPredictor::predict(Addr pc, std::uint32_t &snap)
+{
+    snap = _history;
+    bool pred = _counters[indexFor(pc, _history)] > 1;
+    _history = ((_history << 1) | (pred ? 1 : 0)) &
+               ((1u << _historyBits) - 1);
+    return pred;
+}
+
+void
+TwoLevelPredictor::update(Addr pc, bool taken, std::uint32_t snap)
+{
+    bump2(_counters[indexFor(pc, snap)], taken);
+}
+
+void
+TwoLevelPredictor::recover(std::uint32_t snap, bool actual_taken)
+{
+    _history = ((snap << 1) | (actual_taken ? 1 : 0)) &
+               ((1u << _historyBits) - 1);
+}
+
+} // namespace simalpha

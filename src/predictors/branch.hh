@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The 21264 tournament branch predictor (local + global + choice) with
+ * speculative history update and mis-speculation repair, plus the simpler
+ * two-level adaptive predictor and BTB used by the abstract out-of-order
+ * model.
+ *
+ * Geometry follows the paper (Section 2.1): the local predictor holds
+ * 1024 10-bit local histories indexing 1024 3-bit counters; the global
+ * predictor indexes 4096 2-bit counters with a 12-bit path history; the
+ * choice predictor indexes 4096 2-bit counters by PC.
+ */
+
+#ifndef SIMALPHA_PREDICTORS_BRANCH_HH
+#define SIMALPHA_PREDICTORS_BRANCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace simalpha {
+
+/**
+ * Snapshot of predictor history taken at prediction time; restored when
+ * the predicting branch turns out mis-speculated.
+ */
+struct BranchSnapshot
+{
+    std::uint16_t globalHistory = 0;
+    std::uint16_t localHistory = 0;
+    std::uint32_t localIndex = 0;
+    bool usedGlobal = false;
+    bool prediction = false;
+};
+
+class TournamentPredictor
+{
+  public:
+    /**
+     * @param speculative_update update histories at predict time and
+     *        repair on mis-speculation (the validated 21264 behaviour);
+     *        when false, histories update only at commit (the
+     *        sim-initial bug).
+     */
+    explicit TournamentPredictor(bool speculative_update = true);
+
+    /** Predict a conditional branch and snapshot history state. */
+    bool predict(Addr pc, BranchSnapshot &snap);
+
+    /** Commit-time training with the actual outcome. */
+    void update(Addr pc, bool taken, const BranchSnapshot &snap);
+
+    /** Roll history back to the snapshot (mis-speculation recovery). */
+    void recover(const BranchSnapshot &snap, bool actual_taken);
+
+    /** Restore history exactly as it was before the prediction (used
+     *  when the predicting branch itself is squashed and refetched). */
+    void restore(const BranchSnapshot &snap);
+
+    std::uint64_t lookups() const { return _lookups; }
+
+  private:
+    static constexpr int kLocalEntries = 1024;
+    static constexpr int kLocalHistoryBits = 10;
+    static constexpr int kLocalCounterMax = 7;     // 3-bit
+    static constexpr int kGlobalEntries = 4096;
+    static constexpr int kGlobalHistoryBits = 12;
+    static constexpr int kChoiceEntries = 4096;
+
+    std::uint32_t localIndexFor(Addr pc) const;
+
+    bool _speculativeUpdate;
+    std::vector<std::uint16_t> _localHistory;
+    std::vector<std::uint8_t> _localCounters;
+    std::vector<std::uint8_t> _globalCounters;
+    std::vector<std::uint8_t> _choiceCounters;
+    std::uint16_t _globalHistory = 0;
+    std::uint64_t _lookups = 0;
+};
+
+/**
+ * 32-entry return address stack with speculative push/pop and
+ * top-of-stack repair on recovery.
+ */
+class ReturnAddressStack
+{
+  public:
+    struct Snapshot
+    {
+        std::uint8_t tos = 0;
+        Addr tosValue = 0;
+    };
+
+    static constexpr int kEntries = 32;
+
+    ReturnAddressStack();
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &snap);
+
+    void push(Addr return_pc);
+    Addr pop();
+
+    /** Read the top of stack without popping (non-speculative mode). */
+    Addr peek() const;
+
+  private:
+    std::vector<Addr> _stack;
+    std::uint8_t _tos = 0;      // index of next free slot
+};
+
+/**
+ * Branch target buffer for the abstract model: 4-way set-associative
+ * with true-LRU replacement.
+ */
+class Btb
+{
+  public:
+    Btb(int sets, int ways);
+
+    /** @return target PC, or kNoAddr on miss. */
+    Addr lookup(Addr pc);
+    void update(Addr pc, Addr target);
+
+  private:
+    struct Entry
+    {
+        Addr tag = kNoAddr;
+        Addr target = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    int _sets;
+    int _ways;
+    std::uint64_t _useTick = 0;
+    std::vector<Entry> _entries;
+};
+
+/**
+ * SimpleScalar-style 2-level adaptive predictor (GAg-like): a shared
+ * history register indexing a table of 2-bit counters, XOR-folded with
+ * the PC (gshare).
+ */
+class TwoLevelPredictor
+{
+  public:
+    TwoLevelPredictor(int table_entries = 4096, int history_bits = 12);
+
+    /** Predict and speculatively shift the history register.
+     *  @param[out] snap pre-prediction history, for mispredict repair */
+    bool predict(Addr pc, std::uint32_t &snap);
+
+    /** Commit-time counter training (history already shifted). */
+    void update(Addr pc, bool taken, std::uint32_t snap);
+
+    /** Repair the history after a mispredict (actual outcome known). */
+    void recover(std::uint32_t snap, bool actual_taken);
+
+  private:
+    std::uint32_t indexFor(Addr pc, std::uint32_t history) const;
+
+    int _historyBits;
+    std::uint32_t _history = 0;
+    std::vector<std::uint8_t> _counters;
+};
+
+} // namespace simalpha
+
+#endif // SIMALPHA_PREDICTORS_BRANCH_HH

@@ -1,0 +1,52 @@
+#include "dcpi.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace simalpha {
+namespace validate {
+
+DcpiMeasurement
+measure(const RunResult &truth, const DcpiParams &params)
+{
+    if (params.samplingInterval == 0)
+        fatal("DCPI sampling interval must be nonzero");
+
+    Random rng(params.seed ^ truth.cycles);
+
+    DcpiMeasurement m;
+    m.samples = truth.cycles / params.samplingInterval;
+
+    // Instrumentation dilation: each sample costs overhead cycles that
+    // inflate the measured run.
+    Cycle dilation = m.samples * params.perSampleOverhead;
+
+    // Sampling error: per-sample attribution noise accumulates as a
+    // random walk over the samples (scales with sqrt(samples) *
+    // interval * noise).
+    double walk = 0.0;
+    for (std::uint64_t i = 0; i < std::min<std::uint64_t>(m.samples,
+                                                          4096); i++)
+        walk += (rng.unit() - 0.5);
+    if (m.samples > 4096)
+        walk *= std::sqrt(double(m.samples) / 4096.0);
+    double noise_cycles =
+        walk * params.sampleNoise * double(params.samplingInterval);
+
+    double reported = double(truth.cycles) + double(dilation) +
+                      noise_cycles;
+    if (reported < 1.0)
+        reported = 1.0;
+    m.reportedCycles = Cycle(reported);
+    m.reportedInsts = truth.instsCommitted;
+    m.reportedIpc =
+        double(m.reportedInsts) / double(m.reportedCycles);
+    m.cycleError =
+        (reported - double(truth.cycles)) / double(truth.cycles);
+    return m;
+}
+
+} // namespace validate
+} // namespace simalpha

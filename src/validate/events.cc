@@ -1,0 +1,73 @@
+#include "events.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace simalpha {
+namespace validate {
+
+std::vector<EventDivergence>
+compareEvents(Machine &reference, Machine &simulator,
+              double min_per_kilo_inst)
+{
+    stats::Group &ref = reference.statGroup();
+    stats::Group &sim = simulator.statGroup();
+
+    std::uint64_t insts = ref.get("insts_committed");
+    if (insts == 0)
+        fatal("compareEvents: run the reference machine first");
+
+    std::set<std::string> names;
+    for (const std::string &n : ref.counterNames())
+        names.insert(n);
+    for (const std::string &n : sim.counterNames())
+        names.insert(n);
+    // Cycle/instruction totals are outcomes, not events.
+    names.erase("cycles");
+    names.erase("insts_committed");
+
+    std::vector<EventDivergence> divs;
+    for (const std::string &n : names) {
+        EventDivergence d;
+        d.event = n;
+        d.reference = ref.get(n);
+        d.simulator = sim.get(n);
+        double delta = d.reference >= d.simulator
+                           ? double(d.reference - d.simulator)
+                           : double(d.simulator - d.reference);
+        d.perKiloInst = delta * 1000.0 / double(insts);
+        if (d.perKiloInst >= min_per_kilo_inst)
+            divs.push_back(d);
+    }
+    std::sort(divs.begin(), divs.end(),
+              [](const EventDivergence &a, const EventDivergence &b) {
+                  return a.perKiloInst > b.perKiloInst;
+              });
+    return divs;
+}
+
+std::string
+formatDivergences(const std::vector<EventDivergence> &divs,
+                  std::size_t top_n)
+{
+    std::ostringstream os;
+    os << "event divergences (per 1000 committed instructions):\n";
+    if (divs.empty()) {
+        os << "  none above threshold\n";
+        return os.str();
+    }
+    std::size_t n = std::min(top_n, divs.size());
+    for (std::size_t i = 0; i < n; i++) {
+        const EventDivergence &d = divs[i];
+        os << "  " << d.event << ": ref " << d.reference << " vs sim "
+           << d.simulator << "  (" << d.perKiloInst << "/kinst)\n";
+    }
+    return os.str();
+}
+
+} // namespace validate
+} // namespace simalpha

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Event-count comparison — the Bose & Conte methodology the paper cites
+ * in Section 6: beyond comparing execution time, compare *event counts*
+ * (mispredictions, replay traps, cache misses, stalls) between a
+ * simulator and the reference to localize performance bugs.
+ *
+ * This is how the authors actually debugged sim-initial ("in addition
+ * to measuring total execution time, we also monitored event counts,
+ * such as mispredictions requiring rollback in various predictors");
+ * the module packages that workflow.
+ */
+
+#ifndef SIMALPHA_VALIDATE_EVENTS_HH
+#define SIMALPHA_VALIDATE_EVENTS_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/machine.hh"
+
+namespace simalpha {
+namespace validate {
+
+/** One event counter diverging between reference and simulator. */
+struct EventDivergence
+{
+    std::string event;
+    std::uint64_t reference = 0;
+    std::uint64_t simulator = 0;
+    /** |sim - ref| normalized per 1000 committed instructions. */
+    double perKiloInst = 0.0;
+};
+
+/**
+ * Compare every event counter two machines produced for the same run.
+ *
+ * Call after running the same program on both machines. Counters absent
+ * on one side are treated as zero there (a simulator that never rolls
+ * back reports no rollback counter at all — that *is* the divergence).
+ *
+ * @param reference the golden machine (after a run)
+ * @param simulator the machine under validation (after the same run)
+ * @param min_per_kilo_inst suppress divergences smaller than this
+ * @return divergences sorted by per-kiloinstruction magnitude,
+ *         largest first
+ */
+std::vector<EventDivergence>
+compareEvents(Machine &reference, Machine &simulator,
+              double min_per_kilo_inst = 0.1);
+
+/** Render a divergence report ("which events should I look at first"). */
+std::string formatDivergences(const std::vector<EventDivergence> &divs,
+                              std::size_t top_n = 10);
+
+} // namespace validate
+} // namespace simalpha
+
+#endif // SIMALPHA_VALIDATE_EVENTS_HH

@@ -1,0 +1,111 @@
+#include "machines.hh"
+
+#include "common/logging.hh"
+
+namespace simalpha {
+namespace validate {
+
+std::vector<std::string>
+featureNames()
+{
+    return {"addr", "eret", "luse", "pref", "spec",
+            "stwt", "vbuf", "maps", "slot", "trap"};
+}
+
+std::vector<std::string>
+stabilityConfigNames()
+{
+    std::vector<std::string> names{"sim-alpha"};
+    for (const std::string &f : featureNames())
+        names.push_back("sim-alpha-no-" + f);
+    names.push_back("sim-stripped");
+    names.push_back("sim-outorder");
+    return names;
+}
+
+namespace {
+
+void
+applyAlphaOptimization(AlphaCoreParams &p, Optimization opt)
+{
+    switch (opt) {
+      case Optimization::None:
+        break;
+      case Optimization::FastL1:
+        p.mem.l1d.hitLatency = 1;
+        p.name += "+fastl1";
+        break;
+      case Optimization::BigL1:
+        p.mem.l1d.sizeBytes = 128 * 1024;
+        p.name += "+bigl1";
+        break;
+      case Optimization::MoreRegs:
+        p.physIntRegs = kNumIntRegs + 80;
+        p.physFpRegs = kNumFpRegs + 80;
+        p.name += "+regs";
+        break;
+    }
+}
+
+void
+applyRuuOptimization(RuuCoreParams &p, Optimization opt)
+{
+    switch (opt) {
+      case Optimization::None:
+        break;
+      case Optimization::FastL1:
+        p.mem.l1d.hitLatency = 1;
+        p.name += "+fastl1";
+        break;
+      case Optimization::BigL1:
+        p.mem.l1d.sizeBytes = 128 * 1024;
+        p.name += "+bigl1";
+        break;
+      case Optimization::MoreRegs:
+        // The Table-5 sim-outorder column models a separate physical
+        // register file [1]; the optimization doubles it.
+        p.physRegs = p.physRegs > 0 ? p.physRegs * 2 : 80;
+        p.name += "+regs";
+        break;
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Machine>
+makeMachine(const std::string &name, Optimization opt)
+{
+    if (name == "sim-outorder") {
+        RuuCoreParams p = RuuCoreParams::simOutorder();
+        if (opt == Optimization::MoreRegs && p.physRegs == 0)
+            p.physRegs = 40;    // separate-regfile variant baseline
+        applyRuuOptimization(p, opt);
+        return std::make_unique<RuuCore>(p);
+    }
+
+    AlphaCoreParams p;
+    if (name == "ds10l") {
+        p = AlphaCoreParams::golden();
+    } else if (name == "sim-alpha") {
+        p = AlphaCoreParams::simAlpha();
+    } else if (name == "sim-initial") {
+        p = AlphaCoreParams::simInitial();
+    } else if (name == "sim-stripped") {
+        p = AlphaCoreParams::simStripped();
+    } else if (name.rfind("sim-alpha-no-", 0) == 0) {
+        p = AlphaCoreParams::withoutFeature(name.substr(13));
+    } else {
+        fatal("unknown machine configuration '%s'", name.c_str());
+    }
+    applyAlphaOptimization(p, opt);
+    return std::make_unique<AlphaCore>(p);
+}
+
+std::unique_ptr<Machine>
+makeMachine(const std::string &name)
+{
+    return makeMachine(name, Optimization::None);
+}
+
+} // namespace validate
+} // namespace simalpha

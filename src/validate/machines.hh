@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Machine factory: builds every simulator configuration the paper
+ * compares, by name.
+ *
+ *   "ds10l"            the golden reference (the hardware stand-in)
+ *   "sim-alpha"        the validated simulator
+ *   "sim-initial"      the buggy first cut (all Section 3.4 bugs)
+ *   "sim-stripped"     sim-alpha minus the ten low-level features
+ *   "sim-alpha-no-X"   sim-alpha minus one feature,
+ *                      X in {addr eret luse pref spec stwt vbuf maps
+ *                            slot trap}
+ *   "sim-outorder"     the abstract RUU machine
+ */
+
+#ifndef SIMALPHA_VALIDATE_MACHINES_HH
+#define SIMALPHA_VALIDATE_MACHINES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "outorder/ruu_core.hh"
+
+namespace simalpha {
+namespace validate {
+
+/** Build a machine by configuration name (fatal on unknown names). */
+std::unique_ptr<Machine> makeMachine(const std::string &name);
+
+/** The ten Table-4 feature mnemonics, in table order. */
+std::vector<std::string> featureNames();
+
+/** All 13 Table-5 configurations, in column order. */
+std::vector<std::string> stabilityConfigNames();
+
+/**
+ * A Table-5 optimization applied on top of a named configuration.
+ */
+enum class Optimization
+{
+    None,
+    FastL1,         ///< 3-cycle -> 1-cycle L1 D-cache
+    BigL1,          ///< 64KB -> 128KB L1 D-cache
+    MoreRegs,       ///< 40 -> 80 rename registers per class
+};
+
+/** Build a machine with one optimization applied. */
+std::unique_ptr<Machine> makeMachine(const std::string &name,
+                                     Optimization opt);
+
+} // namespace validate
+} // namespace simalpha
+
+#endif // SIMALPHA_VALIDATE_MACHINES_HH

@@ -1,0 +1,142 @@
+#include "manifest.hh"
+
+#include <sstream>
+
+namespace simalpha {
+namespace validate {
+
+namespace {
+
+void
+describeMemory(const MemorySystemParams &m, Config &c)
+{
+    auto cache = [&](const char *prefix, const CacheParams &p) {
+        std::string pre(prefix);
+        c.set(pre + ".size_bytes", std::int64_t(p.sizeBytes));
+        c.set(pre + ".assoc", std::int64_t(p.assoc));
+        c.set(pre + ".block_bytes", std::int64_t(p.blockBytes));
+        c.set(pre + ".hit_latency", std::int64_t(p.hitLatency));
+        c.set(pre + ".ports", std::int64_t(p.ports));
+        c.set(pre + ".mshr_entries", std::int64_t(p.mshrEntries));
+        c.set(pre + ".mshr_targets", std::int64_t(p.mshrTargets));
+        c.set(pre + ".victim_entries", std::int64_t(p.victimEntries));
+        c.set(pre + ".prefetch_lines", std::int64_t(p.prefetchLines));
+        c.set(pre + ".stores_contend", p.storesContend);
+    };
+    cache("l1i", m.l1i);
+    cache("l1d", m.l1d);
+    cache("l2", m.l2);
+
+    c.set("dram.banks", std::int64_t(m.dram.banks));
+    c.set("dram.row_bytes", std::int64_t(m.dram.rowBytes));
+    c.set("dram.ras_cycles", std::int64_t(m.dram.rasCycles));
+    c.set("dram.cas_cycles", std::int64_t(m.dram.casCycles));
+    c.set("dram.precharge_cycles",
+          std::int64_t(m.dram.prechargeCycles));
+    c.set("dram.controller_cycles",
+          std::int64_t(m.dram.controllerCycles));
+    c.set("dram.open_page", m.dram.openPage);
+    c.set("dram.flat_latency", std::int64_t(m.dram.flatLatency));
+    c.set("dram.reordering_controller", m.dram.reorderingController);
+
+    c.set("itlb.entries", std::int64_t(m.itlb.entries));
+    c.set("itlb.hardware_walk", m.itlb.hardwareWalk);
+    c.set("itlb.page_coloring", m.itlb.pageColoring);
+    c.set("dtlb.entries", std::int64_t(m.dtlb.entries));
+    c.set("dtlb.hardware_walk", m.dtlb.hardwareWalk);
+    c.set("dtlb.page_coloring", m.dtlb.pageColoring);
+    c.set("shared_maf", m.sharedMaf);
+}
+
+} // namespace
+
+Config
+describe(const AlphaCoreParams &p)
+{
+    Config c;
+    c.set("name", p.name);
+    c.set("model", "alpha-21264");
+
+    c.set("fetch_width", std::int64_t(p.fetchWidth));
+    c.set("map_width", std::int64_t(p.mapWidth));
+    c.set("retire_width", std::int64_t(p.retireWidth));
+    c.set("int_iq_entries", std::int64_t(p.intIqEntries));
+    c.set("fp_iq_entries", std::int64_t(p.fpIqEntries));
+    c.set("rob_entries", std::int64_t(p.robEntries));
+    c.set("phys_int_regs", std::int64_t(p.physIntRegs));
+    c.set("phys_fp_regs", std::int64_t(p.physFpRegs));
+    c.set("lq_entries", std::int64_t(p.lqEntries));
+    c.set("sq_entries", std::int64_t(p.sqEntries));
+    c.set("regread_cycles", std::int64_t(p.regreadCycles));
+    c.set("full_bypass", p.fullBypass);
+
+    c.set("feature.addr", p.slotAdder);
+    c.set("feature.eret", p.earlyUnopRetire);
+    c.set("feature.luse", p.loadUseSpec);
+    c.set("feature.pref", p.icachePrefetch);
+    c.set("feature.spec", p.speculativeUpdate);
+    c.set("feature.stwt", p.storeWaitTable);
+    c.set("feature.vbuf", p.victimBuffer);
+    c.set("feature.maps", p.mapStall);
+    c.set("feature.slot", p.slotRestrict);
+    c.set("feature.trap", p.mboxTraps);
+
+    c.set("bug.late_branch_recovery", p.bugLateBranchRecovery);
+    c.set("bug.extra_way_pred_cycle", p.bugExtraWayPredCycle);
+    c.set("bug.octaword_squash_penalty", p.bugOctawordSquashPenalty);
+    c.set("bug.masked_load_trap_addr", p.bugMaskedLoadTrapAddr);
+    c.set("bug.wrong_fu_mix", p.bugWrongFuMix);
+    c.set("bug.no_unop_removal", p.bugNoUnopRemoval);
+    c.set("bug.aggressive_cluster", p.bugAggressiveCluster);
+    c.set("bug.undercharged_jump", p.bugUnderchargedJump);
+    c.set("bug.extra_regread_on_miss", p.bugExtraRegreadOnMiss);
+    c.set("bug.undercharged_lu_recovery",
+          p.bugUnderchargedLoadUseRecovery);
+    c.set("bug.short_mul_latency", p.bugShortMulLatency);
+
+    c.set("approx.bypass_latency", p.approxBypassLatency);
+    c.set("approx.delayed_iq_removal", p.approxDelayedIqRemoval);
+    c.set("approx.squash_dependents_only", p.squashDependentsOnly);
+    c.set("approx.masked_store_trap_addr",
+          p.approxMaskedStoreTrapAddr);
+    c.set("hw.mbox_extra_traps", p.mboxExtraTraps);
+
+    describeMemory(p.mem, c);
+    return c;
+}
+
+Config
+describe(const RuuCoreParams &p)
+{
+    Config c;
+    c.set("name", p.name);
+    c.set("model", "ruu");
+    c.set("fetch_width", std::int64_t(p.fetchWidth));
+    c.set("decode_width", std::int64_t(p.decodeWidth));
+    c.set("issue_width", std::int64_t(p.issueWidth));
+    c.set("commit_width", std::int64_t(p.commitWidth));
+    c.set("ruu_entries", std::int64_t(p.ruuEntries));
+    c.set("lsq_entries", std::int64_t(p.lsqEntries));
+    c.set("int_alus", std::int64_t(p.intAlus));
+    c.set("int_muls", std::int64_t(p.intMuls));
+    c.set("fp_add_units", std::int64_t(p.fpAddUnits));
+    c.set("fp_mul_units", std::int64_t(p.fpMulUnits));
+    c.set("mem_ports", std::int64_t(p.memPorts));
+    c.set("regread_cycles", std::int64_t(p.regreadCycles));
+    c.set("full_bypass", p.fullBypass);
+    c.set("phys_regs", std::int64_t(p.physRegs));
+    describeMemory(p.mem, c);
+    return c;
+}
+
+std::string
+renderManifest(const Config &config)
+{
+    std::ostringstream os;
+    for (const std::string &key : config.keys())
+        os << key << " = " << config.renderValue(key) << "\n";
+    return os.str();
+}
+
+} // namespace validate
+} // namespace simalpha

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Experiment manifests — the paper's Section 7 recommendations made
+ * executable: every simulator configuration can emit a complete
+ * parameter manifest (the "Reproducibility" and "Consistent
+ * parameters" recommendations), so any reported number carries the
+ * exact machine that produced it.
+ */
+
+#ifndef SIMALPHA_VALIDATE_MANIFEST_HH
+#define SIMALPHA_VALIDATE_MANIFEST_HH
+
+#include <string>
+
+#include "common/config.hh"
+#include "core/params.hh"
+#include "outorder/ruu_core.hh"
+
+namespace simalpha {
+namespace validate {
+
+/** Export every parameter of a detailed-core configuration. */
+Config describe(const AlphaCoreParams &params);
+
+/** Export every parameter of an abstract-core configuration. */
+Config describe(const RuuCoreParams &params);
+
+/** Render a config as sorted "key = value" lines. */
+std::string renderManifest(const Config &config);
+
+} // namespace validate
+} // namespace simalpha
+
+#endif // SIMALPHA_VALIDATE_MANIFEST_HH

@@ -1,0 +1,50 @@
+#include "metrics.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace simalpha {
+namespace validate {
+
+double
+percentErrorCpi(const RunResult &reference, const RunResult &sim)
+{
+    double ref_cpi = reference.cpi();
+    double sim_cpi = sim.cpi();
+    if (ref_cpi <= 0.0 || sim_cpi <= 0.0)
+        fatal("percentErrorCpi needs positive CPIs");
+    // Negative when the simulator underestimates performance (its CPI
+    // is higher than the reference's).
+    return (ref_cpi - sim_cpi) / ref_cpi * 100.0;
+}
+
+double
+meanAbsoluteError(const std::vector<double> &errors)
+{
+    if (errors.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double e : errors)
+        sum += std::fabs(e);
+    return sum / double(errors.size());
+}
+
+double
+aggregateIpc(const std::vector<RunResult> &results)
+{
+    std::vector<double> ipcs;
+    ipcs.reserve(results.size());
+    for (const RunResult &r : results)
+        ipcs.push_back(r.ipc());
+    return harmonicMean(ipcs);
+}
+
+double
+percentImprovement(const RunResult &base, const RunResult &opt)
+{
+    return (opt.ipc() - base.ipc()) / base.ipc() * 100.0;
+}
+
+} // namespace validate
+} // namespace simalpha

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Error metrics of the validation methodology: percentage error in CPI
+ * against the reference machine (the paper's convention — an
+ * underestimate of performance is a *negative* error), the arithmetic
+ * mean of absolute errors, and harmonic-mean IPC aggregation.
+ */
+
+#ifndef SIMALPHA_VALIDATE_METRICS_HH
+#define SIMALPHA_VALIDATE_METRICS_HH
+
+#include <vector>
+
+#include "isa/machine.hh"
+
+namespace simalpha {
+namespace validate {
+
+/**
+ * Percentage error computed as a difference in CPI, signed so that a
+ * simulator reporting *lower* performance (higher CPI) than the
+ * reference yields a negative value, matching Table 2/3.
+ */
+double percentErrorCpi(const RunResult &reference, const RunResult &sim);
+
+/** Arithmetic mean of |errors| (the paper's aggregate error). */
+double meanAbsoluteError(const std::vector<double> &errors);
+
+/** Harmonic-mean IPC across benchmarks (the paper's aggregate IPC). */
+double aggregateIpc(const std::vector<RunResult> &results);
+
+/** Mean percent change of `opt` relative to `base` (Tables 4/5). */
+double percentImprovement(const RunResult &base, const RunResult &opt);
+
+} // namespace validate
+} // namespace simalpha
+
+#endif // SIMALPHA_VALIDATE_METRICS_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Synthetic macrobenchmarks standing in for the ten SPEC2000 programs of
+ * Table 3 (and the SPEC95-like suite of Figure 2).
+ *
+ * Each generator is parameterized by the published behavioural profile
+ * of its benchmark — data footprint, branch predictability, ILP shape,
+ * floating-point share, pointer-chasing vs streaming access, store/load
+ * aliasing intensity, and instruction footprint — so the synthetic
+ * program triggers the same microarchitectural mechanisms the paper
+ * discusses (mesa's 43% L2 miss rate, art's replay-trap storm, eon's
+ * way-misprediction pathology, the low error of cache-resident codes).
+ */
+
+#ifndef SIMALPHA_WORKLOADS_MACRO_HH
+#define SIMALPHA_WORKLOADS_MACRO_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace simalpha {
+namespace workloads {
+
+/** Behavioural profile of one synthetic macrobenchmark. */
+struct MacroProfile
+{
+    std::string name;
+    /** Outer loop iterations (sets run length). */
+    std::int64_t iterations = 2000;
+    /** Data footprint in KB; drives L1/L2/DRAM behaviour. */
+    int footprintKB = 64;
+    /** Loads walk the footprint with this stride (bytes). */
+    int stride = 64;
+    /** True: dependent pointer chase; false: independent streaming. */
+    bool pointerChase = false;
+    /** Independent stream pointers (memory-level parallelism), 1..4. */
+    int streams = 1;
+    /** Basic blocks per loop body. */
+    int blocks = 8;
+    /** ALU ops per block. */
+    int aluPerBlock = 6;
+    /** Dependence chains among the ALU ops (1 = serial). */
+    int chains = 3;
+    /** Loads per block. */
+    int loadsPerBlock = 2;
+    /** Fraction of blocks ending in a data-dependent (hard) branch,
+     *  in 1/16ths (0 = fully predictable). */
+    int hardBranchSixteenths = 4;
+    /** Fraction of blocks ending in an iteration-patterned branch: the
+     *  tournament predictor learns it, a line predictor alone cannot. */
+    int patternBranchSixteenths = 0;
+    /** Blocks whose work is floating point. */
+    bool fp = false;
+    /** Stores per block that a nearby load re-reads (replay-trap and
+     *  store-wait pressure). */
+    int aliasedStoresPerBlock = 0;
+    /** Call a far-away function each block (I-cache way conflicts). */
+    bool wayConflictCalls = false;
+    /** Indirect dispatch each iteration (line-predictor pressure). */
+    bool indirectDispatch = false;
+};
+
+/** Build the synthetic program for one profile. */
+Program makeMacro(const MacroProfile &profile);
+
+/** The ten SPEC2000 profiles of Table 3, in table order. */
+std::vector<MacroProfile> spec2000Profiles();
+
+/** The SPEC2000 programs, generated. */
+std::vector<Program> spec2000Suite();
+
+/** The SPEC95-like suite used by the Figure 2 register-file study. */
+std::vector<Program> spec95Suite();
+
+} // namespace workloads
+} // namespace simalpha
+
+#endif // SIMALPHA_WORKLOADS_MACRO_HH

@@ -1,0 +1,515 @@
+#include "microbench.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/assembler.hh"
+
+namespace simalpha {
+namespace workloads {
+
+namespace {
+
+// Register conventions used by all microbenchmarks.
+constexpr int kOne = 10;        ///< holds constant 1
+constexpr int kCount = 9;       ///< loop counter
+constexpr int kLink = 26;       ///< subroutine link register
+constexpr int kSp = 29;         ///< stack pointer
+
+/** Load a 64-bit immediate via lda (possibly in two steps). */
+void
+loadImm(ProgramBuilder &b, RegIndex reg, std::int64_t value)
+{
+    // lda handles the common small/medium cases; compose larger values
+    // from a shifted upper part.
+    if (value >= -32768 && value <= 32767) {
+        b.lda(reg, value);
+        return;
+    }
+    std::int64_t hi = value >> 16;
+    std::int64_t lo = value & 0xFFFF;
+    b.lda(reg, hi);
+    b.lda(R(11), 16);
+    b.sll(reg, R(11), reg);
+    if (lo)
+        b.lda(reg, lo, reg);
+}
+
+/**
+ * The common C-C skeleton: an if-then-else whose condition alternates
+ * every iteration. `pad_a` selects the C-Ca code layout; C-Cb pads the
+ * arms differently so the line predictor trains on different branches.
+ */
+Program
+controlConditional(bool pad_a, const MicrobenchOptions &opt)
+{
+    ProgramBuilder b(pad_a ? "C-Ca" : "C-Cb");
+    b.lda(R(kOne), 1);
+    loadImm(b, R(kCount), 40000LL * opt.scale);
+    b.lda(R(5), 0);                 // alternating flag
+    b.alignOctaword();
+    b.label("loop");
+    b.bne(R(5), "else");
+    // then arm
+    b.addq(R(1), R(kOne), R(1));
+    b.addq(R(2), R(kOne), R(2));
+    b.addq(R(3), R(kOne), R(3));
+    if (pad_a)
+        b.unop(1);
+    b.br("join");
+    if (!pad_a)
+        b.unop(3);                  // pushes "else" into a new octaword
+    b.label("else");
+    b.addq(R(4), R(kOne), R(4));
+    b.addq(R(6), R(kOne), R(6));
+    b.addq(R(7), R(kOne), R(7));
+    if (pad_a)
+        b.unop(2);
+    b.label("join");
+    b.xor_(R(5), R(kOne), R(5));    // flip the flag
+    b.subq(R(kCount), R(kOne), R(kCount));
+    b.bne(R(kCount), "loop");
+    b.halt();
+    return b.finish();
+}
+
+} // namespace
+
+Program
+controlConditionalA(const MicrobenchOptions &opt)
+{
+    return controlConditional(true, opt);
+}
+
+Program
+controlConditionalB(const MicrobenchOptions &opt)
+{
+    return controlConditional(false, opt);
+}
+
+Program
+controlRecursive(const MicrobenchOptions &opt)
+{
+    ProgramBuilder b("C-R");
+    b.lda(R(kOne), 1);
+    loadImm(b, R(kSp), std::int64_t(Program::kStackBase));
+    loadImm(b, R(kCount), 60LL * opt.scale);    // outer iterations
+    b.label("outer");
+    loadImm(b, R(16), 1000);                    // recursion depth
+    b.bsr(R(kLink), "func");
+    b.subq(R(kCount), R(kOne), R(kCount));
+    b.bne(R(kCount), "outer");
+    b.halt();
+
+    // A 1,000-deep recursive function: push the link register, recurse,
+    // pop, return. The push/pop pair near the base case puts a store
+    // and a load to the same stack slot in flight together, the store
+    // replay-trap trigger the store-wait table exists to absorb.
+    b.label("func");
+    b.lda(R(kSp), -16, R(kSp));
+    b.stq(R(kLink), 0, R(kSp));
+    b.subq(R(16), R(kOne), R(16));
+    b.beq(R(16), "unwind");
+    b.bsr(R(kLink), "func");
+    b.label("unwind");
+    b.ldq(R(kLink), 0, R(kSp));
+    b.lda(R(kSp), 16, R(kSp));
+    b.ret(R(kLink));
+    return b.finish();
+}
+
+Program
+controlSwitch(int n, const MicrobenchOptions &opt)
+{
+    sim_assert(n >= 1);
+    ProgramBuilder b("C-S" + std::to_string(n));
+    constexpr int kCases = 10;
+    const Addr table = Program::kDataBase;
+
+    b.lda(R(kOne), 1);
+    loadImm(b, R(kCount), 40000LL * opt.scale);
+    loadImm(b, R(20), std::int64_t(table));     // jump table base
+    b.lda(R(11), 3);                            // shift amount
+    b.lda(R(12), kCases);
+    b.lda(R(13), n);                            // repeats per case
+    b.lda(R(5), 0);                             // case index
+    b.lda(R(6), 0);                             // repeat counter
+
+    b.label("loop");
+    b.sll(R(5), R(11), R(21));
+    b.addq(R(21), R(20), R(21));
+    b.ldq(R(22), 0, R(21));
+    b.jmp(R(22));
+
+    for (int c = 0; c < kCases; c++) {
+        std::string lbl = "case" + std::to_string(c);
+        b.label(lbl);
+        b.dataWordLabel(table + Addr(8 * c), lbl);
+        b.addq(R(1), R(kOne), R(1));
+        b.br("dispatch");
+    }
+
+    // Advance the repeat counter; every n-th execution moves to the
+    // next case statement (wrapping at 10).
+    b.label("dispatch");
+    b.addq(R(6), R(kOne), R(6));
+    b.cmpeq(R(6), R(13), R(7));
+    b.beq(R(7), "skip");
+    b.lda(R(6), 0);
+    b.addq(R(5), R(kOne), R(5));
+    b.cmplt(R(5), R(12), R(7));
+    b.bne(R(7), "skip");
+    b.lda(R(5), 0);
+    b.label("skip");
+    b.subq(R(kCount), R(kOne), R(kCount));
+    b.bne(R(kCount), "loop");
+    b.halt();
+    return b.finish();
+}
+
+Program
+controlComplex(const MicrobenchOptions &opt)
+{
+    // C-O: an if-then-else executing a C-S2-style switch in the if
+    // clause and a C-S3-style switch in the else clause.
+    ProgramBuilder b("C-O");
+    constexpr int kCases = 10;
+    const Addr table_a = Program::kDataBase;
+    const Addr table_b = Program::kDataBase + 0x1000;
+
+    b.lda(R(kOne), 1);
+    loadImm(b, R(kCount), 30000LL * opt.scale);
+    loadImm(b, R(20), std::int64_t(table_a));
+    loadImm(b, R(19), std::int64_t(table_b));
+    b.lda(R(11), 3);
+    b.lda(R(12), kCases);
+    b.lda(R(5), 0);     // case index A
+    b.lda(R(6), 0);     // repeat counter A (period 2)
+    b.lda(R(15), 0);    // case index B
+    b.lda(R(16), 0);    // repeat counter B (period 3)
+    b.lda(R(4), 0);     // alternating if/else flag
+    b.lda(R(13), 2);
+    b.lda(R(14), 3);
+
+    b.label("loop");
+    b.bne(R(4), "elsearm");
+
+    // if arm: switch A, advancing every 2nd visit
+    b.sll(R(5), R(11), R(21));
+    b.addq(R(21), R(20), R(21));
+    b.ldq(R(22), 0, R(21));
+    b.jmp(R(22));
+    for (int c = 0; c < kCases; c++) {
+        std::string lbl = "acase" + std::to_string(c);
+        b.label(lbl);
+        b.dataWordLabel(table_a + Addr(8 * c), lbl);
+        b.addq(R(1), R(kOne), R(1));
+        b.addq(R(2), R(kOne), R(2));
+        b.br("adv_a");
+    }
+    b.label("adv_a");
+    b.addq(R(6), R(kOne), R(6));
+    b.cmpeq(R(6), R(13), R(7));
+    b.beq(R(7), "join");
+    b.lda(R(6), 0);
+    b.addq(R(5), R(kOne), R(5));
+    b.cmplt(R(5), R(12), R(7));
+    b.bne(R(7), "join");
+    b.lda(R(5), 0);
+    b.br("join");
+
+    // else arm: switch B, advancing every 3rd visit
+    b.label("elsearm");
+    b.sll(R(15), R(11), R(21));
+    b.addq(R(21), R(19), R(21));
+    b.ldq(R(22), 0, R(21));
+    b.jmp(R(22));
+    for (int c = 0; c < kCases; c++) {
+        std::string lbl = "bcase" + std::to_string(c);
+        b.label(lbl);
+        b.dataWordLabel(table_b + Addr(8 * c), lbl);
+        b.addq(R(3), R(kOne), R(3));
+        b.addq(R(8), R(kOne), R(8));
+        b.br("adv_b");
+    }
+    b.label("adv_b");
+    b.addq(R(16), R(kOne), R(16));
+    b.cmpeq(R(16), R(14), R(7));
+    b.beq(R(7), "join");
+    b.lda(R(16), 0);
+    b.addq(R(15), R(kOne), R(15));
+    b.cmplt(R(15), R(12), R(7));
+    b.bne(R(7), "join");
+    b.lda(R(15), 0);
+
+    b.label("join");
+    b.xor_(R(4), R(kOne), R(4));
+    b.subq(R(kCount), R(kOne), R(kCount));
+    b.bne(R(kCount), "loop");
+    b.halt();
+    return b.finish();
+}
+
+Program
+executeIndependent(const MicrobenchOptions &opt)
+{
+    // Adds the index variable to eight independent register-allocated
+    // integers, twenty times each, per loop iteration. 160 adds + loop
+    // control pad to exactly 41 octawords so a taken back-edge lands in
+    // the last fetch slot and the pipe sustains 4 IPC.
+    ProgramBuilder b("E-I");
+    b.lda(R(kOne), 1);
+    loadImm(b, R(kCount), 2500LL * opt.scale);
+    b.lda(R(15), 0);    // index variable
+    b.alignOctaword();
+    b.label("loop");
+    for (int rep = 0; rep < 20; rep++)
+        for (int r = 1; r <= 8; r++)
+            b.addq(R(r), R(15), R(r));
+    b.addq(R(15), R(kOne), R(15));
+    b.subq(R(kCount), R(kOne), R(kCount));
+    b.unop(1);
+    b.bne(R(kCount), "loop");
+    b.halt();
+    return b.finish();
+}
+
+Program
+executeFloat(const MicrobenchOptions &opt)
+{
+    ProgramBuilder b("E-F");
+    b.lda(R(kOne), 1);
+    loadImm(b, R(kCount), 600LL * opt.scale);
+    b.alignOctaword();
+    b.label("loop");
+    for (int rep = 0; rep < 20; rep++)
+        for (int r = 1; r <= 8; r++)
+            b.addt(F(r), F(15), F(r));
+    b.subq(R(kCount), R(kOne), R(kCount));
+    b.unop(2);
+    b.bne(R(kCount), "loop");
+    b.halt();
+    return b.finish();
+}
+
+Program
+executeDependent(int n, const MicrobenchOptions &opt)
+{
+    sim_assert(n >= 1 && n <= 8);
+    // n interleaved chains: each add depends on the instruction n
+    // positions earlier.
+    ProgramBuilder b("E-D" + std::to_string(n));
+    b.lda(R(kOne), 1);
+    loadImm(b, R(kCount), 2500LL * opt.scale);
+    b.alignOctaword();
+    b.label("loop");
+    for (int i = 0; i < 160; i++) {
+        int r = (i % n) + 1;
+        b.addq(R(r), R(kOne), R(r));
+    }
+    b.addq(R(15), R(kOne), R(15));
+    b.subq(R(kCount), R(kOne), R(kCount));
+    b.unop(1);
+    b.bne(R(kCount), "loop");
+    b.halt();
+    return b.finish();
+}
+
+Program
+executeDependentMul(const MicrobenchOptions &opt)
+{
+    ProgramBuilder b("E-DM1");
+    b.lda(R(kOne), 1);
+    loadImm(b, R(kCount), 400LL * opt.scale);
+    b.alignOctaword();
+    b.label("loop");
+    for (int i = 0; i < 160; i++)
+        b.mulq(R(1), R(kOne), R(1));
+    b.addq(R(15), R(kOne), R(15));
+    b.subq(R(kCount), R(kOne), R(kCount));
+    b.unop(1);
+    b.bne(R(kCount), "loop");
+    b.halt();
+    return b.finish();
+}
+
+Program
+memoryIndependent(const MicrobenchOptions &opt)
+{
+    // Independent L1-resident loads accumulated into one scalar: load
+    // bandwidth bound (two D-cache ports) with a serial accumulate.
+    ProgramBuilder b("M-I");
+    const Addr base = Program::kDataBase;
+    b.lda(R(kOne), 1);
+    loadImm(b, R(kCount), 2000LL * opt.scale);
+    loadImm(b, R(20), std::int64_t(base));
+    for (int i = 0; i < 64; i++)
+        b.dataWord(base + Addr(8 * i), RegVal(i));
+    b.alignOctaword();
+    b.label("loop");
+    for (int i = 0; i < 32; i++) {
+        b.ldq(R(1 + (i % 4)), 8 * i, R(20));
+        b.addq(R(7), R(1 + (i % 4)), R(7));
+    }
+    b.addq(R(7), R(15), R(7));      // add the loop index
+    b.addq(R(15), R(kOne), R(15));
+    b.subq(R(kCount), R(kOne), R(kCount));
+    b.bne(R(kCount), "loop");
+    b.halt();
+    return b.finish();
+}
+
+namespace {
+
+/**
+ * Build a shuffled circular linked list in the data segment, so walking
+ * it measures true load-to-load latency rather than a spatial stream.
+ * @param node_stride bytes between nodes
+ * @param nodes list length
+ * @return base address
+ */
+Addr
+buildChase(ProgramBuilder &b, Addr base, int nodes, int node_stride,
+           std::uint64_t seed)
+{
+    Random rng(seed);
+    std::vector<int> order{};
+    order.resize(std::size_t(nodes));
+    for (int i = 0; i < nodes; i++)
+        order[std::size_t(i)] = i;
+    for (int i = nodes - 1; i > 0; i--) {
+        int j = int(rng.below(std::uint64_t(i + 1)));
+        std::swap(order[std::size_t(i)], order[std::size_t(j)]);
+    }
+    for (int i = 0; i < nodes; i++) {
+        Addr node = base + Addr(order[std::size_t(i)]) *
+                               Addr(node_stride);
+        Addr next = base + Addr(order[std::size_t((i + 1) % nodes)]) *
+                               Addr(node_stride);
+        b.dataWord(node, next);
+        b.dataWord(node + 8, RegVal(i));    // payload words
+    }
+    return base;
+}
+
+Program
+chaseBenchmark(const char *name, int nodes, int node_stride,
+               std::int64_t iters, bool word_payloads)
+{
+    // Walk a linked list, loading payload fields of each node alongside
+    // the next pointer. With `word_payloads`, the two payloads are
+    // independent longword loads to different bytes of the SAME 8-byte
+    // word: non-overlapping accesses that a masked (low-3-bits-ignored)
+    // trap-address compare wrongly flags as load-order conflicts.
+    ProgramBuilder b(name);
+    const Addr base = Program::kDataBase;
+    b.lda(R(kOne), 1);
+    loadImm(b, R(kCount), iters);
+    loadImm(b, R(20), std::int64_t(buildChase(b, base, nodes,
+                                              node_stride, 0x5EED)));
+    b.alignOctaword();
+    b.label("loop");
+    int bodies = word_payloads ? 4 : 1;
+    for (int u = 0; u < bodies; u++) {
+        if (word_payloads && u == 0) {
+            // One body in four delays the OLDER of two same-word
+            // longword payload loads behind a copied base register, so
+            // the younger one executes first: loads to different bytes
+            // of one word running out of order — exactly what a masked
+            // trap-address compare wrongly flags as a conflict.
+            b.bis(R(20), R(20), R(23));
+            b.ldl(R(21), 8, R(23));     // older payload, delayed
+            b.ldl(R(22), 12, R(20));    // younger payload, same word
+            b.addq(R(21), R(22), R(21));
+        } else if (word_payloads) {
+            b.ldl(R(21), 8, R(20));
+        } else {
+            b.ldq(R(21), 8, R(20));     // payload
+        }
+        b.ldq(R(20), 0, R(20));         // next pointer (serializes)
+        b.addq(R(7), R(21), R(7));
+    }
+    b.subq(R(kCount), R(kOne), R(kCount));
+    b.bne(R(kCount), "loop");
+    b.halt();
+    return b.finish();
+}
+
+} // namespace
+
+Program
+memoryDependent(const MicrobenchOptions &opt)
+{
+    // 256 nodes x 16B = 4KB: L1 resident.
+    return chaseBenchmark("M-D", 256, 16, 10000LL * opt.scale, true);
+}
+
+Program
+memoryL2(const MicrobenchOptions &opt)
+{
+    // 16K nodes x 64B = 1MB: misses L1 on every node, fits in the 2MB
+    // L2.
+    return chaseBenchmark("M-L2", 16384, 64, 120000LL * opt.scale,
+                          false);
+}
+
+Program
+memoryMain(const MicrobenchOptions &opt)
+{
+    // 128K nodes x 64B = 8MB: misses both cache levels.
+    return chaseBenchmark("M-M", 131072, 64, 8000LL * opt.scale,
+                          false);
+}
+
+Program
+memoryInstPrefetch(const MicrobenchOptions &opt)
+{
+    // An enormous straight-line loop body (128KB of code) flushes the
+    // 64KB I-cache every iteration; throughput is set by instruction
+    // prefetch efficacy.
+    ProgramBuilder b("M-IP");
+    b.lda(R(kOne), 1);
+    loadImm(b, R(kCount), 10LL * opt.scale);
+    b.alignOctaword();
+    b.label("loop");
+    for (int i = 0; i < 32768; i++)
+        b.addq(R(1 + (i % 8)), R(kOne), R(1 + (i % 8)));
+    b.subq(R(kCount), R(kOne), R(kCount));
+    b.bne(R(kCount), "loop");
+    b.halt();
+    return b.finish();
+}
+
+std::vector<Program>
+microbenchSuite(const MicrobenchOptions &opt)
+{
+    std::vector<Program> suite;
+    suite.push_back(controlConditionalA(opt));
+    suite.push_back(controlConditionalB(opt));
+    suite.push_back(controlRecursive(opt));
+    suite.push_back(controlSwitch(1, opt));
+    suite.push_back(controlSwitch(2, opt));
+    suite.push_back(controlSwitch(3, opt));
+    suite.push_back(controlComplex(opt));
+    suite.push_back(executeIndependent(opt));
+    suite.push_back(executeFloat(opt));
+    for (int n = 1; n <= 6; n++)
+        suite.push_back(executeDependent(n, opt));
+    suite.push_back(executeDependentMul(opt));
+    suite.push_back(memoryIndependent(opt));
+    suite.push_back(memoryDependent(opt));
+    suite.push_back(memoryL2(opt));
+    suite.push_back(memoryMain(opt));
+    suite.push_back(memoryInstPrefetch(opt));
+    return suite;
+}
+
+std::vector<std::string>
+microbenchNames()
+{
+    return {"C-Ca", "C-Cb", "C-R", "C-S1", "C-S2", "C-S3", "C-O",
+            "E-I", "E-F", "E-D1", "E-D2", "E-D3", "E-D4", "E-D5",
+            "E-D6", "E-DM1", "M-I", "M-D", "M-L2", "M-M", "M-IP"};
+}
+
+} // namespace workloads
+} // namespace simalpha

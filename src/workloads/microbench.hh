@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The paper's 21-microbenchmark validation suite (Section 3), generated
+ * as MiniAlpha programs:
+ *
+ *  Control:  C-Ca, C-Cb, C-R, C-S1, C-S2, C-S3, C-O
+ *  Execute:  E-I, E-F, E-D1..E-D6, E-DM1
+ *  Memory:   M-I, M-D, M-L2, M-M, M-IP
+ *
+ * All benchmarks except the memory-system ones are I-cache, D-cache and
+ * TLB resident. C-Ca and C-Cb differ only in unop padding, reproducing
+ * the two compilers' code layouts that train the line predictor through
+ * different branches.
+ */
+
+#ifndef SIMALPHA_WORKLOADS_MICROBENCH_HH
+#define SIMALPHA_WORKLOADS_MICROBENCH_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace simalpha {
+namespace workloads {
+
+/** Scale factor: iteration counts are multiplied by this (default 1). */
+struct MicrobenchOptions
+{
+    int scale = 1;
+};
+
+Program controlConditionalA(const MicrobenchOptions &opt = {});  // C-Ca
+Program controlConditionalB(const MicrobenchOptions &opt = {});  // C-Cb
+Program controlRecursive(const MicrobenchOptions &opt = {});     // C-R
+Program controlSwitch(int n, const MicrobenchOptions &opt = {}); // C-Sn
+Program controlComplex(const MicrobenchOptions &opt = {});       // C-O
+
+Program executeIndependent(const MicrobenchOptions &opt = {});   // E-I
+Program executeFloat(const MicrobenchOptions &opt = {});         // E-F
+Program executeDependent(int n,
+                         const MicrobenchOptions &opt = {});     // E-Dn
+Program executeDependentMul(const MicrobenchOptions &opt = {});  // E-DM1
+
+Program memoryIndependent(const MicrobenchOptions &opt = {});    // M-I
+Program memoryDependent(const MicrobenchOptions &opt = {});      // M-D
+Program memoryL2(const MicrobenchOptions &opt = {});             // M-L2
+Program memoryMain(const MicrobenchOptions &opt = {});           // M-M
+Program memoryInstPrefetch(const MicrobenchOptions &opt = {});   // M-IP
+
+/** The full suite in Table 2 order. */
+std::vector<Program> microbenchSuite(const MicrobenchOptions &opt = {});
+
+/** Table 2 row names, in order. */
+std::vector<std::string> microbenchNames();
+
+} // namespace workloads
+} // namespace simalpha
+
+#endif // SIMALPHA_WORKLOADS_MICROBENCH_HH

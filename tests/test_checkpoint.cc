@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the emulator checkpoint/restore facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/emulator.hh"
+
+using namespace simalpha;
+
+namespace {
+
+Program
+counterProgram()
+{
+    ProgramBuilder b("ckpt");
+    b.lda(R(10), 1);
+    b.lda(R(9), 1000);
+    b.lda(R(20), 0x14000);
+    b.lda(R(11), 16);
+    b.sll(R(20), R(11), R(20));
+    b.label("top");
+    b.addq(R(1), R(10), R(1));
+    b.stq(R(1), 0, R(20));
+    b.subq(R(9), R(10), R(9));
+    b.bne(R(9), "top");
+    b.halt();
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Checkpoint, RoundTripPreservesEverything)
+{
+    Program p = counterProgram();
+    Emulator emu(p);
+    for (int i = 0; i < 500; i++)
+        emu.step();
+
+    Checkpoint ckpt = emu.checkpoint();
+    EXPECT_EQ(ckpt.pc, emu.pc());
+    EXPECT_EQ(ckpt.seq, emu.instsExecuted());
+
+    // Run ahead, then rewind.
+    std::vector<ExecutedInst> ahead;
+    for (int i = 0; i < 200; i++)
+        ahead.push_back(emu.step());
+
+    Emulator fresh(p);
+    fresh.restore(ckpt);
+    EXPECT_EQ(fresh.pc(), ckpt.pc);
+    for (const ExecutedInst &expect : ahead) {
+        ExecutedInst got = fresh.step();
+        ASSERT_EQ(got.pc, expect.pc);
+        ASSERT_EQ(got.nextPc, expect.nextPc);
+        ASSERT_EQ(got.effAddr, expect.effAddr);
+    }
+}
+
+TEST(Checkpoint, RestoreOntoSameEmulatorRewinds)
+{
+    Program p = counterProgram();
+    Emulator emu(p);
+    for (int i = 0; i < 100; i++)
+        emu.step();
+    Checkpoint ckpt = emu.checkpoint();
+    RegVal r1_at_ckpt = emu.readIntReg(1);
+
+    for (int i = 0; i < 300; i++)
+        emu.step();
+    EXPECT_NE(emu.readIntReg(1), r1_at_ckpt);
+
+    emu.restore(ckpt);
+    EXPECT_EQ(emu.readIntReg(1), r1_at_ckpt);
+    EXPECT_EQ(emu.instsExecuted(), ckpt.seq);
+}
+
+TEST(Checkpoint, CapturesDirtyMemory)
+{
+    Program p = counterProgram();
+    Emulator emu(p);
+    while (!emu.halted())
+        emu.step();
+    Checkpoint ckpt = emu.checkpoint();
+
+    Emulator fresh(p);
+    fresh.restore(ckpt);
+    EXPECT_EQ(fresh.memory().read64(0x140000000ULL), 1000u);
+    EXPECT_TRUE(fresh.halted());
+}
+
+TEST(Checkpoint, InitialCheckpointIsProgramStart)
+{
+    Program p = counterProgram();
+    Emulator emu(p);
+    Checkpoint ckpt = emu.checkpoint();
+    EXPECT_EQ(ckpt.pc, p.entryPc);
+    EXPECT_EQ(ckpt.seq, 0u);
+    EXPECT_FALSE(ckpt.halted);
+    // The data segment's initial contents are present.
+    Emulator fresh(p);
+    fresh.restore(ckpt);
+    ExecutedInst first = fresh.step();
+    EXPECT_EQ(first.pc, p.entryPc);
+}

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Integration tests for the detailed 21264 core: end-to-end runs of
+ * small programs, timing sanity (IPC bounds, latency measurements),
+ * mispredict and replay-trap behaviour, feature flags, determinism,
+ * and the instruction-accounting invariant against the functional
+ * emulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "isa/assembler.hh"
+#include "isa/emulator.hh"
+#include "workloads/macro.hh"
+#include "workloads/microbench.hh"
+
+using namespace simalpha;
+
+namespace {
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+/** A simple counted loop with `body` extra adds per iteration. */
+Program
+countedLoop(std::int64_t iters, int body)
+{
+    ProgramBuilder b("loop");
+    b.lda(R(10), 1);
+    b.lda(R(9), iters);
+    b.label("top");
+    for (int i = 0; i < body; i++)
+        b.addq(R(1 + (i % 4)), R(10), R(1 + (i % 4)));
+    b.subq(R(9), R(10), R(9));
+    b.bne(R(9), "top");
+    b.halt();
+    return b.finish();
+}
+
+std::uint64_t
+emulatorInstCount(const Program &p)
+{
+    Emulator emu(p);
+    std::uint64_t n = 0;
+    while (!emu.halted()) {
+        emu.step();
+        n++;
+    }
+    return n;
+}
+
+} // namespace
+
+TEST_F(CoreTest, RunsTrivialProgram)
+{
+    ProgramBuilder b("t");
+    b.lda(R(1), 42);
+    b.halt();
+    AlphaCore core(AlphaCoreParams::simAlpha());
+    RunResult r = core.run(b.finish());
+    EXPECT_TRUE(r.finished);
+    EXPECT_EQ(r.instsCommitted, 2u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST_F(CoreTest, CommitsExactlyTheArchitecturalStream)
+{
+    // The timing model must commit exactly what the functional emulator
+    // executes — no more, no fewer — for every machine configuration.
+    Program p = countedLoop(500, 6);
+    std::uint64_t expect = emulatorInstCount(p);
+    for (const char *cfg : {"golden", "alpha", "initial", "stripped"}) {
+        AlphaCoreParams params =
+            std::string(cfg) == "golden" ? AlphaCoreParams::golden()
+            : std::string(cfg) == "alpha" ? AlphaCoreParams::simAlpha()
+            : std::string(cfg) == "initial"
+                ? AlphaCoreParams::simInitial()
+                : AlphaCoreParams::simStripped();
+        AlphaCore core(params);
+        RunResult r = core.run(p);
+        EXPECT_EQ(r.instsCommitted, expect) << cfg;
+        EXPECT_TRUE(r.finished) << cfg;
+    }
+}
+
+TEST_F(CoreTest, DeterministicAcrossRuns)
+{
+    Program p = workloads::controlConditionalA({});
+    AlphaCore core(AlphaCoreParams::simAlpha());
+    RunResult a = core.run(p, 50000);
+    RunResult b = core.run(p, 50000);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instsCommitted, b.instsCommitted);
+}
+
+TEST_F(CoreTest, MaxInstsLimitStopsEarly)
+{
+    Program p = countedLoop(100000, 6);
+    AlphaCore core(AlphaCoreParams::simAlpha());
+    RunResult r = core.run(p, 1000);
+    EXPECT_FALSE(r.finished);
+    EXPECT_GE(r.instsCommitted, 1000u);
+    EXPECT_LT(r.instsCommitted, 1100u);
+}
+
+TEST_F(CoreTest, IpcNeverExceedsMachineWidth)
+{
+    Program p = workloads::executeIndependent({});
+    AlphaCore core(AlphaCoreParams::golden());
+    RunResult r = core.run(p);
+    EXPECT_LE(r.ipc(), 4.0);
+    EXPECT_GT(r.ipc(), 3.5);    // E-I sustains near-peak throughput
+}
+
+TEST_F(CoreTest, DependentChainRunsAtUnitIpc)
+{
+    Program p = workloads::executeDependent(1, {});
+    AlphaCore core(AlphaCoreParams::golden());
+    RunResult r = core.run(p);
+    EXPECT_NEAR(r.ipc(), 1.0, 0.1);
+}
+
+TEST_F(CoreTest, MultiplyChainReflectsTable1Latency)
+{
+    Program p = workloads::executeDependentMul({});
+    AlphaCore core(AlphaCoreParams::golden());
+    RunResult r = core.run(p);
+    // Dependent multiplies: ~1/7 IPC plus loop overhead.
+    EXPECT_NEAR(r.ipc(), 1.0 / 7.0, 0.03);
+}
+
+TEST_F(CoreTest, ShortMulLatencyBugSpeedsChain)
+{
+    Program p = workloads::executeDependentMul({});
+    AlphaCoreParams params = AlphaCoreParams::simAlpha();
+    params.bugShortMulLatency = true;
+    AlphaCore buggy(params);
+    AlphaCore good(AlphaCoreParams::simAlpha());
+    EXPECT_GT(buggy.run(p).ipc(), good.run(p).ipc() * 3);
+}
+
+TEST_F(CoreTest, FpAddsBoundBySingleAddPipe)
+{
+    Program p = workloads::executeFloat({});
+    AlphaCore core(AlphaCoreParams::golden());
+    RunResult r = core.run(p);
+    EXPECT_NEAR(r.ipc(), 1.0, 0.1);
+}
+
+TEST_F(CoreTest, BranchMispredictsAreCounted)
+{
+    // A data-dependent unpredictable-ish branch pattern must produce
+    // mispredict events.
+    Program p = workloads::controlSwitch(1, {});
+    AlphaCore core(AlphaCoreParams::golden());
+    core.run(p, 100000);
+    EXPECT_GT(core.statGroup().get("jump_mispredicts"), 1000u);
+}
+
+TEST_F(CoreTest, JumpPenaltyExceedsBranchPenalty)
+{
+    // C-S1 (a jmp mispredict per iteration) must run slower per
+    // control transfer than C-Ca (conditional mispredicts only).
+    AlphaCore core(AlphaCoreParams::golden());
+    RunResult cs1 = core.run(workloads::controlSwitch(1, {}));
+    AlphaCore core2(AlphaCoreParams::golden());
+    RunResult cca = core2.run(workloads::controlConditionalA({}));
+    EXPECT_LT(cs1.ipc(), cca.ipc());
+}
+
+TEST_F(CoreTest, UnderchargedJumpBugIsFaster)
+{
+    Program p = workloads::controlSwitch(1, {});
+    AlphaCoreParams params = AlphaCoreParams::simAlpha();
+    params.bugUnderchargedJump = true;
+    AlphaCore buggy(params);
+    AlphaCore good(AlphaCoreParams::simAlpha());
+    EXPECT_GT(buggy.run(p).ipc(), good.run(p).ipc());
+}
+
+namespace {
+
+/** A store whose data arrives late, re-read immediately: the load runs
+ *  ahead of the store and triggers store replay traps until the
+ *  store-wait table learns to hold it back. */
+Program
+aliasedStoreLoadLoop(std::int64_t iters)
+{
+    ProgramBuilder b("alias");
+    b.lda(R(10), 1);
+    b.lda(R(9), iters);
+    b.lda(R(20), 0x14000);
+    b.lda(R(11), 16);
+    b.sll(R(20), R(11), R(20));
+    b.lda(R(5), 3);
+    b.label("top");
+    b.mulq(R(5), R(10), R(5));      // slow producer (7 cycles)
+    b.stq(R(5), 0, R(20));          // store waits for the multiply
+    b.ldq(R(6), 0, R(20));          // load is ready immediately
+    b.addq(R(7), R(6), R(7));
+    b.subq(R(9), R(10), R(9));
+    b.bne(R(9), "top");
+    b.halt();
+    return b.finish();
+}
+
+} // namespace
+
+TEST_F(CoreTest, StoreWaitTableLearnsConflicts)
+{
+    Program p = aliasedStoreLoadLoop(2000);
+    AlphaCore core(AlphaCoreParams::golden());
+    RunResult r = core.run(p);
+    EXPECT_TRUE(r.finished);
+    // Early iterations trap; the table then absorbs the conflicts, so
+    // traps must be far rarer than iterations.
+    std::uint64_t traps = core.statGroup().get("store_replay_traps");
+    EXPECT_GT(traps, 0u);
+    EXPECT_LT(traps, 200u);
+}
+
+TEST_F(CoreTest, RemovingStoreWaitTableTrapsMore)
+{
+    Program p = aliasedStoreLoadLoop(2000);
+    AlphaCore with(AlphaCoreParams::simAlpha());
+    with.run(p);
+    AlphaCore without(AlphaCoreParams::withoutFeature("stwt"));
+    without.run(p);
+    EXPECT_GT(without.statGroup().get("store_replay_traps"),
+              with.statGroup().get("store_replay_traps"));
+}
+
+TEST_F(CoreTest, MaskedTrapCompareCausesSpuriousTraps)
+{
+    Program p = workloads::memoryDependent({});
+    AlphaCoreParams params = AlphaCoreParams::simAlpha();
+    params.bugMaskedLoadTrapAddr = true;
+    AlphaCore buggy(params);
+    AlphaCore good(AlphaCoreParams::simAlpha());
+    buggy.run(p);
+    good.run(p);
+    EXPECT_GT(buggy.statGroup().get("load_order_traps"),
+              good.statGroup().get("load_order_traps") + 100);
+}
+
+TEST_F(CoreTest, EarlyUnopRetirementRemovesUnops)
+{
+    ProgramBuilder b("unops");
+    b.lda(R(9), 100);
+    b.lda(R(10), 1);
+    b.label("top");
+    b.unop(6);
+    b.subq(R(9), R(10), R(9));
+    b.bne(R(9), "top");
+    b.halt();
+    Program p = b.finish();
+
+    AlphaCore with(AlphaCoreParams::simAlpha());
+    RunResult rw = with.run(p);
+    EXPECT_GT(with.statGroup().get("unops_removed"), 500u);
+
+    AlphaCoreParams params = AlphaCoreParams::simAlpha();
+    params.bugNoUnopRemoval = true;
+    AlphaCore without(params);
+    RunResult ro = without.run(p);
+    EXPECT_EQ(without.statGroup().get("unops_removed"), 0u);
+    // Both count the unops as committed instructions.
+    EXPECT_EQ(rw.instsCommitted, ro.instsCommitted);
+}
+
+TEST_F(CoreTest, MapStallsUnderRegisterPressure)
+{
+    // Long-latency producers hold rename registers; the map stage must
+    // observe <8-free stalls on a machine with heavy in-flight state
+    // (art's four concurrent miss streams keep ~80 results pending).
+    using namespace workloads;
+    auto profiles = spec2000Profiles();
+    Program art;
+    for (auto &prof : profiles)
+        if (prof.name == "art")
+            art = makeMacro(prof);
+    AlphaCore core(AlphaCoreParams::golden());
+    core.run(art, 100000);
+    EXPECT_GT(core.statGroup().get("map_stalls"), 0u);
+}
+
+TEST_F(CoreTest, LoadUseReplaysOnPredictedHitMiss)
+{
+    Program p = workloads::memoryL2({});
+    AlphaCore core(AlphaCoreParams::golden());
+    core.run(p, 50000);
+    EXPECT_GT(core.statGroup().get("load_use_replays"), 0u);
+}
+
+TEST_F(CoreTest, WayMispredictsOccurOnConflictingFetch)
+{
+    // eon's far-call pattern alternates two I-cache lines in one set.
+    using namespace workloads;
+    auto profiles = spec2000Profiles();
+    Program eon;
+    for (auto &prof : profiles)
+        if (prof.name == "eon")
+            eon = makeMacro(prof);
+    AlphaCore core(AlphaCoreParams::golden());
+    core.run(eon, 100000);
+    EXPECT_GT(core.statGroup().get("way_mispredicts"), 100u);
+}
+
+TEST_F(CoreTest, SpeculativeUpdateChangesTiming)
+{
+    // Speculative predictor update materially changes front-end
+    // behaviour; the direction is workload-dependent (see
+    // EXPERIMENTS.md), but the switch must have a real effect.
+    Program p = workloads::controlConditionalA({});
+    AlphaCore with(AlphaCoreParams::simAlpha());
+    AlphaCore without(AlphaCoreParams::withoutFeature("spec"));
+    double a = with.run(p, 100000).ipc();
+    double b = without.run(p, 100000).ipc();
+    EXPECT_GT(std::abs(a - b) / a, 0.01);
+}
+
+TEST_F(CoreTest, SlotAdderHelpsControlCode)
+{
+    Program p = workloads::controlConditionalA({});
+    AlphaCore with(AlphaCoreParams::simAlpha());
+    AlphaCore without(AlphaCoreParams::withoutFeature("addr"));
+    EXPECT_GT(with.run(p).ipc(), without.run(p).ipc() * 1.2);
+}
+
+TEST_F(CoreTest, IcachePrefetchHelpsBigCode)
+{
+    Program p = workloads::memoryInstPrefetch({});
+    AlphaCore with(AlphaCoreParams::simAlpha());
+    AlphaCore without(AlphaCoreParams::withoutFeature("pref"));
+    EXPECT_GT(with.run(p).ipc(), without.run(p).ipc() * 1.1);
+}
+
+TEST_F(CoreTest, LoadUseSpeculationHelpsLoadChains)
+{
+    Program p = workloads::memoryDependent({});
+    AlphaCore with(AlphaCoreParams::simAlpha());
+    AlphaCore without(AlphaCoreParams::withoutFeature("luse"));
+    EXPECT_GT(with.run(p).ipc(), without.run(p).ipc());
+}
+
+TEST_F(CoreTest, RemovingMapStallHelps)
+{
+    Program p = workloads::memoryL2({});
+    AlphaCore with(AlphaCoreParams::simAlpha());
+    AlphaCore without(AlphaCoreParams::withoutFeature("maps"));
+    EXPECT_GE(without.run(p, 100000).ipc(),
+              with.run(p, 100000).ipc());
+}
+
+TEST_F(CoreTest, LateBranchRecoveryBugIsExpensive)
+{
+    Program p = workloads::controlConditionalA({});
+    AlphaCoreParams params = AlphaCoreParams::simAlpha();
+    params.bugLateBranchRecovery = true;
+    AlphaCore buggy(params);
+    AlphaCore good(AlphaCoreParams::simAlpha());
+    EXPECT_LT(buggy.run(p).ipc(), good.run(p).ipc() * 0.7);
+}
+
+TEST_F(CoreTest, BiggerRegisterFileNeverHurtsMuch)
+{
+    Program p = workloads::executeDependent(4, {});
+    AlphaCoreParams params = AlphaCoreParams::simAlpha();
+    params.physIntRegs = kNumIntRegs + 80;
+    params.physFpRegs = kNumFpRegs + 80;
+    AlphaCore big(params);
+    AlphaCore base(AlphaCoreParams::simAlpha());
+    EXPECT_GE(big.run(p).ipc(), base.run(p).ipc() * 0.99);
+}
+
+TEST_F(CoreTest, PartialBypassSlowsDependentCode)
+{
+    Program p = workloads::executeDependent(1, {});
+    AlphaCoreParams params = AlphaCoreParams::simAlpha();
+    params.regreadCycles = 2;
+    params.fullBypass = false;
+    AlphaCore partial(params);
+    AlphaCore full(AlphaCoreParams::simAlpha());
+    EXPECT_LT(partial.run(p).ipc(), full.run(p).ipc());
+}
+
+TEST_F(CoreTest, StatsExposeCyclesAndInsts)
+{
+    Program p = countedLoop(100, 2);
+    AlphaCore core(AlphaCoreParams::simAlpha());
+    RunResult r = core.run(p);
+    EXPECT_EQ(core.statGroup().get("cycles"), r.cycles);
+    EXPECT_EQ(core.statGroup().get("insts_committed"),
+              r.instsCommitted);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the event-count comparison module (the Section 6
+ * Bose & Conte methodology).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "validate/events.hh"
+#include "validate/machines.hh"
+#include "workloads/microbench.hh"
+
+using namespace simalpha;
+using namespace simalpha::validate;
+
+namespace {
+
+class EventsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+} // namespace
+
+TEST_F(EventsTest, IdenticalMachinesShowNoDivergence)
+{
+    Program p = workloads::executeDependent(2, {});
+    auto a = makeMachine("sim-alpha");
+    auto b = makeMachine("sim-alpha");
+    a->run(p);
+    b->run(p);
+    auto divs = compareEvents(*a, *b, 0.01);
+    EXPECT_TRUE(divs.empty());
+}
+
+TEST_F(EventsTest, BuggySimulatorDivergesOnControlEvents)
+{
+    Program p = workloads::controlConditionalA({});
+    auto ref = makeMachine("ds10l");
+    auto sim = makeMachine("sim-initial");
+    ref->run(p, 100000);
+    sim->run(p, 100000);
+    auto divs = compareEvents(*ref, *sim, 0.1);
+    ASSERT_FALSE(divs.empty());
+    // The dominant divergence must be a front-end event (the C-C bugs
+    // live there).
+    bool frontend_on_top = false;
+    for (std::size_t i = 0; i < std::min<std::size_t>(4, divs.size());
+         i++) {
+        const std::string &e = divs[i].event;
+        if (e.find("mispredict") != std::string::npos ||
+            e.find("line") != std::string::npos ||
+            e.find("slot") != std::string::npos ||
+            e.find("fetch") != std::string::npos ||
+            e.find("squash") != std::string::npos ||
+            e.find("issued") != std::string::npos)
+            frontend_on_top = true;
+    }
+    EXPECT_TRUE(frontend_on_top);
+}
+
+TEST_F(EventsTest, DivergencesSortedByMagnitude)
+{
+    Program p = workloads::controlSwitch(1, {});
+    auto ref = makeMachine("ds10l");
+    auto sim = makeMachine("sim-initial");
+    ref->run(p, 80000);
+    sim->run(p, 80000);
+    auto divs = compareEvents(*ref, *sim, 0.0);
+    for (std::size_t i = 1; i < divs.size(); i++)
+        EXPECT_GE(divs[i - 1].perKiloInst, divs[i].perKiloInst);
+}
+
+TEST_F(EventsTest, MissingCounterCountsAsZero)
+{
+    // sim-outorder has no replay traps at all; on a trap-heavy run the
+    // reference's trap counter must surface as a divergence.
+    Program p = workloads::memoryDependent({});
+    auto ref = makeMachine("sim-initial");     // traps wildly on M-D
+    auto sim = makeMachine("sim-outorder");
+    ref->run(p);
+    sim->run(p);
+    auto divs = compareEvents(*ref, *sim, 0.0);
+    bool found = false;
+    for (const auto &d : divs)
+        if (d.event == "replay_traps" && d.simulator == 0 &&
+            d.reference > 0)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST_F(EventsTest, FormatListsTopEvents)
+{
+    std::vector<EventDivergence> divs;
+    divs.push_back({"big_event", 1000, 0, 50.0});
+    divs.push_back({"small_event", 10, 0, 0.5});
+    std::string s = formatDivergences(divs, 1);
+    EXPECT_NE(s.find("big_event"), std::string::npos);
+    EXPECT_EQ(s.find("small_event"), std::string::npos);
+}
+
+TEST_F(EventsTest, EmptyReportSaysNone)
+{
+    std::string s = formatDivergences({}, 5);
+    EXPECT_NE(s.find("none"), std::string::npos);
+}

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the machine factory, the RUU comparator, the validation
+ * metrics, and the DCPI measurement model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "outorder/ruu_core.hh"
+#include "validate/dcpi.hh"
+#include "validate/machines.hh"
+#include "validate/metrics.hh"
+#include "workloads/microbench.hh"
+
+using namespace simalpha;
+using namespace simalpha::validate;
+
+namespace {
+
+class MachineTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+} // namespace
+
+TEST_F(MachineTest, FactoryBuildsAllNamedConfigs)
+{
+    for (const char *name :
+         {"ds10l", "sim-alpha", "sim-initial", "sim-stripped",
+          "sim-outorder"}) {
+        auto m = makeMachine(name);
+        ASSERT_NE(m, nullptr);
+        EXPECT_EQ(m->name(), name);
+    }
+}
+
+TEST_F(MachineTest, FactoryBuildsAllAblation)
+{
+    for (const std::string &f : featureNames()) {
+        auto m = makeMachine("sim-alpha-no-" + f);
+        EXPECT_EQ(m->name(), "sim-alpha-no-" + f);
+    }
+}
+
+TEST_F(MachineTest, StabilityConfigListHasThirteenColumns)
+{
+    EXPECT_EQ(stabilityConfigNames().size(), 13u);
+}
+
+TEST_F(MachineTest, FeatureRemovalFlagsApply)
+{
+    AlphaCoreParams p = AlphaCoreParams::withoutFeature("luse");
+    EXPECT_FALSE(p.loadUseSpec);
+    p = AlphaCoreParams::withoutFeature("trap");
+    EXPECT_FALSE(p.mboxTraps);
+    p = AlphaCoreParams::withoutFeature("vbuf");
+    EXPECT_EQ(p.mem.l1d.victimEntries, 0);
+    p = AlphaCoreParams::withoutFeature("pref");
+    EXPECT_EQ(p.mem.l1i.prefetchLines, 0);
+}
+
+TEST_F(MachineTest, PresetsDifferAsDocumented)
+{
+    AlphaCoreParams golden = AlphaCoreParams::golden();
+    AlphaCoreParams alpha = AlphaCoreParams::simAlpha();
+    AlphaCoreParams initial = AlphaCoreParams::simInitial();
+    EXPECT_TRUE(golden.mboxExtraTraps);
+    EXPECT_FALSE(alpha.mboxExtraTraps);
+    EXPECT_TRUE(golden.mem.sharedMaf);
+    EXPECT_FALSE(alpha.mem.sharedMaf);
+    EXPECT_TRUE(alpha.approxDelayedIqRemoval);
+    EXPECT_FALSE(golden.approxDelayedIqRemoval);
+    EXPECT_TRUE(initial.bugLateBranchRecovery);
+    EXPECT_FALSE(initial.speculativeUpdate);
+    AlphaCoreParams stripped = AlphaCoreParams::simStripped();
+    EXPECT_FALSE(stripped.slotAdder);
+    EXPECT_FALSE(stripped.mapStall);
+    EXPECT_FALSE(stripped.mboxTraps);
+}
+
+TEST_F(MachineTest, OptimizationsApplyToParams)
+{
+    auto fast = makeMachine("sim-alpha", Optimization::FastL1);
+    EXPECT_NE(fast->name().find("fastl1"), std::string::npos);
+    auto big = makeMachine("sim-alpha", Optimization::BigL1);
+    EXPECT_NE(big->name().find("bigl1"), std::string::npos);
+    auto regs = makeMachine("sim-outorder", Optimization::MoreRegs);
+    EXPECT_NE(regs->name().find("regs"), std::string::npos);
+}
+
+TEST_F(MachineTest, FastL1ImprovesLoadChain)
+{
+    Program p = workloads::memoryDependent({});
+    RunResult base = makeMachine("sim-alpha")->run(p);
+    RunResult fast =
+        makeMachine("sim-alpha", Optimization::FastL1)->run(p);
+    EXPECT_GT(fast.ipc(), base.ipc() * 1.02);
+}
+
+TEST_F(MachineTest, RuuCoreCommitsArchitecturalStream)
+{
+    Program p = workloads::controlConditionalA({});
+    RuuCore core(RuuCoreParams::simOutorder());
+    RunResult r = core.run(p);
+    EXPECT_TRUE(r.finished);
+    EXPECT_GT(r.ipc(), 0.1);
+}
+
+TEST_F(MachineTest, RuuCoreIsOptimisticOnRecursion)
+{
+    // The paper's headline: the abstract machine outruns the detailed
+    // one on control-heavy code (C-R +25%).
+    Program p = workloads::controlRecursive({});
+    RunResult ruu = makeMachine("sim-outorder")->run(p);
+    RunResult golden = makeMachine("ds10l")->run(p);
+    EXPECT_GT(ruu.ipc(), golden.ipc());
+}
+
+TEST_F(MachineTest, RuuCoreHasNoReplayTraps)
+{
+    Program p = workloads::controlRecursive({});
+    auto m = makeMachine("sim-outorder");
+    m->run(p);
+    EXPECT_EQ(m->statGroup().get("store_replay_traps"), 0u);
+}
+
+TEST_F(MachineTest, RuuCoreDeterministic)
+{
+    Program p = workloads::executeDependent(3, {});
+    RuuCore core(RuuCoreParams::simOutorder());
+    EXPECT_EQ(core.run(p).cycles, core.run(p).cycles);
+}
+
+TEST_F(MachineTest, SeparateRegfileLimitsInflight)
+{
+    Program p = workloads::executeIndependent({});
+    RuuCoreParams params = RuuCoreParams::simOutorder();
+    params.physRegs = 4;    // harshly limited
+    RuuCore limited(params);
+    RuuCore free_regs(RuuCoreParams::simOutorder());
+    EXPECT_LT(limited.run(p).ipc(), free_regs.run(p).ipc());
+}
+
+TEST(Metrics, PercentErrorSignConvention)
+{
+    RunResult ref, sim;
+    ref.cycles = 100;
+    ref.instsCommitted = 100;       // CPI 1.0
+    sim.cycles = 125;
+    sim.instsCommitted = 100;       // CPI 1.25: slower -> negative
+    EXPECT_LT(percentErrorCpi(ref, sim), 0.0);
+    sim.cycles = 80;                // faster -> positive
+    EXPECT_GT(percentErrorCpi(ref, sim), 0.0);
+    sim.cycles = 100;
+    EXPECT_DOUBLE_EQ(percentErrorCpi(ref, sim), 0.0);
+}
+
+TEST(Metrics, MeanAbsoluteError)
+{
+    EXPECT_DOUBLE_EQ(meanAbsoluteError({-10.0, 30.0}), 20.0);
+    EXPECT_DOUBLE_EQ(meanAbsoluteError({}), 0.0);
+}
+
+TEST(Metrics, PercentImprovement)
+{
+    RunResult base, opt;
+    base.cycles = 200;
+    base.instsCommitted = 100;      // IPC 0.5
+    opt.cycles = 100;
+    opt.instsCommitted = 100;       // IPC 1.0
+    EXPECT_DOUBLE_EQ(percentImprovement(base, opt), 100.0);
+}
+
+TEST(Dcpi, LargerIntervalsDilateLess)
+{
+    RunResult truth;
+    truth.cycles = 10000000;
+    truth.instsCommitted = 8000000;
+
+    DcpiParams fine;
+    fine.samplingInterval = 1000;
+    DcpiParams coarse;
+    coarse.samplingInterval = 64000;
+
+    DcpiMeasurement mf = measure(truth, fine);
+    DcpiMeasurement mc = measure(truth, coarse);
+    EXPECT_GT(mf.samples, mc.samples);
+    // Fine sampling dilates the measured run more.
+    EXPECT_GT(mf.reportedCycles, mc.reportedCycles);
+}
+
+TEST(Dcpi, MeasurementIsDeterministicPerSeed)
+{
+    RunResult truth;
+    truth.cycles = 5000000;
+    truth.instsCommitted = 4000000;
+    DcpiParams p;
+    EXPECT_EQ(measure(truth, p).reportedCycles,
+              measure(truth, p).reportedCycles);
+}
+
+TEST(Dcpi, FortyThousandIsASweetSpot)
+{
+    // The paper chose 40,000 cycles; total |error| there should not be
+    // worse than both extremes.
+    RunResult truth;
+    truth.cycles = 20000000;
+    truth.instsCommitted = 15000000;
+    auto err = [&](Cycle interval) {
+        DcpiParams p;
+        p.samplingInterval = interval;
+        return std::abs(measure(truth, p).cycleError);
+    };
+    double mid = err(40000);
+    EXPECT_LE(mid, std::max(err(1000), err(640000)) + 1e-9);
+}

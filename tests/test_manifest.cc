@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the experiment-manifest module (the Section 7
+ * reproducibility recommendation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "validate/manifest.hh"
+
+using namespace simalpha;
+using namespace simalpha::validate;
+
+TEST(Manifest, AlphaManifestCoversFeaturesBugsAndMemory)
+{
+    Config c = describe(AlphaCoreParams::simAlpha());
+    EXPECT_EQ(c.getString("name"), "sim-alpha");
+    EXPECT_EQ(c.getString("model"), "alpha-21264");
+    EXPECT_EQ(c.getInt("fetch_width"), 4);
+    EXPECT_EQ(c.getInt("int_iq_entries"), 20);
+    EXPECT_TRUE(c.getBool("feature.addr"));
+    EXPECT_FALSE(c.getBool("bug.late_branch_recovery"));
+    EXPECT_TRUE(c.getBool("approx.delayed_iq_removal"));
+    EXPECT_EQ(c.getInt("l1d.size_bytes"), 64 * 1024);
+    EXPECT_EQ(c.getInt("l2.assoc"), 1);
+    EXPECT_TRUE(c.has("dram.cas_cycles"));
+}
+
+TEST(Manifest, DistinguishesTheMachines)
+{
+    Config golden = describe(AlphaCoreParams::golden());
+    Config initial = describe(AlphaCoreParams::simInitial());
+    EXPECT_TRUE(golden.getBool("hw.mbox_extra_traps"));
+    EXPECT_FALSE(initial.getBool("hw.mbox_extra_traps"));
+    EXPECT_TRUE(initial.getBool("bug.late_branch_recovery"));
+    EXPECT_TRUE(golden.getBool("shared_maf"));
+    EXPECT_FALSE(initial.getBool("shared_maf"));
+}
+
+TEST(Manifest, RuuManifestCoversTheAbstractMachine)
+{
+    Config c = describe(RuuCoreParams::simOutorder());
+    EXPECT_EQ(c.getString("model"), "ruu");
+    EXPECT_EQ(c.getInt("ruu_entries"), 64);
+    EXPECT_EQ(c.getInt("dram.flat_latency"), 62);
+    EXPECT_EQ(c.getInt("l1i.prefetch_lines"), 0);
+}
+
+TEST(Manifest, RendersEveryKeyOncePerLine)
+{
+    Config c = describe(AlphaCoreParams::simAlpha());
+    std::string text = renderManifest(c);
+    std::size_t lines = 0;
+    for (char ch : text)
+        if (ch == '\n')
+            lines++;
+    EXPECT_EQ(lines, c.keys().size());
+    EXPECT_NE(text.find("feature.luse = true"), std::string::npos);
+}
+
+TEST(Manifest, RenderValueFormatsAllTypes)
+{
+    Config c;
+    c.set("i", std::int64_t(42));
+    c.set("b", true);
+    c.set("d", 1.5);
+    c.set("s", "hello");
+    EXPECT_EQ(c.renderValue("i"), "42");
+    EXPECT_EQ(c.renderValue("b"), "true");
+    EXPECT_EQ(c.renderValue("s"), "hello");
+    EXPECT_NE(c.renderValue("d").find("1.5"), std::string::npos);
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Parameterized property sweeps: cache geometries, DRAM parameter
+ * combinations, and issue-queue capacities, checking structural
+ * invariants across the whole configuration space the benches exercise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "core/core.hh"
+#include "memory/cache.hh"
+#include "memory/dram.hh"
+#include "workloads/microbench.hh"
+
+using namespace simalpha;
+
+// ---------------------------------------------------------------------
+// Cache geometry sweep: (size KB, assoc, victim entries)
+// ---------------------------------------------------------------------
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(CacheGeometry, InvariantsHoldUnderRandomTraffic)
+{
+    auto [size_kb, assoc, victims] = GetParam();
+    CacheParams p;
+    p.name = "sweep";
+    p.sizeBytes = size_kb * 1024;
+    p.assoc = assoc;
+    p.blockBytes = 64;
+    p.hitLatency = 3;
+    p.victimEntries = victims;
+    Cache cache(p, nullptr);
+
+    Random rng(std::uint64_t(size_kb * 131 + assoc * 7 + victims));
+    Cycle now = 0;
+    for (int i = 0; i < 4000; i++) {
+        Addr addr = rng.below(256 * 1024);
+        AccessResult r = cache.access(addr, rng.chance(0.25), now);
+        ASSERT_GE(r.done, now);
+        // Completed access => immediate re-access hits.
+        AccessResult again = cache.access(addr, false, r.done);
+        ASSERT_TRUE(again.hit);
+        now = r.done;
+    }
+    EXPECT_EQ(cache.hits() + cache.misses(), 8000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(1, 1, 0),
+                      std::make_tuple(4, 2, 0),
+                      std::make_tuple(4, 2, 8),
+                      std::make_tuple(16, 4, 4),
+                      std::make_tuple(64, 2, 8),
+                      std::make_tuple(8, 8, 2)));
+
+// ---------------------------------------------------------------------
+// DRAM parameter sweep: the calibration space of Section 4.2
+// ---------------------------------------------------------------------
+
+class DramSweep
+    : public ::testing::TestWithParam<std::tuple<bool, int, int, int>>
+{
+};
+
+TEST_P(DramSweep, LatencyIsPositiveMonotoneAndDeterministic)
+{
+    auto [open_page, ras, cas, pre] = GetParam();
+    DramParams p;
+    p.openPage = open_page;
+    p.rasCycles = ras;
+    p.casCycles = cas;
+    p.prechargeCycles = pre;
+
+    Dram a(p), b(p);
+    Random rng(std::uint64_t(ras * 100 + cas * 10 + pre));
+    Cycle ta = 0, tb = 0;
+    for (int i = 0; i < 500; i++) {
+        Addr addr = rng.below(1 << 24);
+        AccessResult ra = a.access(addr, false, ta);
+        AccessResult rb = b.access(addr, false, tb);
+        ASSERT_GT(ra.done, ta);         // latency is positive
+        ASSERT_EQ(ra.done, rb.done);    // deterministic
+        ta = ra.done;
+        tb = rb.done;
+    }
+    if (open_page)
+        EXPECT_GT(a.rowHits() + a.rowMisses(), 0u);
+    else
+        EXPECT_EQ(a.rowHits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Calibration, DramSweep,
+    ::testing::Combine(::testing::Bool(),           // page policy
+                       ::testing::Values(2, 3),     // RAS
+                       ::testing::Values(2, 4),     // CAS
+                       ::testing::Values(1, 2)));   // precharge
+
+// ---------------------------------------------------------------------
+// Issue-queue capacity sweep on the full core
+// ---------------------------------------------------------------------
+
+class IqCapacity : public ::testing::TestWithParam<int>
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+TEST_P(IqCapacity, SmallerQueuesNeverFasterOnIlpCode)
+{
+    int entries = GetParam();
+    AlphaCoreParams p = AlphaCoreParams::simAlpha();
+    p.intIqEntries = entries;
+    AlphaCore small(p);
+    AlphaCore full(AlphaCoreParams::simAlpha());
+    Program prog = workloads::executeDependent(4, {});
+    double ipc_small = small.run(prog, 60000).ipc();
+    double ipc_full = full.run(prog, 60000).ipc();
+    EXPECT_LE(ipc_small, ipc_full * 1.02) << entries;
+    EXPECT_GT(ipc_small, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, IqCapacity,
+                         ::testing::Values(4, 8, 12, 20));
+
+// ---------------------------------------------------------------------
+// Fetch width / machine width sweep
+// ---------------------------------------------------------------------
+
+class RetireWidth : public ::testing::TestWithParam<int>
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+TEST_P(RetireWidth, MachineStillCommitsEverything)
+{
+    AlphaCoreParams p = AlphaCoreParams::simAlpha();
+    p.retireWidth = GetParam();
+    AlphaCore core(p);
+    Program prog = workloads::controlConditionalA({});
+    RunResult r = core.run(prog, 40000);
+    EXPECT_GE(r.instsCommitted, 40000u);
+    EXPECT_LE(r.ipc(), double(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RetireWidth,
+                         ::testing::Values(1, 2, 4, 11));

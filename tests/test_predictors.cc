@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Predictor unit tests: the tournament branch predictor (learning,
+ * speculative history, recovery), return address stack, BTB, 2-level
+ * predictor, line predictor training/hysteresis, way predictor,
+ * load-use counter, and the store-wait table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/branch.hh"
+#include "predictors/frontend.hh"
+
+using namespace simalpha;
+
+namespace {
+
+constexpr Addr kPc = 0x120000100ULL;
+
+/** Train-and-measure helper: feed a repeating pattern, return accuracy
+ *  over the last `measure` predictions. */
+double
+patternAccuracy(TournamentPredictor &pred, const std::vector<bool> &pat,
+                int warmup, int measure)
+{
+    int correct = 0;
+    for (int i = 0; i < warmup + measure; i++) {
+        bool actual = pat[std::size_t(i) % pat.size()];
+        BranchSnapshot snap;
+        bool p = pred.predict(kPc, snap);
+        if (i >= warmup && p == actual)
+            correct++;
+        if (p != actual)
+            pred.recover(snap, actual);
+        pred.update(kPc, actual, snap);
+    }
+    return double(correct) / measure;
+}
+
+} // namespace
+
+TEST(Tournament, LearnsAlwaysTaken)
+{
+    TournamentPredictor pred(true);
+    EXPECT_GT(patternAccuracy(pred, {true}, 32, 100), 0.99);
+}
+
+TEST(Tournament, LearnsAlwaysNotTaken)
+{
+    TournamentPredictor pred(true);
+    EXPECT_GT(patternAccuracy(pred, {false}, 32, 100), 0.99);
+}
+
+TEST(Tournament, LearnsAlternatingPattern)
+{
+    // The local predictor's 10-bit history captures TNTN perfectly.
+    TournamentPredictor pred(true);
+    EXPECT_GT(patternAccuracy(pred, {true, false}, 64, 200), 0.95);
+}
+
+TEST(Tournament, LearnsPeriodFourPattern)
+{
+    TournamentPredictor pred(true);
+    EXPECT_GT(patternAccuracy(pred, {true, true, true, false}, 128, 200),
+              0.9);
+}
+
+TEST(Tournament, SnapshotRestoreIsExact)
+{
+    TournamentPredictor pred(true);
+    // Predict several branches, snapshot at one of them, mutate, then
+    // restore — the next prediction must match a clone that never
+    // speculated past the snapshot.
+    BranchSnapshot snaps[8];
+    for (int i = 0; i < 8; i++)
+        pred.predict(kPc + Addr(4 * i), snaps[i]);
+    // Unwind the last five speculative shifts (youngest first).
+    for (int i = 7; i >= 3; i--)
+        pred.restore(snaps[i]);
+    BranchSnapshot fresh;
+    pred.predict(kPc + Addr(4 * 3), fresh);
+    EXPECT_EQ(fresh.globalHistory, snaps[3].globalHistory);
+}
+
+TEST(Tournament, NonSpeculativeModeHoldsHistory)
+{
+    TournamentPredictor pred(false);
+    BranchSnapshot a, b;
+    pred.predict(kPc, a);
+    pred.predict(kPc, b);
+    // Without speculative update the history did not move between the
+    // two predictions.
+    EXPECT_EQ(a.globalHistory, b.globalHistory);
+}
+
+TEST(Ras, PushPopLifo)
+{
+    ReturnAddressStack ras;
+    ras.push(100);
+    ras.push(200);
+    EXPECT_EQ(ras.peek(), 200u);
+    EXPECT_EQ(ras.pop(), 200u);
+    EXPECT_EQ(ras.pop(), 100u);
+}
+
+TEST(Ras, SnapshotRepairsTop)
+{
+    ReturnAddressStack ras;
+    ras.push(100);
+    auto snap = ras.snapshot();
+    ras.push(200);      // speculative
+    ras.pop();
+    ras.pop();          // speculatively destroyed the top
+    ras.restore(snap);
+    EXPECT_EQ(ras.pop(), 100u);
+}
+
+TEST(Ras, WrapsWithoutCrashing)
+{
+    ReturnAddressStack ras;
+    for (int i = 0; i < 100; i++)
+        ras.push(Addr(i));
+    // The most recent 32 survive.
+    for (int i = 99; i >= 68; i--)
+        EXPECT_EQ(ras.pop(), Addr(i));
+}
+
+TEST(Ras, RecursionToOneSiteSurvivesOverflow)
+{
+    // All pushes carry the same return PC: even after wrapping, pops
+    // keep producing the right answer (the C-R behaviour).
+    ReturnAddressStack ras;
+    for (int i = 0; i < 1000; i++)
+        ras.push(0x1234);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(ras.pop(), 0x1234u);
+}
+
+TEST(Btb, MissThenHit)
+{
+    Btb btb(64, 2);
+    EXPECT_EQ(btb.lookup(kPc), kNoAddr);
+    btb.update(kPc, 0x5000);
+    EXPECT_EQ(btb.lookup(kPc), 0x5000u);
+}
+
+TEST(Btb, LruReplacementWithinSet)
+{
+    Btb btb(1, 2);      // one set, two ways: third entry evicts LRU
+    btb.update(4, 100);
+    btb.update(8, 200);
+    btb.lookup(4);      // make 4 the MRU
+    btb.update(12, 300);
+    EXPECT_EQ(btb.lookup(4), 100u);
+    EXPECT_EQ(btb.lookup(8), kNoAddr);
+    EXPECT_EQ(btb.lookup(12), 300u);
+}
+
+TEST(TwoLevel, LearnsBias)
+{
+    TwoLevelPredictor pred(4096, 12);
+    std::uint32_t snap;
+    for (int i = 0; i < 64; i++) {
+        bool p = pred.predict(kPc, snap);
+        if (p != true)
+            pred.recover(snap, true);
+        pred.update(kPc, true, snap);
+    }
+    bool p = pred.predict(kPc, snap);
+    EXPECT_TRUE(p);
+}
+
+TEST(TwoLevel, RecoverRepairsHistory)
+{
+    TwoLevelPredictor pred(4096, 12);
+    std::uint32_t snap1, snap2;
+    pred.predict(kPc, snap1);
+    pred.recover(snap1, true);
+    pred.predict(kPc, snap2);
+    EXPECT_EQ(snap2, ((snap1 << 1) | 1u) & 0xFFFu);
+}
+
+TEST(LinePredictor, UntrainedPredictsSequential)
+{
+    LinePredictor lp(1024, 1);
+    EXPECT_EQ(lp.predict(0x120000000ULL), 0x120000010ULL);
+    EXPECT_EQ(lp.predict(0x120000008ULL), 0x120000010ULL);
+}
+
+TEST(LinePredictor, TrainsToNewTarget)
+{
+    LinePredictor lp(1024, 1);
+    Addr pc = 0x120000000ULL;
+    // init hysteresis 1 (weak): a single mispredict retrains.
+    lp.train(pc, 0x120000400ULL);
+    EXPECT_EQ(lp.predict(pc), 0x120000400ULL);
+}
+
+TEST(LinePredictor, HysteresisResistsOneOff)
+{
+    LinePredictor lp(1024, 1);
+    Addr pc = 0x120000000ULL;
+    lp.train(pc, 0x120000400ULL);   // now predicting 0x400
+    lp.train(pc, 0x120000400ULL);   // strengthen
+    lp.train(pc, 0x120000400ULL);   // saturate
+    // One disagreement only weakens; the prediction survives.
+    lp.train(pc, 0x120000010ULL);
+    EXPECT_EQ(lp.predict(pc), 0x120000400ULL);
+    EXPECT_GT(lp.mispredicts(), 0u);
+}
+
+TEST(LinePredictor, RepeatedDisagreementRetrains)
+{
+    LinePredictor lp(1024, 1);
+    Addr pc = 0x120000000ULL;
+    for (int i = 0; i < 4; i++)
+        lp.train(pc, 0x120000400ULL);
+    for (int i = 0; i < 4; i++)
+        lp.train(pc, 0x120000800ULL);
+    EXPECT_EQ(lp.predict(pc), 0x120000800ULL);
+}
+
+TEST(WayPredictor, LearnsWay)
+{
+    WayPredictor wp(1024);
+    Addr line = 0x120004000ULL;
+    EXPECT_EQ(wp.predict(line), 0);
+    wp.update(line, 1);
+    EXPECT_EQ(wp.predict(line), 1);
+}
+
+TEST(LoadUse, StartsPredictingHit)
+{
+    LoadUsePredictor p;
+    EXPECT_TRUE(p.predictHit());
+}
+
+TEST(LoadUse, MissesDecrementByTwo)
+{
+    LoadUsePredictor p;
+    // From 15, four misses bring the counter to 7: predicts miss.
+    for (int i = 0; i < 4; i++)
+        p.update(false);
+    EXPECT_FALSE(p.predictHit());
+    EXPECT_EQ(p.counter(), 7);
+}
+
+TEST(LoadUse, HitsRecoverSlowly)
+{
+    LoadUsePredictor p;
+    for (int i = 0; i < 8; i++)
+        p.update(false);
+    EXPECT_EQ(p.counter(), 0);
+    for (int i = 0; i < 8; i++)
+        p.update(true);
+    EXPECT_TRUE(p.predictHit());
+}
+
+TEST(StoreWait, DefaultIsNoWait)
+{
+    StoreWaitPredictor p;
+    EXPECT_FALSE(p.shouldWait(kPc, 0));
+}
+
+TEST(StoreWait, MarkedLoadWaits)
+{
+    StoreWaitPredictor p;
+    p.markConflict(kPc);
+    EXPECT_TRUE(p.shouldWait(kPc, 0));
+    EXPECT_FALSE(p.shouldWait(kPc + 4, 0));
+}
+
+TEST(StoreWait, PeriodicClear)
+{
+    StoreWaitPredictor p(1024, 1000);
+    p.markConflict(kPc);
+    EXPECT_TRUE(p.shouldWait(kPc, 10));
+    EXPECT_FALSE(p.shouldWait(kPc, 2000));
+}
+
+/** Property sweep: the tournament predictor must track any short
+ *  periodic pattern well above chance. */
+class PeriodicPattern : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PeriodicPattern, BeatsChance)
+{
+    int period = GetParam();
+    std::vector<bool> pat;
+    for (int i = 0; i < period; i++)
+        pat.push_back(i == 0);      // one taken per period
+    TournamentPredictor pred(true);
+    EXPECT_GT(patternAccuracy(pred, pat, 256, 400), 0.85)
+        << "period " << period;
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodicPattern,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8));

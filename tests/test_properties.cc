@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Property-based tests: randomized programs and traffic streams drive
+ * whole-system invariants — the timing models must commit exactly the
+ * architectural stream, timing must be monotonic and deterministic,
+ * and structural resources must never leak.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "core/core.hh"
+#include "isa/assembler.hh"
+#include "isa/emulator.hh"
+#include "memory/cache.hh"
+#include "outorder/ruu_core.hh"
+
+using namespace simalpha;
+
+namespace {
+
+/**
+ * Generate a random but always-terminating program: a counted outer
+ * loop whose body mixes ALU ops, loads/stores to a small arena, short
+ * forward branches, and calls to a tiny leaf function.
+ */
+Program
+randomProgram(std::uint64_t seed, int body_blocks)
+{
+    Random rng(seed);
+    ProgramBuilder b("rand-" + std::to_string(seed));
+    const Addr arena = Program::kDataBase;
+    for (int i = 0; i < 64; i++)
+        b.dataWord(arena + Addr(8 * i), rng.next());
+
+    b.lda(R(10), 1);
+    b.lda(R(9), 200);
+    // r20 = arena base.
+    b.lda(R(20), 0x4000);
+    b.lda(R(11), 16);
+    b.sll(R(20), R(11), R(20));
+    b.sll(R(20), R(11), R(20));
+    b.label("top");
+    for (int blk = 0; blk < body_blocks; blk++) {
+        switch (rng.below(6)) {
+          case 0:
+            b.addq(R(1 + int(rng.below(4))), R(10),
+                   R(1 + int(rng.below(4))));
+            break;
+          case 1:
+            b.mulq(R(1 + int(rng.below(4))), R(10),
+                   R(1 + int(rng.below(4))));
+            break;
+          case 2:
+            b.ldq(R(1 + int(rng.below(4))),
+                  8 * std::int64_t(rng.below(64)), R(20));
+            break;
+          case 3:
+            b.stq(R(1 + int(rng.below(4))),
+                  8 * std::int64_t(rng.below(64)), R(20));
+            break;
+          case 4: {
+            // Short forward branch over a couple of adds.
+            std::string lbl =
+                "skip" + std::to_string(blk) + "_" +
+                std::to_string(seed & 0xFF);
+            b.bne(R(1 + int(rng.below(4))), lbl);
+            b.addq(R(5), R(10), R(5));
+            b.addq(R(6), R(10), R(6));
+            b.label(lbl);
+            break;
+          }
+          case 5:
+            b.bsr(R(26), "leaf");
+            break;
+        }
+    }
+    b.subq(R(9), R(10), R(9));
+    b.bne(R(9), "top");
+    b.halt();
+    b.label("leaf");
+    b.addq(R(7), R(10), R(7));
+    b.ret(R(26));
+    return b.finish();
+}
+
+std::uint64_t
+architecturalCount(const Program &p)
+{
+    Emulator emu(p);
+    std::uint64_t n = 0;
+    while (!emu.halted()) {
+        emu.step();
+        n++;
+        if (n > 50000000)
+            ADD_FAILURE() << "functional run diverged";
+    }
+    return n;
+}
+
+class RandomProgramSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+} // namespace
+
+TEST_P(RandomProgramSweep, AllMachinesCommitTheArchitecturalStream)
+{
+    Program p = randomProgram(std::uint64_t(GetParam()) * 7919 + 13, 24);
+    std::uint64_t expect = architecturalCount(p);
+
+    for (const char *kind : {"golden", "alpha", "initial", "stripped"}) {
+        AlphaCoreParams params =
+            std::string(kind) == "golden"  ? AlphaCoreParams::golden()
+            : std::string(kind) == "alpha" ? AlphaCoreParams::simAlpha()
+            : std::string(kind) == "initial"
+                ? AlphaCoreParams::simInitial()
+                : AlphaCoreParams::simStripped();
+        AlphaCore core(params);
+        RunResult r = core.run(p);
+        EXPECT_TRUE(r.finished) << kind;
+        EXPECT_EQ(r.instsCommitted, expect) << kind;
+        // IPC is physically bounded by the retire width.
+        EXPECT_LE(r.ipc(), 11.0) << kind;
+    }
+
+    RuuCore ruu(RuuCoreParams::simOutorder());
+    RunResult r = ruu.run(p);
+    EXPECT_TRUE(r.finished);
+    EXPECT_EQ(r.instsCommitted, expect);
+}
+
+TEST_P(RandomProgramSweep, TimingIsDeterministic)
+{
+    Program p = randomProgram(std::uint64_t(GetParam()) * 104729, 16);
+    AlphaCore core(AlphaCoreParams::simAlpha());
+    Cycle first = core.run(p).cycles;
+    Cycle second = core.run(p).cycles;
+    EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramSweep,
+                         ::testing::Range(0, 10));
+
+TEST(CacheProperty, RandomTrafficInvariants)
+{
+    // Under arbitrary traffic: access completion never precedes the
+    // request; a block just accessed must hit immediately afterwards;
+    // stats counters account for every access.
+    setQuiet(true);
+    CacheParams params;
+    params.name = "prop";
+    params.sizeBytes = 4096;
+    params.assoc = 2;
+    params.blockBytes = 64;
+    params.hitLatency = 2;
+    params.victimEntries = 4;
+    Cache cache(params, nullptr);
+
+    Random rng(77);
+    Cycle now = 0;
+    std::uint64_t accesses = 0;
+    for (int i = 0; i < 20000; i++) {
+        Addr addr = rng.below(64 * 1024);
+        bool is_write = rng.chance(0.3);
+        AccessResult r = cache.access(addr, is_write, now);
+        accesses++;
+        ASSERT_GE(r.done, now);
+        // Re-access after completion is a hit.
+        AccessResult again = cache.access(addr, false, r.done);
+        accesses++;
+        ASSERT_TRUE(again.hit);
+        now = r.done + rng.below(4);
+    }
+    EXPECT_EQ(cache.hits() + cache.misses(), accesses);
+    EXPECT_GT(cache.statGroup().get("victim_hits"), 0u);
+}
+
+TEST(MshrProperty, PoolNeverExceedsCapacity)
+{
+    MshrPool pool(8, 4);
+    Random rng(5);
+    Cycle now = 0;
+    for (int i = 0; i < 5000; i++) {
+        Addr block = rng.below(1000);
+        Cycle avail;
+        pool.allocate(block, now + 20 + rng.below(100), now, avail);
+        ASSERT_LE(pool.entriesInUse(now), 8);
+        ASSERT_GE(avail, now);
+        now += rng.below(30);
+    }
+}
+
+TEST(EmulatorProperty, StepSequenceIsStable)
+{
+    // Two emulators of the same program produce identical traces.
+    Program p = randomProgram(4242, 20);
+    Emulator a(p), b(p);
+    while (!a.halted() && !b.halted()) {
+        ExecutedInst ia = a.step();
+        ExecutedInst ib = b.step();
+        ASSERT_EQ(ia.pc, ib.pc);
+        ASSERT_EQ(ia.nextPc, ib.nextPc);
+        ASSERT_EQ(ia.effAddr, ib.effAddr);
+        ASSERT_EQ(ia.taken, ib.taken);
+    }
+    EXPECT_EQ(a.halted(), b.halted());
+}
+
+TEST(CoreProperty, CyclesScaleRoughlyWithWork)
+{
+    // Doubling the dynamic instruction count should roughly double the
+    // cycle count on a steady-state loop (no super-linear artifacts).
+    setQuiet(true);
+    auto loop = [](std::int64_t iters) {
+        ProgramBuilder b("scale");
+        b.lda(R(10), 1);
+        b.lda(R(9), iters);
+        b.label("top");
+        for (int i = 0; i < 12; i++)
+            b.addq(R(1 + i % 3), R(10), R(1 + i % 3));
+        b.subq(R(9), R(10), R(9));
+        b.bne(R(9), "top");
+        b.halt();
+        return b.finish();
+    };
+    AlphaCore core(AlphaCoreParams::simAlpha());
+    Cycle small = core.run(loop(2000)).cycles;
+    Cycle big = core.run(loop(4000)).cycles;
+    EXPECT_NEAR(double(big) / double(small), 2.0, 0.2);
+}
+
+TEST(CoreProperty, WrongPathNeverCommits)
+{
+    // Heavy mispredict pressure: the commit count still matches the
+    // architectural count exactly (no wrong-path leakage).
+    setQuiet(true);
+    Program p = randomProgram(909, 32);
+    std::uint64_t expect = architecturalCount(p);
+    AlphaCoreParams params = AlphaCoreParams::simInitial();
+    AlphaCore core(params);
+    RunResult r = core.run(p);
+    EXPECT_EQ(r.instsCommitted, expect);
+    EXPECT_GT(core.statGroup().get("insts_squashed"), 0u);
+}

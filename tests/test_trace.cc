@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the category-based trace facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+using namespace simalpha;
+using namespace simalpha::trace;
+
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        // Leave every category off for other tests.
+        for (Category c :
+             {Category::Fetch, Category::Map, Category::Issue,
+              Category::Retire, Category::Recovery, Category::Memory,
+              Category::Predictor, Category::Trap})
+            setEnabled(c, false);
+    }
+};
+
+} // namespace
+
+TEST_F(TraceTest, CategoriesStartDisabled)
+{
+    EXPECT_FALSE(enabled(Category::Fetch));
+    EXPECT_FALSE(enabled(Category::Trap));
+}
+
+TEST_F(TraceTest, SetEnabledTogglesOneCategory)
+{
+    setEnabled(Category::Issue, true);
+    EXPECT_TRUE(enabled(Category::Issue));
+    EXPECT_FALSE(enabled(Category::Fetch));
+    setEnabled(Category::Issue, false);
+    EXPECT_FALSE(enabled(Category::Issue));
+}
+
+TEST_F(TraceTest, ParsesCommaSeparatedSpec)
+{
+    enableFromString("fetch,recovery");
+    EXPECT_TRUE(enabled(Category::Fetch));
+    EXPECT_TRUE(enabled(Category::Recovery));
+    EXPECT_FALSE(enabled(Category::Memory));
+}
+
+TEST_F(TraceTest, AllEnablesEverything)
+{
+    enableFromString("all");
+    EXPECT_TRUE(enabled(Category::Fetch));
+    EXPECT_TRUE(enabled(Category::Map));
+    EXPECT_TRUE(enabled(Category::Trap));
+}
+
+TEST_F(TraceTest, UnknownCategoryWarnsButContinues)
+{
+    setQuiet(true);
+    std::uint64_t before = warnCount();
+    enableFromString("bogus,retire");
+    EXPECT_EQ(warnCount(), before + 1);
+    EXPECT_TRUE(enabled(Category::Retire));
+}
+
+TEST_F(TraceTest, EmptyAndNullSpecsAreHarmless)
+{
+    enableFromString("");
+    enableFromString(nullptr);
+    enableFromString(",,,");
+    EXPECT_FALSE(enabled(Category::Fetch));
+}
+
+TEST_F(TraceTest, TraceMacroCompilesAndGates)
+{
+    // Disabled: the emit path must not run (no crash, no output check
+    // needed — gating is the contract).
+    TRACE(Fetch, "should not appear %d", 1);
+    setEnabled(Category::Fetch, true);
+    TRACE(Fetch, "visible line %d", 2);
+    SUCCEED();
+}

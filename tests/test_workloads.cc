@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Workload-generator tests: every microbenchmark, memory benchmark, and
+ * synthetic macrobenchmark must assemble, execute functionally to
+ * completion, and be deterministic. Parameterized suites sweep the
+ * whole catalogue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/logging.hh"
+#include "isa/emulator.hh"
+#include "workloads/macro.hh"
+#include "workloads/membench.hh"
+#include "workloads/microbench.hh"
+
+using namespace simalpha;
+using namespace simalpha::workloads;
+
+namespace {
+
+std::uint64_t
+runFunctionally(const Program &p, std::uint64_t limit)
+{
+    Emulator emu(p);
+    std::uint64_t n = 0;
+    while (!emu.halted() && n < limit) {
+        emu.step();
+        n++;
+    }
+    EXPECT_TRUE(emu.halted())
+        << p.name << " did not halt within " << limit;
+    return n;
+}
+
+} // namespace
+
+TEST(Microbench, SuiteHasTwentyOneEntries)
+{
+    EXPECT_EQ(microbenchSuite().size(), 21u);
+    EXPECT_EQ(microbenchNames().size(), 21u);
+}
+
+TEST(Microbench, NamesMatchPrograms)
+{
+    auto suite = microbenchSuite();
+    auto names = microbenchNames();
+    for (std::size_t i = 0; i < suite.size(); i++)
+        EXPECT_EQ(suite[i].name, names[i]);
+}
+
+class MicrobenchSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+TEST_P(MicrobenchSweep, ExecutesFunctionallyToHalt)
+{
+    auto suite = microbenchSuite();
+    const Program &p = suite[std::size_t(GetParam())];
+    runFunctionally(p, 30000000);
+}
+
+INSTANTIATE_TEST_SUITE_P(All21, MicrobenchSweep,
+                         ::testing::Range(0, 21));
+
+TEST(Microbench, ScaleMultipliesWork)
+{
+    MicrobenchOptions small;
+    MicrobenchOptions big;
+    big.scale = 2;
+    std::uint64_t a =
+        runFunctionally(executeIndependent(small), 10000000);
+    std::uint64_t b = runFunctionally(executeIndependent(big),
+                                      20000000);
+    EXPECT_GT(b, a * 3 / 2);
+}
+
+TEST(Microbench, CCaAndCCbDifferOnlyInPadding)
+{
+    Program a = controlConditionalA({});
+    Program b = controlConditionalB({});
+    // The two compiler layouts place their unop padding differently,
+    // so the instruction sequences diverge somewhere...
+    bool differs = a.text.size() != b.text.size();
+    for (std::size_t i = 0;
+         !differs && i < std::min(a.text.size(), b.text.size()); i++)
+        differs = a.text[i].op != b.text[i].op;
+    EXPECT_TRUE(differs);
+    // ... but both execute a comparable amount of work (the padding
+    // changes which unops fall on the executed path).
+    std::uint64_t na = runFunctionally(a, 10000000);
+    std::uint64_t nb = runFunctionally(b, 10000000);
+    EXPECT_NEAR(double(na), double(nb), double(na) * 0.25);
+}
+
+TEST(Microbench, EIAlignsLoopOnOctaword)
+{
+    Program p = executeIndependent({});
+    // Find the back-edge (the last bne) and verify it sits in the last
+    // slot of an octaword, which is what lets fetch sustain 4/cycle.
+    for (std::size_t i = 0; i < p.text.size(); i++) {
+        if (p.text[i].op == Op::Bne && p.text[i].target >= 0 &&
+            std::size_t(p.text[i].target) < i) {
+            EXPECT_EQ(i % 4, 3u);
+            EXPECT_EQ(p.text[i].target % 4, 0);
+        }
+    }
+}
+
+TEST(Microbench, MemoryBenchFootprints)
+{
+    // M-D fits in L1 (4KB), M-L2 in L2 (1MB), M-M in neither (8MB).
+    auto extent = [](const Program &p) {
+        Addr lo = ~Addr(0), hi = 0;
+        for (const auto &[addr, _] : p.data) {
+            lo = std::min(lo, addr);
+            hi = std::max(hi, addr);
+        }
+        return hi - lo;
+    };
+    EXPECT_LT(extent(memoryDependent({})), 64u * 1024);
+    Addr l2 = extent(memoryL2({}));
+    EXPECT_GT(l2, 64u * 1024);
+    EXPECT_LT(l2, 2u * 1024 * 1024);
+    EXPECT_GT(extent(memoryMain({})), 2u * 1024 * 1024);
+}
+
+TEST(Microbench, ChaseListsVisitEveryNode)
+{
+    // The shuffled chase must be one full-period cycle.
+    Program p = memoryDependent({});
+    std::map<Addr, RegVal> words;
+    for (const auto &[addr, val] : p.data)
+        words[addr] = val;
+    // Start from the lowest node and follow 'next' pointers.
+    Addr start = Program::kDataBase;
+    Addr cur = start;
+    int steps = 0;
+    do {
+        ASSERT_TRUE(words.count(cur)) << "broken chain";
+        cur = words[cur];
+        steps++;
+        ASSERT_LE(steps, 100000);
+    } while (cur != start);
+    EXPECT_EQ(steps, 256);
+}
+
+TEST(Membench, StreamSuiteHasFourKernels)
+{
+    EXPECT_EQ(streamSuite(1024, 1).size(), 4u);
+}
+
+class StreamSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StreamSweep, ExecutesToHalt)
+{
+    setQuiet(true);
+    auto kernel = StreamKernel(GetParam());
+    Program p = streamBenchmark(kernel, 4096, 1);
+    runFunctionally(p, 5000000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, StreamSweep, ::testing::Range(0, 4));
+
+TEST(Membench, LmbenchWalkTerminates)
+{
+    Program p = lmbenchLatency(64, 64, 5000);
+    runFunctionally(p, 1000000);
+}
+
+TEST(Macro, SuiteHasTenSpec2000Programs)
+{
+    auto profiles = spec2000Profiles();
+    ASSERT_EQ(profiles.size(), 10u);
+    const char *expected[] = {"gzip", "vpr", "gcc", "parser", "eon",
+                              "twolf", "mesa", "art", "equake",
+                              "lucas"};
+    for (std::size_t i = 0; i < profiles.size(); i++)
+        EXPECT_EQ(profiles[i].name, expected[i]);
+}
+
+class MacroSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+TEST_P(MacroSweep, ExecutesFunctionallyToHalt)
+{
+    auto profiles = spec2000Profiles();
+    MacroProfile prof = profiles[std::size_t(GetParam())];
+    prof.iterations = 50;       // functional smoke, not a full run
+    Program p = makeMacro(prof);
+    runFunctionally(p, 10000000);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTen, MacroSweep, ::testing::Range(0, 10));
+
+TEST(Macro, GeneratorIsDeterministic)
+{
+    auto a = spec2000Suite();
+    auto b = spec2000Suite();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        ASSERT_EQ(a[i].text.size(), b[i].text.size());
+        for (std::size_t j = 0; j < a[i].text.size(); j++)
+            EXPECT_EQ(int(a[i].text[j].op), int(b[i].text[j].op));
+        EXPECT_EQ(a[i].data, b[i].data);
+    }
+}
+
+TEST(Macro, Spec95SuiteBuilds)
+{
+    auto progs = spec95Suite();
+    EXPECT_EQ(progs.size(), 11u);
+    for (const Program &p : progs)
+        EXPECT_FALSE(p.text.empty());
+}
+
+TEST(Macro, FpProfilesContainFpWork)
+{
+    for (const Program &p : spec2000Suite()) {
+        bool has_fp = false;
+        for (const Instruction &i : p.text)
+            if (i.isFp())
+                has_fp = true;
+        if (p.name == "mesa" || p.name == "art" || p.name == "lucas")
+            EXPECT_TRUE(has_fp) << p.name;
+    }
+}
+
+TEST(Macro, ArtHasAliasedStores)
+{
+    for (const Program &p : spec2000Suite()) {
+        if (p.name != "art")
+            continue;
+        int stores = 0;
+        for (const Instruction &i : p.text)
+            if (i.isStore())
+                stores++;
+        EXPECT_GT(stores, 0);
+    }
+}

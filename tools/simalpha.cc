@@ -1,0 +1,190 @@
+/**
+ * @file
+ * simalpha — the command-line driver.
+ *
+ * Runs any machine configuration against any bundled workload and
+ * reports timing, event counters, and (optionally) the full parameter
+ * manifest, so one shell command reproduces any cell of the paper's
+ * tables:
+ *
+ *   simalpha --machine sim-alpha --workload C-R
+ *   simalpha --machine ds10l --workload art --stats
+ *   simalpha --machine sim-alpha-no-luse --workload M-D --manifest
+ *   simalpha --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "validate/machines.hh"
+#include "validate/manifest.hh"
+#include "workloads/macro.hh"
+#include "workloads/membench.hh"
+#include "workloads/microbench.hh"
+
+using namespace simalpha;
+using namespace simalpha::workloads;
+using namespace simalpha::validate;
+
+namespace {
+
+struct NamedProgram
+{
+    std::string name;
+    Program program;
+};
+
+std::vector<NamedProgram>
+catalogue()
+{
+    std::vector<NamedProgram> all;
+    auto micro = microbenchSuite();
+    auto names = microbenchNames();
+    for (std::size_t i = 0; i < micro.size(); i++)
+        all.push_back({names[i], micro[i]});
+    for (Program &p : spec2000Suite())
+        all.push_back({p.name, p});
+    for (Program &p : streamSuite(65536, 2))
+        all.push_back({p.name, p});
+    all.push_back({"lmbench", lmbenchLatency(8192, 64, 30000)});
+    return all;
+}
+
+std::vector<std::string>
+machineNames()
+{
+    std::vector<std::string> names{"ds10l", "sim-alpha", "sim-initial",
+                                   "sim-stripped", "sim-outorder"};
+    for (const std::string &f : featureNames())
+        names.push_back("sim-alpha-no-" + f);
+    return names;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: simalpha --machine <name> --workload <name> [options]\n"
+        "\n"
+        "options:\n"
+        "  --machine <name>    machine configuration (see --list)\n"
+        "  --workload <name>   bundled workload (see --list)\n"
+        "  --max-insts <n>     stop after n committed instructions\n"
+        "  --stats             dump all event counters after the run\n"
+        "  --manifest          print the full parameter manifest\n"
+        "  --list              list machines and workloads\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::string machine_name = "sim-alpha";
+    std::optional<std::string> workload_name;
+    std::uint64_t max_insts = 0;
+    bool want_stats = false;
+    bool want_manifest = false;
+    bool want_list = false;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--machine") {
+            machine_name = next();
+        } else if (arg == "--workload") {
+            workload_name = next();
+        } else if (arg == "--max-insts") {
+            max_insts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--stats") {
+            want_stats = true;
+        } else if (arg == "--manifest") {
+            want_manifest = true;
+        } else if (arg == "--list") {
+            want_list = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    if (want_list) {
+        std::printf("machines:\n");
+        for (const std::string &m : machineNames())
+            std::printf("  %s\n", m.c_str());
+        std::printf("workloads:\n");
+        for (const NamedProgram &p : catalogue())
+            std::printf("  %s\n", p.name.c_str());
+        return 0;
+    }
+
+    if (want_manifest) {
+        if (machine_name == "sim-outorder") {
+            std::cout << renderManifest(
+                describe(RuuCoreParams::simOutorder()));
+        } else if (machine_name == "ds10l") {
+            std::cout << renderManifest(
+                describe(AlphaCoreParams::golden()));
+        } else if (machine_name == "sim-initial") {
+            std::cout << renderManifest(
+                describe(AlphaCoreParams::simInitial()));
+        } else if (machine_name == "sim-stripped") {
+            std::cout << renderManifest(
+                describe(AlphaCoreParams::simStripped()));
+        } else if (machine_name.rfind("sim-alpha-no-", 0) == 0) {
+            std::cout << renderManifest(describe(
+                AlphaCoreParams::withoutFeature(
+                    machine_name.substr(13))));
+        } else {
+            std::cout << renderManifest(
+                describe(AlphaCoreParams::simAlpha()));
+        }
+        if (!workload_name)
+            return 0;
+    }
+
+    if (!workload_name) {
+        usage();
+        fatal("--workload is required (or use --list)");
+    }
+
+    const Program *prog = nullptr;
+    auto all = catalogue();
+    for (const NamedProgram &p : all)
+        if (p.name == *workload_name)
+            prog = &p.program;
+    if (!prog)
+        fatal("unknown workload '%s' (use --list)",
+              workload_name->c_str());
+
+    auto machine = makeMachine(machine_name);
+    RunResult r = machine->run(*prog, max_insts);
+
+    std::printf("machine   %s\n", r.machine.c_str());
+    std::printf("workload  %s\n", r.program.c_str());
+    std::printf("insts     %llu\n",
+                (unsigned long long)r.instsCommitted);
+    std::printf("cycles    %llu\n", (unsigned long long)r.cycles);
+    std::printf("IPC       %.4f\n", r.ipc());
+    std::printf("CPI       %.4f\n", r.cpi());
+    std::printf("finished  %s\n", r.finished ? "yes" : "inst-limit");
+
+    if (want_stats) {
+        std::printf("\n");
+        machine->statGroup().dump(std::cout);
+    }
+    return 0;
+}
