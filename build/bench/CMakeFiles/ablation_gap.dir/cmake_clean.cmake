@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gap.dir/ablation_gap.cc.o"
+  "CMakeFiles/ablation_gap.dir/ablation_gap.cc.o.d"
+  "ablation_gap"
+  "ablation_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_regfile.dir/figure2_regfile.cc.o"
+  "CMakeFiles/figure2_regfile.dir/figure2_regfile.cc.o.d"
+  "figure2_regfile"
+  "figure2_regfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_microbench.dir/table2_microbench.cc.o"
+  "CMakeFiles/table2_microbench.dir/table2_microbench.cc.o.d"
+  "table2_microbench"
+  "table2_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_macrobench.dir/table3_macrobench.cc.o"
+  "CMakeFiles/table3_macrobench.dir/table3_macrobench.cc.o.d"
+  "table3_macrobench"
+  "table3_macrobench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_macrobench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_memcal.dir/table_memcal.cc.o"
+  "CMakeFiles/table_memcal.dir/table_memcal.cc.o.d"
+  "table_memcal"
+  "table_memcal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_memcal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_microbench.dir/validate_microbench.cpp.o"
+  "CMakeFiles/validate_microbench.dir/validate_microbench.cpp.o.d"
+  "validate_microbench"
+  "validate_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_common.dir/config.cc.o"
+  "CMakeFiles/sim_common.dir/config.cc.o.d"
+  "CMakeFiles/sim_common.dir/logging.cc.o"
+  "CMakeFiles/sim_common.dir/logging.cc.o.d"
+  "CMakeFiles/sim_common.dir/stats.cc.o"
+  "CMakeFiles/sim_common.dir/stats.cc.o.d"
+  "CMakeFiles/sim_common.dir/trace.cc.o"
+  "CMakeFiles/sim_common.dir/trace.cc.o.d"
+  "libsim_common.a"
+  "libsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

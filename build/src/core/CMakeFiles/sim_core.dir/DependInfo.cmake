@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/core.cc" "src/core/CMakeFiles/sim_core.dir/core.cc.o" "gcc" "src/core/CMakeFiles/sim_core.dir/core.cc.o.d"
+  "/root/repo/src/core/fu_pool.cc" "src/core/CMakeFiles/sim_core.dir/fu_pool.cc.o" "gcc" "src/core/CMakeFiles/sim_core.dir/fu_pool.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/sim_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/sim_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/sim_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/sim_core.dir/params.cc.o.d"
+  "/root/repo/src/core/rename.cc" "src/core/CMakeFiles/sim_core.dir/rename.cc.o" "gcc" "src/core/CMakeFiles/sim_core.dir/rename.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/sim_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/sim_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_core.dir/core.cc.o"
+  "CMakeFiles/sim_core.dir/core.cc.o.d"
+  "CMakeFiles/sim_core.dir/fu_pool.cc.o"
+  "CMakeFiles/sim_core.dir/fu_pool.cc.o.d"
+  "CMakeFiles/sim_core.dir/oracle.cc.o"
+  "CMakeFiles/sim_core.dir/oracle.cc.o.d"
+  "CMakeFiles/sim_core.dir/params.cc.o"
+  "CMakeFiles/sim_core.dir/params.cc.o.d"
+  "CMakeFiles/sim_core.dir/rename.cc.o"
+  "CMakeFiles/sim_core.dir/rename.cc.o.d"
+  "libsim_core.a"
+  "libsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_isa.dir/assembler.cc.o"
+  "CMakeFiles/sim_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/sim_isa.dir/emulator.cc.o"
+  "CMakeFiles/sim_isa.dir/emulator.cc.o.d"
+  "CMakeFiles/sim_isa.dir/isa.cc.o"
+  "CMakeFiles/sim_isa.dir/isa.cc.o.d"
+  "libsim_isa.a"
+  "libsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_memory.dir/cache.cc.o"
+  "CMakeFiles/sim_memory.dir/cache.cc.o.d"
+  "CMakeFiles/sim_memory.dir/dram.cc.o"
+  "CMakeFiles/sim_memory.dir/dram.cc.o.d"
+  "CMakeFiles/sim_memory.dir/hierarchy.cc.o"
+  "CMakeFiles/sim_memory.dir/hierarchy.cc.o.d"
+  "CMakeFiles/sim_memory.dir/tlb.cc.o"
+  "CMakeFiles/sim_memory.dir/tlb.cc.o.d"
+  "libsim_memory.a"
+  "libsim_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

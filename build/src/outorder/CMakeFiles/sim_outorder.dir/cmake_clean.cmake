@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_outorder.dir/ruu_core.cc.o"
+  "CMakeFiles/sim_outorder.dir/ruu_core.cc.o.d"
+  "libsim_outorder.a"
+  "libsim_outorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_outorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

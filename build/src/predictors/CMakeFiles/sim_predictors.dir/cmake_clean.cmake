@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_predictors.dir/branch.cc.o"
+  "CMakeFiles/sim_predictors.dir/branch.cc.o.d"
+  "CMakeFiles/sim_predictors.dir/frontend.cc.o"
+  "CMakeFiles/sim_predictors.dir/frontend.cc.o.d"
+  "libsim_predictors.a"
+  "libsim_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/validate/dcpi.cc" "src/validate/CMakeFiles/sim_validate.dir/dcpi.cc.o" "gcc" "src/validate/CMakeFiles/sim_validate.dir/dcpi.cc.o.d"
+  "/root/repo/src/validate/events.cc" "src/validate/CMakeFiles/sim_validate.dir/events.cc.o" "gcc" "src/validate/CMakeFiles/sim_validate.dir/events.cc.o.d"
+  "/root/repo/src/validate/machines.cc" "src/validate/CMakeFiles/sim_validate.dir/machines.cc.o" "gcc" "src/validate/CMakeFiles/sim_validate.dir/machines.cc.o.d"
+  "/root/repo/src/validate/manifest.cc" "src/validate/CMakeFiles/sim_validate.dir/manifest.cc.o" "gcc" "src/validate/CMakeFiles/sim_validate.dir/manifest.cc.o.d"
+  "/root/repo/src/validate/metrics.cc" "src/validate/CMakeFiles/sim_validate.dir/metrics.cc.o" "gcc" "src/validate/CMakeFiles/sim_validate.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/outorder/CMakeFiles/sim_outorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/sim_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/sim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_validate.dir/dcpi.cc.o"
+  "CMakeFiles/sim_validate.dir/dcpi.cc.o.d"
+  "CMakeFiles/sim_validate.dir/events.cc.o"
+  "CMakeFiles/sim_validate.dir/events.cc.o.d"
+  "CMakeFiles/sim_validate.dir/machines.cc.o"
+  "CMakeFiles/sim_validate.dir/machines.cc.o.d"
+  "CMakeFiles/sim_validate.dir/manifest.cc.o"
+  "CMakeFiles/sim_validate.dir/manifest.cc.o.d"
+  "CMakeFiles/sim_validate.dir/metrics.cc.o"
+  "CMakeFiles/sim_validate.dir/metrics.cc.o.d"
+  "libsim_validate.a"
+  "libsim_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

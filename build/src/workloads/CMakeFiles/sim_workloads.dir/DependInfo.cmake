@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/macro.cc" "src/workloads/CMakeFiles/sim_workloads.dir/macro.cc.o" "gcc" "src/workloads/CMakeFiles/sim_workloads.dir/macro.cc.o.d"
+  "/root/repo/src/workloads/membench.cc" "src/workloads/CMakeFiles/sim_workloads.dir/membench.cc.o" "gcc" "src/workloads/CMakeFiles/sim_workloads.dir/membench.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/workloads/CMakeFiles/sim_workloads.dir/microbench.cc.o" "gcc" "src/workloads/CMakeFiles/sim_workloads.dir/microbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/sim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

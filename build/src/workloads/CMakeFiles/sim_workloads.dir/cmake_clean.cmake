@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_workloads.dir/macro.cc.o"
+  "CMakeFiles/sim_workloads.dir/macro.cc.o.d"
+  "CMakeFiles/sim_workloads.dir/membench.cc.o"
+  "CMakeFiles/sim_workloads.dir/membench.cc.o.d"
+  "CMakeFiles/sim_workloads.dir/microbench.cc.o"
+  "CMakeFiles/sim_workloads.dir/microbench.cc.o.d"
+  "libsim_workloads.a"
+  "libsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_paper_shapes.cc" "tests/CMakeFiles/test_paper_shapes.dir/test_paper_shapes.cc.o" "gcc" "tests/CMakeFiles/test_paper_shapes.dir/test_paper_shapes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/validate/CMakeFiles/sim_validate.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/outorder/CMakeFiles/sim_outorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/sim_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/sim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simalpha.dir/simalpha.cc.o"
+  "CMakeFiles/simalpha.dir/simalpha.cc.o.d"
+  "simalpha"
+  "simalpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simalpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
