@@ -2,34 +2,34 @@
  * @file
  * Regenerates Table 2: microbenchmark validation.
  *
- * Runs the 21-microbenchmark suite on the golden reference (the DS-10L
- * stand-in), the initial non-validated simulator, the validated
- * sim-alpha, and SimpleScalar-style sim-outorder; reports IPC and the
- * percentage CPI error of each simulator against the reference, plus
- * the arithmetic-mean absolute error of each column.
+ * Executes the 21-microbenchmark × 4-machine grid as one campaign on
+ * the parallel ExperimentRunner (all cores), then formats IPC and the
+ * percentage CPI error of each simulator against the golden DS-10L
+ * reference, plus the arithmetic-mean absolute error of each column.
  */
 
 #include <cstdio>
 #include <vector>
 
 #include "common/logging.hh"
-#include "validate/machines.hh"
+#include "runner/campaign.hh"
+#include "runner/runner.hh"
 #include "validate/metrics.hh"
 #include "workloads/microbench.hh"
 
 using namespace simalpha;
 using namespace simalpha::workloads;
 using namespace simalpha::validate;
+using namespace simalpha::runner;
 
 int
 main()
 {
     setQuiet(true);
-    std::vector<Program> suite = microbenchSuite();
     std::vector<std::string> names = microbenchNames();
 
-    const char *machines[] = {"ds10l", "sim-initial", "sim-alpha",
-                              "sim-outorder"};
+    ExperimentRunner rnr({0, true});
+    CampaignResult result = rnr.run(table2Campaign());
 
     std::printf("Table 2: microbenchmark validation "
                 "(IPC; %% error in CPI vs reference)\n\n");
@@ -41,16 +41,13 @@ main()
 
     std::vector<double> err_initial, err_alpha, err_outorder;
 
-    for (std::size_t i = 0; i < suite.size(); i++) {
-        RunResult ref, sim[3];
-        {
-            auto m = makeMachine(machines[0]);
-            ref = m->run(suite[i]);
-        }
-        for (int s = 0; s < 3; s++) {
-            auto m = makeMachine(machines[s + 1]);
-            sim[s] = m->run(suite[i]);
-        }
+    for (const std::string &name : names) {
+        RunResult ref = result.find("ds10l", name)->toRunResult();
+        RunResult sim[3] = {
+            result.find("sim-initial", name)->toRunResult(),
+            result.find("sim-alpha", name)->toRunResult(),
+            result.find("sim-outorder", name)->toRunResult(),
+        };
         double e0 = percentErrorCpi(ref, sim[0]);
         double e1 = percentErrorCpi(ref, sim[1]);
         double e2 = percentErrorCpi(ref, sim[2]);
@@ -60,7 +57,7 @@ main()
 
         std::printf("%-6s %8.2f | %8.2f %7.1f%% | %8.2f %7.1f%% | "
                     "%8.2f %7.1f%%\n",
-                    names[i].c_str(), ref.ipc(), sim[0].ipc(), e0,
+                    name.c_str(), ref.ipc(), sim[0].ipc(), e0,
                     sim[1].ipc(), e1, sim[2].ipc(), e2);
     }
 

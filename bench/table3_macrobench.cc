@@ -3,28 +3,33 @@
  * Regenerates Table 3: macrobenchmark validation.
  *
  * Runs the ten synthetic SPEC2000 programs on the golden reference,
- * sim-alpha, sim-stripped, and sim-outorder; reports IPC per benchmark
- * and the percent error in CPI against the reference, with harmonic-
- * mean IPC aggregates and arithmetic-mean absolute errors.
+ * sim-alpha, sim-stripped, and sim-outorder — as one parallel campaign
+ * on the ExperimentRunner — and reports IPC per benchmark and the
+ * percent error in CPI against the reference, with harmonic-mean IPC
+ * aggregates and arithmetic-mean absolute errors.
  */
 
 #include <cstdio>
 #include <vector>
 
 #include "common/logging.hh"
-#include "validate/machines.hh"
+#include "runner/campaign.hh"
+#include "runner/runner.hh"
 #include "validate/metrics.hh"
 #include "workloads/macro.hh"
 
 using namespace simalpha;
 using namespace simalpha::workloads;
 using namespace simalpha::validate;
+using namespace simalpha::runner;
 
 int
 main()
 {
     setQuiet(true);
-    std::vector<Program> suite = spec2000Suite();
+
+    ExperimentRunner rnr({0, true});
+    CampaignResult cr = rnr.run(table3Campaign());
 
     std::printf("Table 3: macrobenchmark validation "
                 "(IPC; %% error in CPI vs reference)\n\n");
@@ -37,11 +42,14 @@ main()
     std::vector<RunResult> refs, alphas, strips, outords;
     std::vector<double> err_alpha, err_strip, err_out;
 
-    for (const Program &prog : suite) {
-        RunResult ref = makeMachine("ds10l")->run(prog);
-        RunResult alpha = makeMachine("sim-alpha")->run(prog);
-        RunResult strip = makeMachine("sim-stripped")->run(prog);
-        RunResult outord = makeMachine("sim-outorder")->run(prog);
+    for (const MacroProfile &prof : spec2000Profiles()) {
+        const std::string &name = prof.name;
+        RunResult ref = cr.find("ds10l", name)->toRunResult();
+        RunResult alpha = cr.find("sim-alpha", name)->toRunResult();
+        RunResult strip =
+            cr.find("sim-stripped", name)->toRunResult();
+        RunResult outord =
+            cr.find("sim-outorder", name)->toRunResult();
 
         refs.push_back(ref);
         alphas.push_back(alpha);
@@ -53,7 +61,7 @@ main()
 
         std::printf("%-8s %7.2f | %7.2f %6.1f%% | %7.2f %6.1f%% | "
                     "%7.2f %6.1f%%\n",
-                    prog.name.c_str(), ref.ipc(), alpha.ipc(),
+                    name.c_str(), ref.ipc(), alpha.ipc(),
                     err_alpha.back(), strip.ipc(), err_strip.back(),
                     outord.ipc(), err_out.back());
     }

@@ -14,24 +14,31 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
-#include "validate/machines.hh"
+#include "runner/campaign.hh"
+#include "runner/runner.hh"
 #include "validate/metrics.hh"
 #include "workloads/macro.hh"
 
 using namespace simalpha;
 using namespace simalpha::workloads;
 using namespace simalpha::validate;
+using namespace simalpha::runner;
 
 int
 main()
 {
     setQuiet(true);
-    std::vector<Program> suite = spec2000Suite();
+    std::vector<MacroProfile> profiles = spec2000Profiles();
 
-    // Reference run: the full sim-alpha.
+    // The whole (sim-alpha + ten ablations) × macro-suite grid in one
+    // parallel campaign.
+    ExperimentRunner rnr({0, true});
+    CampaignResult cr = rnr.run(table4Campaign());
+
+    // Reference column: the full sim-alpha.
     std::vector<RunResult> ref;
-    for (const Program &prog : suite)
-        ref.push_back(makeMachine("sim-alpha")->run(prog));
+    for (const MacroProfile &prof : profiles)
+        ref.push_back(cr.find("sim-alpha", prof.name)->toRunResult());
 
     std::printf("Table 4: effect of individual features "
                 "(macro suite, vs sim-alpha)\n\n");
@@ -46,9 +53,10 @@ main()
         // by REMOVING the feature (negative = the feature helped).
         std::vector<RunResult> runs;
         std::vector<double> change;
-        for (std::size_t i = 0; i < suite.size(); i++) {
-            RunResult r =
-                makeMachine("sim-alpha-no-" + feature)->run(suite[i]);
+        for (std::size_t i = 0; i < profiles.size(); i++) {
+            RunResult r = cr.find("sim-alpha-no-" + feature,
+                                  profiles[i].name)
+                              ->toRunResult();
             runs.push_back(r);
             change.push_back(percentImprovement(ref[i], r));
         }

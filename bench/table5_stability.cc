@@ -14,25 +14,29 @@
 #include <vector>
 
 #include "common/logging.hh"
-#include "validate/machines.hh"
+#include "runner/campaign.hh"
+#include "runner/runner.hh"
 #include "validate/metrics.hh"
 #include "workloads/macro.hh"
 
 using namespace simalpha;
 using namespace simalpha::workloads;
 using namespace simalpha::validate;
+using namespace simalpha::runner;
 
 namespace {
 
 double
-suiteImprovement(const std::string &config, Optimization opt,
-                 const std::vector<Program> &suite)
+suiteImprovement(const CampaignResult &cr, const std::string &config,
+                 Optimization opt,
+                 const std::vector<MacroProfile> &profiles)
 {
     std::vector<RunResult> base, optim;
-    for (const Program &prog : suite) {
-        base.push_back(makeMachine(config, Optimization::None)
-                           ->run(prog));
-        optim.push_back(makeMachine(config, opt)->run(prog));
+    for (const MacroProfile &prof : profiles) {
+        base.push_back(
+            cr.find(config, prof.name, Optimization::None)
+                ->toRunResult());
+        optim.push_back(cr.find(config, prof.name, opt)->toRunResult());
     }
     double b = aggregateIpc(base);
     double o = aggregateIpc(optim);
@@ -45,7 +49,14 @@ int
 main()
 {
     setQuiet(true);
-    std::vector<Program> suite = spec2000Suite();
+    std::vector<MacroProfile> profiles = spec2000Profiles();
+
+    // All 13 configurations × 4 variants × 10 programs as one
+    // campaign. Each base cell appears once in the spec (the serial
+    // code re-ran it for every optimization row), and the runner's
+    // cache would collapse any remaining manifest-identical cells.
+    ExperimentRunner rnr({0, true});
+    CampaignResult cr = rnr.run(table5Campaign());
 
     struct OptRow
     {
@@ -81,7 +92,7 @@ main()
     for (const OptRow &row : opts) {
         std::printf("%-24s", row.label);
         for (const std::string &c : configs) {
-            double imp = suiteImprovement(c, row.opt, suite);
+            double imp = suiteImprovement(cr, c, row.opt, profiles);
             std::printf(" %6.2f", imp);
         }
         std::printf("\n");

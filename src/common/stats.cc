@@ -115,6 +115,15 @@ Group::counterNames() const
     return names;
 }
 
+std::map<std::string, std::uint64_t>
+Group::snapshot() const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &kv : _counters)
+        out[kv.first] = kv.second.value();
+    return out;
+}
+
 } // namespace stats
 
 double

@@ -107,6 +107,13 @@ class Group
     /** All counter names, sorted (for iteration in tests/benches). */
     std::vector<std::string> counterNames() const;
 
+    /**
+     * Copy every counter into a plain sorted name->value map: the
+     * thread-independent event snapshot a campaign cell carries after
+     * its machine is destroyed.
+     */
+    std::map<std::string, std::uint64_t> snapshot() const;
+
   private:
     std::string _name;
     std::map<std::string, Counter> _counters;

@@ -1,0 +1,255 @@
+#include "artifacts.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "validate/metrics.hh"
+
+namespace simalpha {
+namespace runner {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Fixed-precision double: deterministic for equal values. */
+std::string
+fixed6(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+std::string
+displayMachine(const CellResult &r)
+{
+    std::string m = r.cell.machine;
+    if (r.cell.opt != validate::Optimization::None)
+        m += "+" + validate::optimizationName(r.cell.opt);
+    return m;
+}
+
+/** Match key for diffing: the full cell identity. */
+std::string
+identityKey(const CellResult &r)
+{
+    return r.cell.machine + '\x1f' +
+           validate::optimizationName(r.cell.opt) + '\x1f' +
+           r.cell.workload + '\x1f' +
+           std::to_string(r.cell.maxInsts) + '\x1f' +
+           std::to_string(r.seed);
+}
+
+} // namespace
+
+std::string
+toJson(const CampaignResult &result)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"campaign\": \"" << jsonEscape(result.campaign)
+       << "\",\n";
+    os << "  \"cells\": [";
+    for (std::size_t i = 0; i < result.cells.size(); i++) {
+        const CellResult &r = result.cells[i];
+        os << (i ? ",\n" : "\n");
+        os << "    {\n";
+        os << "      \"machine\": \"" << jsonEscape(r.cell.machine)
+           << "\",\n";
+        os << "      \"optimization\": \""
+           << validate::optimizationName(r.cell.opt) << "\",\n";
+        os << "      \"workload\": \"" << jsonEscape(r.cell.workload)
+           << "\",\n";
+        os << "      \"max_insts\": " << r.cell.maxInsts << ",\n";
+        os << "      \"seed\": " << r.seed << ",\n";
+        os << "      \"ok\": " << (r.ok ? "true" : "false") << ",\n";
+        os << "      \"error\": \"" << jsonEscape(r.error) << "\",\n";
+        os << "      \"cycles\": " << r.cycles << ",\n";
+        os << "      \"insts\": " << r.instsCommitted << ",\n";
+        os << "      \"finished\": " << (r.finished ? "true" : "false")
+           << ",\n";
+        os << "      \"ipc\": " << fixed6(r.ipc()) << ",\n";
+        os << "      \"cpi\": " << fixed6(r.cpi()) << ",\n";
+        os << "      \"manifest_hash\": \"" << r.manifestHash
+           << "\",\n";
+        os << "      \"counters\": {";
+        bool first = true;
+        for (const auto &kv : r.counters) {
+            os << (first ? "\n" : ",\n");
+            os << "        \"" << jsonEscape(kv.first)
+               << "\": " << kv.second;
+            first = false;
+        }
+        os << (first ? "}" : "\n      }") << "\n";
+        os << "    }";
+    }
+    os << "\n  ]\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+toCsv(const CampaignResult &result)
+{
+    std::ostringstream os;
+    os << "machine,optimization,workload,max_insts,seed,ok,error,"
+          "cycles,insts,finished,ipc,cpi,manifest_hash\n";
+    for (const CellResult &r : result.cells) {
+        // Error text may contain commas; quote it.
+        std::string err = r.error;
+        std::string quoted = "\"";
+        for (char c : err)
+            quoted += (c == '"') ? "\"\"" : std::string(1, c);
+        quoted += "\"";
+        os << r.cell.machine << ','
+           << validate::optimizationName(r.cell.opt) << ','
+           << r.cell.workload << ',' << r.cell.maxInsts << ','
+           << r.seed << ',' << (r.ok ? 1 : 0) << ',' << quoted << ','
+           << r.cycles << ',' << r.instsCommitted << ','
+           << (r.finished ? 1 : 0) << ',' << fixed6(r.ipc()) << ','
+           << fixed6(r.cpi()) << ',' << r.manifestHash << "\n";
+    }
+    return os.str();
+}
+
+bool
+writeArtifact(const CampaignResult &result, const std::string &path,
+              std::string *error)
+{
+    bool csv = path.size() >= 4 &&
+               path.compare(path.size() - 4, 4, ".csv") == 0;
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        if (error)
+            *error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    out << (csv ? toCsv(result) : toJson(result));
+    out.close();
+    if (!out) {
+        if (error)
+            *error = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+std::vector<CellDiff>
+diffCampaigns(const CampaignResult &a, const CampaignResult &b)
+{
+    std::vector<CellDiff> diffs;
+
+    auto describe = [](const CellResult &r, const std::string &field,
+                       const std::string &va, const std::string &vb) {
+        return CellDiff{r.cell.machine,
+                        validate::optimizationName(r.cell.opt),
+                        r.cell.workload, field, va, vb};
+    };
+
+    std::map<std::string, const CellResult *> bIndex;
+    for (const CellResult &r : b.cells)
+        bIndex[identityKey(r)] = &r;
+
+    std::map<std::string, bool> seen;
+    for (const CellResult &ra : a.cells) {
+        std::string key = identityKey(ra);
+        seen[key] = true;
+        auto it = bIndex.find(key);
+        if (it == bIndex.end()) {
+            diffs.push_back(
+                describe(ra, "missing", "present", "absent"));
+            continue;
+        }
+        const CellResult &rb = *it->second;
+        if (ra.ok != rb.ok)
+            diffs.push_back(describe(ra, "ok",
+                                     ra.ok ? "true" : "false",
+                                     rb.ok ? "true" : "false"));
+        if (ra.cycles != rb.cycles)
+            diffs.push_back(describe(ra, "cycles",
+                                     std::to_string(ra.cycles),
+                                     std::to_string(rb.cycles)));
+        if (ra.instsCommitted != rb.instsCommitted)
+            diffs.push_back(
+                describe(ra, "insts",
+                         std::to_string(ra.instsCommitted),
+                         std::to_string(rb.instsCommitted)));
+        if (ra.manifestHash != rb.manifestHash)
+            diffs.push_back(describe(ra, "manifest_hash",
+                                     ra.manifestHash,
+                                     rb.manifestHash));
+        if (ra.counters != rb.counters)
+            diffs.push_back(describe(ra, "counters",
+                                     "(differ)", "(differ)"));
+    }
+    for (const CellResult &rb : b.cells)
+        if (!seen.count(identityKey(rb)))
+            diffs.push_back(
+                describe(rb, "missing", "absent", "present"));
+    return diffs;
+}
+
+std::vector<MachineAggregate>
+aggregateByMachine(const CampaignResult &result)
+{
+    std::vector<MachineAggregate> out;
+    std::map<std::string, std::size_t> index;
+    std::map<std::string, std::vector<RunResult>> runs;
+
+    for (const CellResult &r : result.cells) {
+        std::string m = displayMachine(r);
+        if (!index.count(m)) {
+            index[m] = out.size();
+            out.push_back({m, 0, 0, 0, 0, 0.0});
+        }
+        MachineAggregate &agg = out[index[m]];
+        if (!r.ok) {
+            agg.cellsFailed++;
+            continue;
+        }
+        agg.cellsOk++;
+        agg.totalCycles += r.cycles;
+        agg.totalInsts += r.instsCommitted;
+        runs[m].push_back(r.toRunResult());
+    }
+
+    for (MachineAggregate &agg : out)
+        if (!runs[agg.machine].empty())
+            agg.hmeanIpc = validate::aggregateIpc(runs[agg.machine]);
+    return out;
+}
+
+} // namespace runner
+} // namespace simalpha

@@ -1,0 +1,224 @@
+#include "campaign.hh"
+
+#include "workloads/macro.hh"
+#include "workloads/membench.hh"
+#include "workloads/microbench.hh"
+
+namespace simalpha {
+namespace runner {
+
+using validate::Optimization;
+using namespace simalpha::workloads;
+
+CampaignSpec
+CampaignSpec::withMaxInsts(std::uint64_t max_insts) const
+{
+    CampaignSpec out = *this;
+    for (Cell &cell : out.cells)
+        cell.maxInsts = max_insts;
+    return out;
+}
+
+std::uint64_t
+cellSeed(const Cell &cell)
+{
+    if (cell.seed)
+        return cell.seed;
+    // FNV-1a over the cell identity, so the seed survives reordering
+    // and is stable across runs, campaigns, and thread counts.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&](const std::string &s) {
+        for (unsigned char ch : s) {
+            h ^= ch;
+            h *= 0x100000001b3ULL;
+        }
+        h ^= 0x1F;     // field separator
+        h *= 0x100000001b3ULL;
+    };
+    mix(cell.machine);
+    mix(validate::optimizationName(cell.opt));
+    mix(cell.workload);
+    for (int i = 0; i < 8; i++) {
+        h ^= (cell.maxInsts >> (8 * i)) & 0xFF;
+        h *= 0x100000001b3ULL;
+    }
+    return h ? h : 1;
+}
+
+namespace {
+
+/** The spec2000 profile matching a name, if any. */
+const MacroProfile *
+findProfile(const std::vector<MacroProfile> &profiles,
+            const std::string &name)
+{
+    for (const MacroProfile &p : profiles)
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+/** Direct microbenchmark dispatch (avoids generating the whole suite
+ *  for every cell). Names follow microbenchNames(). */
+bool
+buildMicrobench(const std::string &name, Program *out)
+{
+    if (name == "C-Ca")
+        *out = controlConditionalA();
+    else if (name == "C-Cb")
+        *out = controlConditionalB();
+    else if (name == "C-R")
+        *out = controlRecursive();
+    else if (name == "C-S1")
+        *out = controlSwitch(1);
+    else if (name == "C-S2")
+        *out = controlSwitch(2);
+    else if (name == "C-S3")
+        *out = controlSwitch(3);
+    else if (name == "C-O")
+        *out = controlComplex();
+    else if (name == "E-I")
+        *out = executeIndependent();
+    else if (name == "E-F")
+        *out = executeFloat();
+    else if (name.rfind("E-D", 0) == 0 && name.size() == 4 &&
+             name[3] >= '1' && name[3] <= '6')
+        *out = executeDependent(name[3] - '0');
+    else if (name == "E-DM1")
+        *out = executeDependentMul();
+    else if (name == "M-I")
+        *out = memoryIndependent();
+    else if (name == "M-D")
+        *out = memoryDependent();
+    else if (name == "M-L2")
+        *out = memoryL2();
+    else if (name == "M-M")
+        *out = memoryMain();
+    else if (name == "M-IP")
+        *out = memoryInstPrefetch();
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names = microbenchNames();
+    for (const MacroProfile &p : spec2000Profiles())
+        names.push_back(p.name);
+    for (const Program &p : streamSuite(65536, 2))
+        names.push_back(p.name);
+    names.push_back("lmbench");
+    return names;
+}
+
+bool
+buildWorkload(const std::string &name, Program *out, std::string *error)
+{
+    if (buildMicrobench(name, out))
+        return true;
+
+    auto profiles = spec2000Profiles();
+    if (const MacroProfile *p = findProfile(profiles, name)) {
+        *out = makeMacro(*p);
+        return true;
+    }
+
+    for (Program &p : streamSuite(65536, 2)) {
+        if (p.name == name) {
+            *out = p;
+            return true;
+        }
+    }
+
+    if (name == "lmbench") {
+        *out = lmbenchLatency(8192, 64, 30000);
+        return true;
+    }
+
+    if (error)
+        *error = "unknown workload '" + name + "'";
+    return false;
+}
+
+CampaignSpec
+table2Campaign(const std::vector<std::string> &machines)
+{
+    CampaignSpec spec;
+    spec.name = "table2";
+    for (const std::string &w : microbenchNames())
+        for (const std::string &m : machines)
+            spec.cells.push_back({m, Optimization::None, w, 0, 0});
+    return spec;
+}
+
+CampaignSpec
+table2Campaign()
+{
+    return table2Campaign(
+        {"ds10l", "sim-initial", "sim-alpha", "sim-outorder"});
+}
+
+CampaignSpec
+table3Campaign()
+{
+    CampaignSpec spec;
+    spec.name = "table3";
+    for (const MacroProfile &p : spec2000Profiles())
+        for (const char *m :
+             {"ds10l", "sim-alpha", "sim-stripped", "sim-outorder"})
+            spec.cells.push_back({m, Optimization::None, p.name, 0, 0});
+    return spec;
+}
+
+CampaignSpec
+table4Campaign()
+{
+    CampaignSpec spec;
+    spec.name = "table4";
+    std::vector<std::string> machines{"sim-alpha"};
+    for (const std::string &f : validate::featureNames())
+        machines.push_back("sim-alpha-no-" + f);
+    for (const MacroProfile &p : spec2000Profiles())
+        for (const std::string &m : machines)
+            spec.cells.push_back({m, Optimization::None, p.name, 0, 0});
+    return spec;
+}
+
+CampaignSpec
+table5Campaign()
+{
+    CampaignSpec spec;
+    spec.name = "table5";
+    const Optimization opts[] = {Optimization::None,
+                                 Optimization::FastL1,
+                                 Optimization::BigL1,
+                                 Optimization::MoreRegs};
+    for (const std::string &c : validate::stabilityConfigNames())
+        for (Optimization opt : opts)
+            for (const MacroProfile &p : spec2000Profiles())
+                spec.cells.push_back({c, opt, p.name, 0, 0});
+    return spec;
+}
+
+bool
+campaignByName(const std::string &name, CampaignSpec *out)
+{
+    if (name == "table2")
+        *out = table2Campaign();
+    else if (name == "table3")
+        *out = table3Campaign();
+    else if (name == "table4")
+        *out = table4Campaign();
+    else if (name == "table5")
+        *out = table5Campaign();
+    else
+        return false;
+    return true;
+}
+
+} // namespace runner
+} // namespace simalpha

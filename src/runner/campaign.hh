@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Campaign specifications: the (machine × workload) grids behind the
+ * paper's Tables 2–5, expressed as flat lists of cells an
+ * ExperimentRunner can execute in any order.
+ *
+ * A cell is fully self-describing — machine name, Table-5 optimization,
+ * workload name, instruction limit, and RNG seed — so executing it
+ * needs no shared state beyond the immutable workload catalogue, which
+ * is what makes parallel campaigns bit-identical to serial ones.
+ */
+
+#ifndef SIMALPHA_RUNNER_CAMPAIGN_HH
+#define SIMALPHA_RUNNER_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "validate/machines.hh"
+
+namespace simalpha {
+namespace runner {
+
+/** One (machine × workload) experiment of a campaign. */
+struct Cell
+{
+    std::string machine;
+    validate::Optimization opt = validate::Optimization::None;
+    std::string workload;
+    /** Committed-instruction cap (0 = run to completion). */
+    std::uint64_t maxInsts = 0;
+    /**
+     * Seed of the cell's private RNG. 0 means "derive from the cell
+     * identity" (see cellSeed()); either way every execution of the
+     * same cell sees the same stream.
+     */
+    std::uint64_t seed = 0;
+};
+
+/** A named list of cells, executed together. */
+struct CampaignSpec
+{
+    std::string name;
+    std::vector<Cell> cells;
+
+    /** Apply one instruction cap to every cell (for quick sweeps). */
+    CampaignSpec withMaxInsts(std::uint64_t max_insts) const;
+};
+
+/** Deterministic per-cell seed derived from the cell identity. */
+std::uint64_t cellSeed(const Cell &cell);
+
+/** Names of every bundled workload (microbench, SPEC2000 synthetics,
+ *  stream kernels, lmbench), in catalogue order. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Generate a bundled workload by name. Each call builds a fresh
+ * Program (generation is deterministic), so concurrent cells never
+ * share mutable state.
+ * @return false with *error filled on an unknown name.
+ */
+bool buildWorkload(const std::string &name, Program *out,
+                   std::string *error);
+
+/** Table 2: the 21 microbenchmarks on the given machines (default:
+ *  ds10l, sim-initial, sim-alpha, sim-outorder as in the paper). */
+CampaignSpec table2Campaign();
+CampaignSpec table2Campaign(const std::vector<std::string> &machines);
+
+/** Table 3: the ten SPEC2000 synthetics on ds10l, sim-alpha,
+ *  sim-stripped, sim-outorder. */
+CampaignSpec table3Campaign();
+
+/** Table 4: the macro suite on sim-alpha and its ten single-feature
+ *  ablations. */
+CampaignSpec table4Campaign();
+
+/** Table 5: the macro suite across all 13 stability configurations ×
+ *  {none, fastl1, bigl1, regs}. */
+CampaignSpec table5Campaign();
+
+/** Campaign by name ("table2".."table5"); false on unknown names. */
+bool campaignByName(const std::string &name, CampaignSpec *out);
+
+} // namespace runner
+} // namespace simalpha
+
+#endif // SIMALPHA_RUNNER_CAMPAIGN_HH

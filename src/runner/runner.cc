@@ -1,0 +1,261 @@
+#include "runner.hh"
+
+#include <algorithm>
+#include <deque>
+#include <thread>
+
+#include "common/random.hh"
+#include "validate/manifest.hh"
+
+namespace simalpha {
+namespace runner {
+
+using validate::Optimization;
+
+RunResult
+CellResult::toRunResult() const
+{
+    RunResult r;
+    r.machine = cell.machine;
+    if (cell.opt != Optimization::None)
+        r.machine += "+" + validate::optimizationName(cell.opt);
+    r.program = cell.workload;
+    r.cycles = cycles;
+    r.instsCommitted = instsCommitted;
+    r.finished = finished;
+    return r;
+}
+
+const CellResult *
+CampaignResult::find(const std::string &machine,
+                     const std::string &workload,
+                     Optimization opt) const
+{
+    for (const CellResult &r : cells)
+        if (r.cell.machine == machine && r.cell.workload == workload &&
+            r.cell.opt == opt)
+            return &r;
+    return nullptr;
+}
+
+std::size_t
+CampaignResult::okCount() const
+{
+    std::size_t n = 0;
+    for (const CellResult &r : cells)
+        n += r.ok;
+    return n;
+}
+
+std::size_t
+CampaignResult::errorCount() const
+{
+    return cells.size() - okCount();
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : _opts(options)
+{
+}
+
+std::string
+ExperimentRunner::cacheKey(const Cell &cell) const
+{
+    Config config;
+    std::string error;
+    if (!validate::tryDescribeMachine(cell.machine, cell.opt, &config,
+                                      &error))
+        return "";
+    std::string key = validate::manifestHashHex(config);
+    key += '|';
+    key += cell.workload;
+    key += '|';
+    key += std::to_string(cell.maxInsts);
+    key += '|';
+    key += std::to_string(cellSeed(cell));
+    return key;
+}
+
+CellResult
+ExperimentRunner::runCell(const Cell &cell)
+{
+    CellResult result;
+    result.cell = cell;
+    result.seed = cellSeed(cell);
+
+    std::string error;
+    Config config;
+    if (!validate::tryDescribeMachine(cell.machine, cell.opt, &config,
+                                      &error)) {
+        result.error = error;
+        return result;
+    }
+    result.manifestHash = validate::manifestHashHex(config);
+
+    Program program;
+    if (!buildWorkload(cell.workload, &program, &error)) {
+        result.error = error;
+        return result;
+    }
+
+    auto machine =
+        validate::tryMakeMachine(cell.machine, cell.opt, &error);
+    if (!machine) {
+        result.error = error;
+        return result;
+    }
+
+    // The cell's private RNG: any stochastic behaviour during cell
+    // execution must draw from here (never from shared state), which
+    // keeps results independent of scheduling. The bundled workloads
+    // and machine models are internally deterministic, so today the
+    // stream is untouched; the seed is still recorded in artifacts.
+    Random rng(result.seed);
+    (void)rng;
+
+    RunResult r = machine->run(program, cell.maxInsts);
+    result.ok = true;
+    result.cycles = r.cycles;
+    result.instsCommitted = r.instsCommitted;
+    result.finished = r.finished;
+    result.counters = machine->statGroup().snapshot();
+    return result;
+}
+
+namespace {
+
+/**
+ * A per-worker deque of cell indices with LIFO owner access and FIFO
+ * stealing, the classic work-stealing split: owners pop recently
+ * pushed (cache-warm) work, thieves take the oldest (largest) items.
+ * All work is enqueued before the pool starts, so "every deque empty"
+ * means "done" — no condition variables needed.
+ */
+struct WorkQueue
+{
+    std::mutex mutex;
+    std::deque<std::size_t> items;
+
+    bool
+    popFront(std::size_t *out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (items.empty())
+            return false;
+        *out = items.front();
+        items.pop_front();
+        return true;
+    }
+
+    bool
+    stealBack(std::size_t *out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (items.empty())
+            return false;
+        *out = items.back();
+        items.pop_back();
+        return true;
+    }
+};
+
+} // namespace
+
+CampaignResult
+ExperimentRunner::run(const CampaignSpec &spec)
+{
+    CampaignResult result;
+    result.campaign = spec.name;
+    result.cells.resize(spec.cells.size());
+
+    // Each task writes exactly one preallocated slot, so completion
+    // order never affects result order (or bytes).
+    auto execute = [&](std::size_t i) {
+        const Cell &cell = spec.cells[i];
+        std::string key = _opts.cache ? cacheKey(cell) : std::string();
+
+        if (!key.empty()) {
+            std::lock_guard<std::mutex> lock(_cacheMutex);
+            auto it = _cache.find(key);
+            if (it != _cache.end()) {
+                CellResult cached = it->second;
+                cached.cell = cell;     // identity of *this* cell
+                cached.fromCache = true;
+                result.cells[i] = std::move(cached);
+                _cacheHits.fetch_add(1);
+                return;
+            }
+        }
+
+        CellResult r = runCell(cell);
+        if (!key.empty() && r.ok) {
+            std::lock_guard<std::mutex> lock(_cacheMutex);
+            _cache.emplace(key, r);
+        }
+        result.cells[i] = std::move(r);
+    };
+
+    int jobs = _opts.jobs;
+    if (jobs <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw ? int(hw) : 1;
+    }
+    jobs = int(std::min<std::size_t>(std::size_t(jobs),
+                                     std::max<std::size_t>(
+                                         spec.cells.size(), 1)));
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < spec.cells.size(); i++)
+            execute(i);
+        return result;
+    }
+
+    // Round-robin initial distribution over per-worker deques.
+    std::vector<WorkQueue> queues((std::size_t(jobs)));
+    for (std::size_t i = 0; i < spec.cells.size(); i++)
+        queues[i % std::size_t(jobs)].items.push_back(i);
+
+    auto worker = [&](std::size_t self) {
+        std::size_t task;
+        for (;;) {
+            if (queues[self].popFront(&task)) {
+                execute(task);
+                continue;
+            }
+            bool stolen = false;
+            for (std::size_t k = 1; k < queues.size() && !stolen; k++) {
+                std::size_t victim = (self + k) % queues.size();
+                stolen = queues[victim].stealBack(&task);
+            }
+            if (!stolen)
+                return;     // nothing left anywhere: pool drains
+            execute(task);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(std::size_t(jobs));
+    for (std::size_t w = 0; w < std::size_t(jobs); w++)
+        threads.emplace_back(worker, w);
+    for (std::thread &t : threads)
+        t.join();
+    return result;
+}
+
+std::size_t
+ExperimentRunner::cacheSize() const
+{
+    std::lock_guard<std::mutex> lock(_cacheMutex);
+    return _cache.size();
+}
+
+void
+ExperimentRunner::clearCache()
+{
+    std::lock_guard<std::mutex> lock(_cacheMutex);
+    _cache.clear();
+    _cacheHits.store(0);
+}
+
+} // namespace runner
+} // namespace simalpha

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * ExperimentRunner: deterministic parallel execution of experiment
+ * campaigns.
+ *
+ * Cells execute on a fixed-size std::thread pool with per-worker
+ * work-stealing deques. Determinism comes from isolation, not
+ * scheduling: every cell builds its own Machine and its own Program
+ * and seeds its own RNG, writes its result into a preallocated slot
+ * indexed by spec order, and shares nothing mutable with other cells —
+ * so a campaign at --jobs 8 is bit-identical to the same campaign at
+ * --jobs 1.
+ *
+ * An in-memory cache keyed by (manifest hash, workload, instruction
+ * cap, seed) skips redundant cells across runs of the same runner —
+ * e.g. the 3 base sweeps sharing each Table-5 configuration.
+ */
+
+#ifndef SIMALPHA_RUNNER_RUNNER_HH
+#define SIMALPHA_RUNNER_RUNNER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/machine.hh"
+#include "runner/campaign.hh"
+
+namespace simalpha {
+namespace runner {
+
+/** Outcome of one campaign cell. */
+struct CellResult
+{
+    Cell cell;
+    /** Seed the cell's RNG actually used (cellSeed(cell)). */
+    std::uint64_t seed = 0;
+
+    /** False if the cell could not run (unknown machine/workload). */
+    bool ok = false;
+    std::string error;
+
+    Cycle cycles = 0;
+    std::uint64_t instsCommitted = 0;
+    bool finished = false;
+    /** Event counters snapshot from the machine's stat group. */
+    std::map<std::string, std::uint64_t> counters;
+    /** Identity of the exact configuration that produced the numbers. */
+    std::string manifestHash;
+
+    /** Served from the result cache (in-memory note; not serialized,
+     *  so cached and computed campaigns stay byte-identical). */
+    bool fromCache = false;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(instsCommitted) / double(cycles) : 0.0;
+    }
+
+    double
+    cpi() const
+    {
+        return instsCommitted
+                   ? double(cycles) / double(instsCommitted)
+                   : 0.0;
+    }
+
+    /** Bridge to the validate/ metrics helpers. */
+    RunResult toRunResult() const;
+};
+
+/** All cell results of one campaign, in spec order. */
+struct CampaignResult
+{
+    std::string campaign;
+    std::vector<CellResult> cells;
+
+    /** First cell matching (machine, workload[, opt]); null if none. */
+    const CellResult *find(const std::string &machine,
+                           const std::string &workload,
+                           validate::Optimization opt =
+                               validate::Optimization::None) const;
+
+    std::size_t okCount() const;
+    std::size_t errorCount() const;
+};
+
+struct RunnerOptions
+{
+    /** Worker threads; 0 = hardware concurrency, 1 = run serially in
+     *  the calling thread. */
+    int jobs = 1;
+    /** Reuse results across cells/runs with identical identity. */
+    bool cache = true;
+};
+
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunnerOptions options = {});
+
+    /** Execute every cell of a campaign; results in spec order. */
+    CampaignResult run(const CampaignSpec &spec);
+
+    /** Cells served from cache since construction/clearCache(). */
+    std::uint64_t cacheHits() const { return _cacheHits.load(); }
+
+    /** Distinct results currently cached. */
+    std::size_t cacheSize() const;
+
+    void clearCache();
+
+    const RunnerOptions &options() const { return _opts; }
+
+  private:
+    CellResult runCell(const Cell &cell);
+    /** Cache key, or empty if the cell is not cacheable (bad machine). */
+    std::string cacheKey(const Cell &cell) const;
+
+    RunnerOptions _opts;
+
+    mutable std::mutex _cacheMutex;
+    std::unordered_map<std::string, CellResult> _cache;
+    std::atomic<std::uint64_t> _cacheHits{0};
+};
+
+} // namespace runner
+} // namespace simalpha
+
+#endif // SIMALPHA_RUNNER_RUNNER_HH

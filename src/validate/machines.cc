@@ -1,6 +1,9 @@
 #include "machines.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "validate/manifest.hh"
 
 namespace simalpha {
 namespace validate {
@@ -70,10 +73,49 @@ applyRuuOptimization(RuuCoreParams &p, Optimization opt)
     }
 }
 
+/**
+ * Build the AlphaCoreParams for a detailed-core configuration name.
+ * @return false (with *error filled) if the name is not recognised.
+ */
+bool
+buildAlphaParams(const std::string &name, Optimization opt,
+                 AlphaCoreParams *out, std::string *error)
+{
+    if (name == "ds10l") {
+        *out = AlphaCoreParams::golden();
+    } else if (name == "sim-alpha") {
+        *out = AlphaCoreParams::simAlpha();
+    } else if (name == "sim-initial") {
+        *out = AlphaCoreParams::simInitial();
+    } else if (name == "sim-stripped") {
+        *out = AlphaCoreParams::simStripped();
+    } else if (name.rfind("sim-alpha-no-", 0) == 0) {
+        // removeFeature() is fatal on unknown mnemonics; check first so
+        // a bad cell in a campaign stays a reportable error.
+        std::string feature = name.substr(13);
+        auto known = featureNames();
+        if (std::find(known.begin(), known.end(), feature) ==
+            known.end()) {
+            if (error)
+                *error = "unknown feature '" + feature +
+                         "' in machine '" + name + "'";
+            return false;
+        }
+        *out = AlphaCoreParams::withoutFeature(feature);
+    } else {
+        if (error)
+            *error = "unknown machine configuration '" + name + "'";
+        return false;
+    }
+    applyAlphaOptimization(*out, opt);
+    return true;
+}
+
 } // namespace
 
 std::unique_ptr<Machine>
-makeMachine(const std::string &name, Optimization opt)
+tryMakeMachine(const std::string &name, Optimization opt,
+               std::string *error)
 {
     if (name == "sim-outorder") {
         RuuCoreParams p = RuuCoreParams::simOutorder();
@@ -84,27 +126,80 @@ makeMachine(const std::string &name, Optimization opt)
     }
 
     AlphaCoreParams p;
-    if (name == "ds10l") {
-        p = AlphaCoreParams::golden();
-    } else if (name == "sim-alpha") {
-        p = AlphaCoreParams::simAlpha();
-    } else if (name == "sim-initial") {
-        p = AlphaCoreParams::simInitial();
-    } else if (name == "sim-stripped") {
-        p = AlphaCoreParams::simStripped();
-    } else if (name.rfind("sim-alpha-no-", 0) == 0) {
-        p = AlphaCoreParams::withoutFeature(name.substr(13));
-    } else {
-        fatal("unknown machine configuration '%s'", name.c_str());
-    }
-    applyAlphaOptimization(p, opt);
+    if (!buildAlphaParams(name, opt, &p, error))
+        return nullptr;
     return std::make_unique<AlphaCore>(p);
+}
+
+std::unique_ptr<Machine>
+makeMachine(const std::string &name, Optimization opt)
+{
+    std::string error;
+    auto machine = tryMakeMachine(name, opt, &error);
+    if (!machine)
+        fatal("%s", error.c_str());
+    return machine;
 }
 
 std::unique_ptr<Machine>
 makeMachine(const std::string &name)
 {
     return makeMachine(name, Optimization::None);
+}
+
+bool
+isKnownMachine(const std::string &name)
+{
+    std::string error;
+    Config ignored;
+    return tryDescribeMachine(name, Optimization::None, &ignored,
+                              &error);
+}
+
+std::string
+optimizationName(Optimization opt)
+{
+    switch (opt) {
+      case Optimization::None:
+        return "none";
+      case Optimization::FastL1:
+        return "fastl1";
+      case Optimization::BigL1:
+        return "bigl1";
+      case Optimization::MoreRegs:
+        return "regs";
+    }
+    return "none";
+}
+
+bool
+tryDescribeMachine(const std::string &name, Optimization opt,
+                   Config *out, std::string *error)
+{
+    if (name == "sim-outorder") {
+        RuuCoreParams p = RuuCoreParams::simOutorder();
+        if (opt == Optimization::MoreRegs && p.physRegs == 0)
+            p.physRegs = 40;
+        applyRuuOptimization(p, opt);
+        *out = describe(p);
+        return true;
+    }
+
+    AlphaCoreParams p;
+    if (!buildAlphaParams(name, opt, &p, error))
+        return false;
+    *out = describe(p);
+    return true;
+}
+
+Config
+describeMachine(const std::string &name, Optimization opt)
+{
+    Config c;
+    std::string error;
+    if (!tryDescribeMachine(name, opt, &c, &error))
+        fatal("%s", error.c_str());
+    return c;
 }
 
 } // namespace validate

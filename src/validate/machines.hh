@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/config.hh"
 #include "core/core.hh"
 #include "outorder/ruu_core.hh"
 
@@ -49,6 +50,38 @@ enum class Optimization
 /** Build a machine with one optimization applied. */
 std::unique_ptr<Machine> makeMachine(const std::string &name,
                                      Optimization opt);
+
+/**
+ * Build a machine by name without the fatal-on-unknown behaviour.
+ *
+ * Unlike makeMachine() this is safe to call with untrusted names (the
+ * experiment runner reports bad cells instead of exiting): on an unknown
+ * configuration it returns nullptr and, if @p error is non-null, stores
+ * a human-readable reason.
+ */
+std::unique_ptr<Machine> tryMakeMachine(const std::string &name,
+                                        Optimization opt,
+                                        std::string *error);
+
+/** True if @p name is a buildable machine configuration. */
+bool isKnownMachine(const std::string &name);
+
+/** Short artifact mnemonics for the Table-5 optimizations. */
+std::string optimizationName(Optimization opt);
+
+/**
+ * Full parameter manifest of a named configuration (with optimization
+ * applied), without constructing the machine. Fatal on unknown names.
+ */
+Config describeMachine(const std::string &name,
+                       Optimization opt = Optimization::None);
+
+/**
+ * Non-fatal variant of describeMachine(): returns false (and fills
+ * @p error if non-null) on unknown names instead of exiting.
+ */
+bool tryDescribeMachine(const std::string &name, Optimization opt,
+                        Config *out, std::string *error);
 
 } // namespace validate
 } // namespace simalpha

@@ -138,5 +138,29 @@ renderManifest(const Config &config)
     return os.str();
 }
 
+std::uint64_t
+manifestHash(const Config &config)
+{
+    // FNV-1a over the rendered text: stable across platforms and runs,
+    // sensitive to every parameter (keys are sorted by renderManifest).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char ch : renderManifest(config)) {
+        h ^= ch;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+manifestHashHex(const Config &config)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::uint64_t h = manifestHash(config);
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; i--, h >>= 4)
+        out[std::size_t(i)] = digits[h & 0xF];
+    return out;
+}
+
 } // namespace validate
 } // namespace simalpha

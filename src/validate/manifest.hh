@@ -10,6 +10,7 @@
 #ifndef SIMALPHA_VALIDATE_MANIFEST_HH
 #define SIMALPHA_VALIDATE_MANIFEST_HH
 
+#include <cstdint>
 #include <string>
 
 #include "common/config.hh"
@@ -27,6 +28,16 @@ Config describe(const RuuCoreParams &params);
 
 /** Render a config as sorted "key = value" lines. */
 std::string renderManifest(const Config &config);
+
+/**
+ * Stable 64-bit FNV-1a hash of the rendered manifest: the identity of a
+ * machine configuration for result caching and artifact provenance. Two
+ * configs hash equal iff every parameter renders equal.
+ */
+std::uint64_t manifestHash(const Config &config);
+
+/** manifestHash() as 16 lowercase hex digits (for artifacts/keys). */
+std::string manifestHashHex(const Config &config);
 
 } // namespace validate
 } // namespace simalpha

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Golden-value regression test for the paper's Table 2 campaign.
+ *
+ * Runs the 21-microbenchmark suite on ds10l, sim-alpha, and
+ * sim-outorder through the parallel ExperimentRunner and compares the
+ * canonical JSON artifact byte-for-byte against the checked-in golden
+ * file — so any change to the machine models, the workloads, or the
+ * runner that moves a single cycle count fails loudly.
+ *
+ * When a change intentionally moves the numbers, regenerate with:
+ *
+ *   build/tests/test_golden_tables --regenerate
+ *
+ * and commit the updated tests/golden/table2.json alongside the change
+ * that explains it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "runner/artifacts.hh"
+#include "runner/campaign.hh"
+#include "runner/runner.hh"
+
+using namespace simalpha;
+using namespace simalpha::runner;
+
+namespace {
+
+const char *kGoldenPath = SIMALPHA_GOLDEN_DIR "/table2.json";
+
+/** The golden campaign: Table 2 on the three headline machines. */
+CampaignResult
+runGoldenCampaign()
+{
+    CampaignSpec spec =
+        table2Campaign({"ds10l", "sim-alpha", "sim-outorder"});
+    ExperimentRunner runner({4, true});
+    return runner.run(spec);
+}
+
+std::string
+readFile(const char *path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** First differing line of two texts, for a readable failure. */
+void
+reportFirstDiff(const std::string &golden, const std::string &fresh)
+{
+    std::istringstream ga(golden), fa(fresh);
+    std::string gl, fl;
+    int line = 0;
+    while (true) {
+        bool gok = bool(std::getline(ga, gl));
+        bool fok = bool(std::getline(fa, fl));
+        line++;
+        if (!gok && !fok)
+            return;
+        if (gl != fl || gok != fok) {
+            ADD_FAILURE()
+                << "first difference at line " << line << ":\n"
+                << "  golden: " << (gok ? gl : "<eof>") << "\n"
+                << "  fresh:  " << (fok ? fl : "<eof>");
+            return;
+        }
+    }
+}
+
+} // namespace
+
+TEST(GoldenTables, Table2MatchesCheckedInArtifact)
+{
+    std::string golden = readFile(kGoldenPath);
+    ASSERT_FALSE(golden.empty())
+        << "missing golden file " << kGoldenPath
+        << " — regenerate with: build/tests/test_golden_tables "
+           "--regenerate";
+
+    CampaignResult result = runGoldenCampaign();
+    ASSERT_EQ(result.errorCount(), 0u);
+    ASSERT_EQ(result.cells.size(), 21u * 3u);
+
+    std::string fresh = toJson(result);
+    if (fresh != golden) {
+        reportFirstDiff(golden, fresh);
+        FAIL() << "Table 2 campaign diverged from " << kGoldenPath
+               << " — if the change is intentional, regenerate with: "
+                  "build/tests/test_golden_tables --regenerate";
+    }
+
+    // Cross-check a few table-level semantics independent of the byte
+    // comparison: the golden reference must finish every benchmark,
+    // and cycle counts must be positive everywhere.
+    for (const CellResult &r : result.cells) {
+        EXPECT_TRUE(r.ok) << r.cell.workload;
+        EXPECT_GT(r.cycles, 0u) << r.cell.workload;
+        EXPECT_GT(r.instsCommitted, 0u) << r.cell.workload;
+    }
+}
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--regenerate") == 0) {
+            CampaignResult result = runGoldenCampaign();
+            if (result.errorCount()) {
+                std::fprintf(stderr,
+                             "refusing to regenerate: %zu cells "
+                             "failed\n",
+                             result.errorCount());
+                return 1;
+            }
+            std::string error;
+            if (!writeArtifact(result, kGoldenPath, &error)) {
+                std::fprintf(stderr, "%s\n", error.c_str());
+                return 1;
+            }
+            std::printf("wrote %s (%zu cells)\n", kGoldenPath,
+                        result.cells.size());
+            return 0;
+        }
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit and property tests for the ExperimentRunner itself: campaign
+ * shapes (empty, single cell, more cells than threads), error isolation
+ * (a bad cell must not tear down the pool), serial/parallel equality,
+ * the result cache, and the artifact helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runner/artifacts.hh"
+#include "runner/campaign.hh"
+#include "runner/runner.hh"
+
+using namespace simalpha;
+using namespace simalpha::runner;
+using validate::Optimization;
+
+namespace {
+
+/** A cheap cell: capped microbenchmark on the abstract core. */
+Cell
+cheapCell(const std::string &workload,
+          const std::string &machine = "sim-outorder")
+{
+    return {machine, Optimization::None, workload, 2000, 0};
+}
+
+/** n distinct cheap cells. */
+CampaignSpec
+cheapSpec(std::size_t n)
+{
+    static const char *workloads[] = {"C-Ca", "C-Cb", "C-R",  "C-S1",
+                                      "C-S2", "C-S3", "C-O",  "E-I",
+                                      "E-D1", "E-D2", "E-D3", "E-D4"};
+    CampaignSpec spec;
+    spec.name = "cheap";
+    for (std::size_t i = 0; i < n; i++)
+        spec.cells.push_back(
+            cheapCell(workloads[i % (sizeof(workloads) /
+                                     sizeof(workloads[0]))]));
+    return spec;
+}
+
+} // namespace
+
+TEST(Runner, EmptyCampaignCompletes)
+{
+    ExperimentRunner runner({4, true});
+    CampaignResult result = runner.run({"empty", {}});
+    EXPECT_EQ(result.campaign, "empty");
+    EXPECT_TRUE(result.cells.empty());
+    EXPECT_EQ(result.okCount(), 0u);
+}
+
+TEST(Runner, SingleCell)
+{
+    ExperimentRunner runner({4, true});
+    CampaignResult result = runner.run({"one", {cheapCell("C-Ca")}});
+    ASSERT_EQ(result.cells.size(), 1u);
+    const CellResult &r = result.cells[0];
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.instsCommitted, 0u);
+    EXPECT_GT(r.ipc(), 0.0);
+    EXPECT_EQ(r.manifestHash.size(), 16u);
+    EXPECT_NE(r.seed, 0u);
+    EXPECT_FALSE(r.counters.empty());
+    EXPECT_FALSE(r.fromCache);
+}
+
+TEST(Runner, MoreCellsThanThreadsPreservesSpecOrder)
+{
+    CampaignSpec spec = cheapSpec(9);
+    ExperimentRunner runner({2, false});
+    CampaignResult result = runner.run(spec);
+    ASSERT_EQ(result.cells.size(), spec.cells.size());
+    for (std::size_t i = 0; i < spec.cells.size(); i++) {
+        EXPECT_EQ(result.cells[i].cell.workload,
+                  spec.cells[i].workload);
+        EXPECT_TRUE(result.cells[i].ok) << result.cells[i].error;
+    }
+}
+
+TEST(Runner, BadCellsSurfaceErrorsWithoutTearingDownPool)
+{
+    CampaignSpec spec;
+    spec.name = "mixed";
+    spec.cells.push_back(cheapCell("C-Ca"));
+    spec.cells.push_back(cheapCell("C-Ca", "no-such-machine"));
+    spec.cells.push_back(cheapCell("C-Ca", "sim-alpha-no-bogus"));
+    spec.cells.push_back(
+        {"sim-outorder", Optimization::None, "no-such-workload", 2000,
+         0});
+    spec.cells.push_back(cheapCell("C-Cb"));
+
+    ExperimentRunner runner({4, true});
+    CampaignResult result = runner.run(spec);
+    ASSERT_EQ(result.cells.size(), 5u);
+
+    EXPECT_TRUE(result.cells[0].ok);
+    EXPECT_TRUE(result.cells[4].ok);
+    EXPECT_EQ(result.okCount(), 2u);
+    EXPECT_EQ(result.errorCount(), 3u);
+
+    EXPECT_FALSE(result.cells[1].ok);
+    EXPECT_NE(result.cells[1].error.find("no-such-machine"),
+              std::string::npos);
+    EXPECT_FALSE(result.cells[2].ok);
+    EXPECT_NE(result.cells[2].error.find("bogus"), std::string::npos);
+    EXPECT_FALSE(result.cells[3].ok);
+    EXPECT_NE(result.cells[3].error.find("no-such-workload"),
+              std::string::npos);
+
+    // Errors stay per-cell: the failed cells report zero work.
+    EXPECT_EQ(result.cells[1].cycles, 0u);
+    EXPECT_EQ(result.cells[3].cycles, 0u);
+}
+
+TEST(Runner, SerialAndParallelResultsAreByteIdentical)
+{
+    CampaignSpec spec = cheapSpec(8);
+    ExperimentRunner serial({1, true});
+    ExperimentRunner parallel({4, true});
+    std::string a = toJson(serial.run(spec));
+    std::string b = toJson(parallel.run(spec));
+    EXPECT_EQ(a, b);
+}
+
+TEST(Runner, CacheServesRepeatCellsIdentically)
+{
+    CampaignSpec spec = cheapSpec(4);
+    ExperimentRunner runner({2, true});
+
+    CampaignResult first = runner.run(spec);
+    EXPECT_EQ(runner.cacheHits(), 0u);
+    EXPECT_GE(runner.cacheSize(), 1u);
+
+    CampaignResult second = runner.run(spec);
+    EXPECT_EQ(runner.cacheHits(), spec.cells.size());
+    for (const CellResult &r : second.cells)
+        EXPECT_TRUE(r.fromCache);
+
+    // Cached results serialize byte-identically to computed ones.
+    EXPECT_EQ(toJson(first), toJson(second));
+
+    runner.clearCache();
+    EXPECT_EQ(runner.cacheSize(), 0u);
+    EXPECT_EQ(runner.cacheHits(), 0u);
+}
+
+TEST(Runner, CacheDistinguishesInstructionCaps)
+{
+    Cell a = cheapCell("C-Ca");
+    Cell b = a;
+    b.maxInsts = 1000;
+    ExperimentRunner runner({1, true});
+    CampaignResult result = runner.run({"caps", {a, b}});
+    EXPECT_EQ(runner.cacheHits(), 0u);
+    EXPECT_NE(result.cells[0].instsCommitted,
+              result.cells[1].instsCommitted);
+}
+
+TEST(Runner, CacheDisabledNeverHits)
+{
+    CampaignSpec spec = cheapSpec(2);
+    ExperimentRunner runner({2, false});
+    runner.run(spec);
+    runner.run(spec);
+    EXPECT_EQ(runner.cacheHits(), 0u);
+    EXPECT_EQ(runner.cacheSize(), 0u);
+}
+
+TEST(Campaign, CellSeedIsStableAndIdentitySensitive)
+{
+    Cell a = cheapCell("C-Ca");
+    Cell b = cheapCell("C-Cb");
+    Cell c = cheapCell("C-Ca", "sim-alpha");
+    EXPECT_EQ(cellSeed(a), cellSeed(a));
+    EXPECT_NE(cellSeed(a), cellSeed(b));
+    EXPECT_NE(cellSeed(a), cellSeed(c));
+
+    Cell pinned = a;
+    pinned.seed = 42;
+    EXPECT_EQ(cellSeed(pinned), 42u);
+}
+
+TEST(Campaign, EveryCatalogueWorkloadBuilds)
+{
+    for (const std::string &name : workloadNames()) {
+        Program program;
+        std::string error;
+        EXPECT_TRUE(buildWorkload(name, &program, &error))
+            << name << ": " << error;
+        EXPECT_FALSE(program.text.empty()) << name;
+    }
+    Program program;
+    std::string error;
+    EXPECT_FALSE(buildWorkload("definitely-not-real", &program,
+                               &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Campaign, TableCampaignShapes)
+{
+    EXPECT_EQ(table2Campaign().cells.size(), 21u * 4u);
+    EXPECT_EQ(table3Campaign().cells.size(), 10u * 4u);
+    EXPECT_EQ(table4Campaign().cells.size(), 10u * 11u);
+    EXPECT_EQ(table5Campaign().cells.size(), 13u * 4u * 10u);
+
+    CampaignSpec spec;
+    EXPECT_TRUE(campaignByName("table3", &spec));
+    EXPECT_EQ(spec.name, "table3");
+    EXPECT_FALSE(campaignByName("table9", &spec));
+
+    CampaignSpec capped = table2Campaign().withMaxInsts(1234);
+    for (const Cell &cell : capped.cells)
+        EXPECT_EQ(cell.maxInsts, 1234u);
+}
+
+TEST(Artifacts, DiffDetectsInjectedDivergence)
+{
+    CampaignSpec spec = cheapSpec(3);
+    ExperimentRunner runner({2, true});
+    CampaignResult a = runner.run(spec);
+    CampaignResult b = a;
+
+    EXPECT_TRUE(diffCampaigns(a, b).empty());
+
+    b.cells[1].cycles += 1;
+    auto diffs = diffCampaigns(a, b);
+    ASSERT_EQ(diffs.size(), 1u);
+    EXPECT_EQ(diffs[0].field, "cycles");
+    EXPECT_EQ(diffs[0].workload, a.cells[1].cell.workload);
+
+    b.cells.pop_back();
+    diffs = diffCampaigns(a, b);
+    EXPECT_EQ(diffs.size(), 2u);    // cycles + missing
+}
+
+TEST(Artifacts, AggregateByMachineRollsUp)
+{
+    CampaignSpec spec;
+    spec.name = "agg";
+    spec.cells.push_back(cheapCell("C-Ca"));
+    spec.cells.push_back(cheapCell("C-Cb"));
+    spec.cells.push_back(cheapCell("C-Ca", "no-such-machine"));
+
+    ExperimentRunner runner({2, true});
+    auto aggs = aggregateByMachine(runner.run(spec));
+    ASSERT_EQ(aggs.size(), 2u);
+    EXPECT_EQ(aggs[0].machine, "sim-outorder");
+    EXPECT_EQ(aggs[0].cellsOk, 2u);
+    EXPECT_GT(aggs[0].hmeanIpc, 0.0);
+    EXPECT_EQ(aggs[1].machine, "no-such-machine");
+    EXPECT_EQ(aggs[1].cellsFailed, 1u);
+}
+
+TEST(Artifacts, SerializationShape)
+{
+    ExperimentRunner runner({1, true});
+    CampaignResult result = runner.run({"shape", {cheapCell("C-Ca")}});
+
+    std::string json = toJson(result);
+    EXPECT_NE(json.find("\"campaign\": \"shape\""), std::string::npos);
+    EXPECT_NE(json.find("\"machine\": \"sim-outorder\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
+
+    std::string csv = toCsv(result);
+    EXPECT_EQ(csv.find("machine,optimization,workload"), 0u);
+    // Header + one row + trailing newline.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Determinism regression suite: the same campaign must serialize to
+ * exactly the same bytes whether it ran serially, on eight workers, on
+ * a repeated fresh runner, or out of the result cache. This is the
+ * property that lets golden-value artifacts guard the paper's tables —
+ * any scheduling-dependent behaviour in the runner or the machine
+ * models shows up here as a byte diff.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runner/artifacts.hh"
+#include "runner/campaign.hh"
+#include "runner/runner.hh"
+
+using namespace simalpha;
+using namespace simalpha::runner;
+
+namespace {
+
+/**
+ * The Table 2 microbenchmark campaign on a validated-simulator pair,
+ * instruction-capped so three full executions stay test-suite fast.
+ */
+CampaignSpec
+determinismCampaign()
+{
+    return table2Campaign({"sim-alpha", "sim-outorder"})
+        .withMaxInsts(10000);
+}
+
+std::string
+runToJson(int jobs)
+{
+    ExperimentRunner runner({jobs, true});
+    return toJson(runner.run(determinismCampaign()));
+}
+
+} // namespace
+
+TEST(RunnerDeterminism, SerialVsEightWorkersByteIdentical)
+{
+    std::string serial = runToJson(1);
+    std::string parallel = runToJson(8);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(RunnerDeterminism, RepeatedRunsByteIdentical)
+{
+    std::string first = runToJson(8);
+    std::string second = runToJson(8);
+    EXPECT_EQ(first, second);
+
+    // CSV artifacts are canonical too.
+    ExperimentRunner a({8, true}), b({8, true});
+    EXPECT_EQ(toCsv(a.run(determinismCampaign())),
+              toCsv(b.run(determinismCampaign())));
+}
+
+TEST(RunnerDeterminism, CacheHitsSerializeIdentically)
+{
+    CampaignSpec spec = determinismCampaign();
+    ExperimentRunner runner({8, true});
+
+    CampaignResult computed = runner.run(spec);
+    EXPECT_EQ(runner.cacheHits(), 0u);
+
+    CampaignResult cached = runner.run(spec);
+    EXPECT_EQ(runner.cacheHits(), spec.cells.size());
+    for (const CellResult &r : cached.cells)
+        EXPECT_TRUE(r.fromCache) << r.cell.workload;
+
+    EXPECT_EQ(toJson(computed), toJson(cached));
+    EXPECT_TRUE(diffCampaigns(computed, cached).empty());
+}
+
+TEST(RunnerDeterminism, ParallelMatchesSerialCellByCell)
+{
+    CampaignSpec spec = determinismCampaign();
+    ExperimentRunner serial({1, true});
+    ExperimentRunner parallel({8, true});
+
+    CampaignResult a = serial.run(spec);
+    CampaignResult b = parallel.run(spec);
+
+    auto diffs = diffCampaigns(a, b);
+    for (const CellDiff &d : diffs)
+        ADD_FAILURE() << d.machine << "/" << d.workload << " "
+                      << d.field << ": " << d.a << " vs " << d.b;
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (std::size_t i = 0; i < a.cells.size(); i++) {
+        EXPECT_EQ(a.cells[i].cycles, b.cells[i].cycles);
+        EXPECT_EQ(a.cells[i].counters, b.cells[i].counters);
+        EXPECT_EQ(a.cells[i].seed, b.cells[i].seed);
+        EXPECT_EQ(a.cells[i].manifestHash, b.cells[i].manifestHash);
+    }
+}

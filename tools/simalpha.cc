@@ -11,6 +11,12 @@
  *   simalpha --machine ds10l --workload art --stats
  *   simalpha --machine sim-alpha-no-luse --workload M-D --manifest
  *   simalpha --list
+ *
+ * Campaign mode runs a whole table's (machine × workload) grid through
+ * the parallel ExperimentRunner and writes a JSON/CSV artifact:
+ *
+ *   simalpha --campaign table2 --jobs 8 --out table2.json
+ *   simalpha --campaign table5 --jobs 4 --max-insts 100000 --out t5.csv
  */
 
 #include <cstdio>
@@ -21,6 +27,9 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "runner/artifacts.hh"
+#include "runner/campaign.hh"
+#include "runner/runner.hh"
 #include "validate/machines.hh"
 #include "validate/manifest.hh"
 #include "workloads/macro.hh"
@@ -70,6 +79,7 @@ usage()
 {
     std::printf(
         "usage: simalpha --machine <name> --workload <name> [options]\n"
+        "       simalpha --campaign <table> [--jobs N] [--out file]\n"
         "\n"
         "options:\n"
         "  --machine <name>    machine configuration (see --list)\n"
@@ -77,7 +87,61 @@ usage()
         "  --max-insts <n>     stop after n committed instructions\n"
         "  --stats             dump all event counters after the run\n"
         "  --manifest          print the full parameter manifest\n"
-        "  --list              list machines and workloads\n");
+        "  --list              list machines and workloads\n"
+        "\n"
+        "campaign mode:\n"
+        "  --campaign <name>   run a whole table grid: table2, table3,\n"
+        "                      table4, or table5\n"
+        "  --jobs <n>          worker threads (0 = all cores; default 0)\n"
+        "  --out <file>        write the artifact (.csv = CSV, else\n"
+        "                      JSON; '-' = JSON to stdout)\n"
+        "  --no-cache          disable the (manifest, workload) result\n"
+        "                      cache\n"
+        "  --max-insts also caps every campaign cell.\n");
+}
+
+int
+runCampaign(const std::string &campaign_name, int jobs, bool use_cache,
+            std::uint64_t max_insts, const std::string &out_path)
+{
+    runner::CampaignSpec spec;
+    if (!runner::campaignByName(campaign_name, &spec))
+        fatal("unknown campaign '%s' (table2..table5)",
+              campaign_name.c_str());
+    if (max_insts)
+        spec = spec.withMaxInsts(max_insts);
+
+    runner::ExperimentRunner rnr({jobs, use_cache});
+    runner::CampaignResult result = rnr.run(spec);
+
+    std::printf("campaign    %s\n", result.campaign.c_str());
+    std::printf("cells       %zu (%zu ok, %zu failed)\n",
+                result.cells.size(), result.okCount(),
+                result.errorCount());
+    std::printf("cache hits  %llu\n",
+                (unsigned long long)rnr.cacheHits());
+    for (const runner::CellResult &r : result.cells)
+        if (!r.ok)
+            std::printf("  FAILED %s/%s: %s\n", r.cell.machine.c_str(),
+                        r.cell.workload.c_str(), r.error.c_str());
+
+    std::printf("\n%-24s %6s %6s %12s %8s\n", "machine", "ok", "fail",
+                "cycles", "hm-IPC");
+    for (const runner::MachineAggregate &agg :
+         runner::aggregateByMachine(result))
+        std::printf("%-24s %6zu %6zu %12llu %8.3f\n",
+                    agg.machine.c_str(), agg.cellsOk, agg.cellsFailed,
+                    (unsigned long long)agg.totalCycles, agg.hmeanIpc);
+
+    if (out_path == "-") {
+        std::fputs(runner::toJson(result).c_str(), stdout);
+    } else if (!out_path.empty()) {
+        std::string error;
+        if (!runner::writeArtifact(result, out_path, &error))
+            fatal("%s", error.c_str());
+        std::printf("\nwrote %s\n", out_path.c_str());
+    }
+    return result.errorCount() ? 1 : 0;
 }
 
 } // namespace
@@ -88,7 +152,11 @@ main(int argc, char **argv)
     setQuiet(true);
     std::string machine_name = "sim-alpha";
     std::optional<std::string> workload_name;
+    std::optional<std::string> campaign_name;
+    std::string out_path;
     std::uint64_t max_insts = 0;
+    int jobs = 0;
+    bool use_cache = true;
     bool want_stats = false;
     bool want_manifest = false;
     bool want_list = false;
@@ -104,6 +172,14 @@ main(int argc, char **argv)
             machine_name = next();
         } else if (arg == "--workload") {
             workload_name = next();
+        } else if (arg == "--campaign") {
+            campaign_name = next();
+        } else if (arg == "--jobs") {
+            jobs = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--no-cache") {
+            use_cache = false;
         } else if (arg == "--max-insts") {
             max_insts = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--stats") {
@@ -121,6 +197,10 @@ main(int argc, char **argv)
         }
     }
 
+    if (campaign_name)
+        return runCampaign(*campaign_name, jobs, use_cache, max_insts,
+                           out_path);
+
     if (want_list) {
         std::printf("machines:\n");
         for (const std::string &m : machineNames())
@@ -132,26 +212,10 @@ main(int argc, char **argv)
     }
 
     if (want_manifest) {
-        if (machine_name == "sim-outorder") {
-            std::cout << renderManifest(
-                describe(RuuCoreParams::simOutorder()));
-        } else if (machine_name == "ds10l") {
-            std::cout << renderManifest(
-                describe(AlphaCoreParams::golden()));
-        } else if (machine_name == "sim-initial") {
-            std::cout << renderManifest(
-                describe(AlphaCoreParams::simInitial()));
-        } else if (machine_name == "sim-stripped") {
-            std::cout << renderManifest(
-                describe(AlphaCoreParams::simStripped()));
-        } else if (machine_name.rfind("sim-alpha-no-", 0) == 0) {
-            std::cout << renderManifest(describe(
-                AlphaCoreParams::withoutFeature(
-                    machine_name.substr(13))));
-        } else {
-            std::cout << renderManifest(
-                describe(AlphaCoreParams::simAlpha()));
-        }
+        Config config = describeMachine(machine_name);
+        std::cout << renderManifest(config);
+        std::cout << "# manifest_hash = " << manifestHashHex(config)
+                  << "\n";
         if (!workload_name)
             return 0;
     }
