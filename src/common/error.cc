@@ -1,0 +1,26 @@
+#include "error.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace simalpha {
+
+std::string
+DeadlockInfo::summary() const
+{
+    std::ostringstream os;
+    os << machine << " deadlocked on '" << program << "' at cycle "
+       << cycle << " (committed " << committed << ", no commit for "
+       << (cycle - lastCommitCycle) << " cycles)";
+    char pc[32];
+    std::snprintf(pc, sizeof(pc), "0x%llx",
+                  (unsigned long long)fetchPc);
+    os << ": fetchPc=" << pc << " window=" << windowOccupancy;
+    if (!oldestInst.empty())
+        os << " oldest=[" << oldestInst << "]";
+    if (!detail.empty())
+        os << " " << detail;
+    return os.str();
+}
+
+} // namespace simalpha

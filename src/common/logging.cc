@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/error.hh"
+
 namespace simalpha {
 
 namespace {
@@ -20,30 +22,59 @@ vreport(const char *tag, const char *fmt, va_list args)
     std::fprintf(stderr, "\n");
 }
 
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n < 0)
+        return fmt;
+    std::string out(std::size_t(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+bool
+abortOnPanic()
+{
+    const char *env = std::getenv("SIMALPHA_ABORT_ON_PANIC");
+    return env && env[0] == '1' && env[1] == '\0';
+}
+
 } // namespace
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: ", file, line);
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    std::string message = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "\n");
-    std::abort();
+
+    std::string where = std::string(file) + ":" + std::to_string(line);
+    if (abortOnPanic()) {
+        // Debugger mode: stop at the site with the stack intact.
+        std::fprintf(stderr, "panic: %s: %s\n", where.c_str(),
+                     message.c_str());
+        std::abort();
+    }
+    throw InvariantError(where + ": " + message);
 }
 
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    std::string message = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "\n");
-    std::exit(1);
+    // User errors carry no source location: the message is the
+    // diagnosis, and the top-level handler owns presentation.
+    (void)file;
+    (void)line;
+    throw ConfigError(message);
 }
 
 void

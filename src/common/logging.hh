@@ -3,11 +3,17 @@
  * Error and status reporting in the gem5 idiom.
  *
  * panic():  an internal simulator bug — something that must never happen
- *           regardless of user input; aborts.
- * fatal():  a user error (bad configuration, invalid argument); exits with
- *           an error code.
+ *           regardless of user input; throws InvariantError (or aborts
+ *           when SIMALPHA_ABORT_ON_PANIC=1 is set, for debugger use).
+ * fatal():  a user error (bad configuration, invalid argument); throws
+ *           ConfigError.
  * warn():   functionality that may not be modeled exactly right.
  * inform(): status messages with no connotation of incorrectness.
+ *
+ * Library code installs no handlers: exceptions propagate to the
+ * campaign layer (per-cell containment) or to the top-level driver in
+ * tools/simalpha.cc, which maps the error class to an exit code. See
+ * common/error.hh for the taxonomy.
  */
 
 #ifndef SIMALPHA_COMMON_LOGGING_HH
@@ -41,7 +47,15 @@ void setQuiet(bool quiet);
 #define warn(...) ::simalpha::warnImpl(__VA_ARGS__)
 #define inform(...) ::simalpha::informImpl(__VA_ARGS__)
 
-/** Assert a simulator invariant; violation is a modeling bug -> panic. */
+/**
+ * Assert a simulator invariant; violation is a modeling bug -> panic.
+ *
+ * Unlike assert(3), sim_assert is deliberately independent of NDEBUG:
+ * invariant checks guard the *results* (a silently-wrong cycle count is
+ * worse than a failed cell), so Release builds keep them. The
+ * SimAssertStaysEnabledUnderNdebug test compiles with NDEBUG defined
+ * and fails if this guarantee is ever broken.
+ */
 #define sim_assert(cond)                                                    \
     do {                                                                    \
         if (!(cond))                                                        \

@@ -1,6 +1,7 @@
 #include "core.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.hh"
 #include "common/trace.hh"
@@ -112,36 +113,9 @@ AlphaCore::run(const Program &program, std::uint64_t max_insts)
 
     while (!_finished && (_maxInsts == 0 || _committed < _maxInsts)) {
         cycleTick();
-        if (_cycle - _lastCommitCycle > 500000) {
-            std::fprintf(stderr,
-                         "deadlock state: fetchPc=0x%llx resumeAt=%llu "
-                         "wrongPath=%d haltFetched=%d rob=%zu fq=%zu "
-                         "mapBlocked=%llu recovery=%d intIq=%d "
-                         "fpIq=%d\n",
-                         (unsigned long long)_fetchPc,
-                         (unsigned long long)_fetchResumeAt,
-                         int(_wrongPathMode), int(_haltFetched),
-                         _rob.size(), _fetchQueue.size(),
-                         (unsigned long long)_mapBlockedUntil,
-                         int(_recovery.has_value()), _intIq->size(),
-                         _fpIq->size());
-            if (!_rob.empty()) {
-                const DynInst &h = _rob.front();
-                std::fprintf(stderr,
-                             "rob head: seq=%llu pc=0x%llx %s wp=%d "
-                             "issued=%d done=%llu mispred=%d\n",
-                             (unsigned long long)h.seq,
-                             (unsigned long long)h.pc,
-                             h.inst.disassemble().c_str(),
-                             int(h.wrongPath), int(h.issued),
-                             (unsigned long long)h.doneCycle,
-                             int(h.mispredicted));
-            }
-            panic("%s deadlocked on '%s' at cycle %llu (committed %llu)",
-                  _p.name.c_str(), program.name.c_str(),
-                  (unsigned long long)_cycle,
-                  (unsigned long long)_committed);
-        }
+        if (_p.watchdogCycles &&
+            _cycle - _lastCommitCycle > _p.watchdogCycles)
+            throw DeadlockError(deadlockSnapshot(program));
     }
 
     RunResult res;
@@ -153,6 +127,44 @@ AlphaCore::run(const Program &program, std::uint64_t max_insts)
     _stats.counter("cycles").set(_cycle);
     _stats.counter("insts_committed").set(_committed);
     return res;
+}
+
+DeadlockInfo
+AlphaCore::deadlockSnapshot(const Program &program) const
+{
+    DeadlockInfo info;
+    info.machine = _p.name;
+    info.program = program.name;
+    info.cycle = _cycle;
+    info.lastCommitCycle = _lastCommitCycle;
+    info.committed = _committed;
+    info.fetchPc = _fetchPc;
+    info.windowOccupancy = _rob.size();
+    if (!_rob.empty()) {
+        const DynInst &h = _rob.front();
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "seq=%llu pc=0x%llx %s wp=%d issued=%d "
+                      "done=%llu mispred=%d",
+                      (unsigned long long)h.seq,
+                      (unsigned long long)h.pc,
+                      h.inst.disassemble().c_str(), int(h.wrongPath),
+                      int(h.issued), (unsigned long long)h.doneCycle,
+                      int(h.mispredicted));
+        info.oldestInst = buf;
+    }
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "resumeAt=%llu wrongPath=%d haltFetched=%d fq=%zu "
+                  "mapBlocked=%llu recovery=%d intIq=%d fpIq=%d",
+                  (unsigned long long)_fetchResumeAt,
+                  int(_wrongPathMode), int(_haltFetched),
+                  _fetchQueue.size(),
+                  (unsigned long long)_mapBlockedUntil,
+                  int(_recovery.has_value()), _intIq->size(),
+                  _fpIq->size());
+    info.detail = buf;
+    return info;
 }
 
 void

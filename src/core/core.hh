@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/error.hh"
 #include "core/fu_pool.hh"
 #include "core/issue_queue.hh"
 #include "core/oracle.hh"
@@ -75,6 +76,8 @@ class AlphaCore : public Machine
 
     void resetMachine(const Program &program);
     void cycleTick();
+    /** Machine-state snapshot for the forward-progress watchdog. */
+    DeadlockInfo deadlockSnapshot(const Program &program) const;
 
     // Pipeline stages (called youngest-stage-last each cycle).
     void doRetire();

@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "common/types.hh"
 #include "memory/hierarchy.hh"
 
 namespace simalpha {
@@ -115,6 +116,16 @@ struct AlphaCoreParams
 
     // ---- Memory system -----------------------------------------------
     MemorySystemParams mem = MemorySystemParams::ds10l();
+
+    // ---- Fault containment -------------------------------------------
+    /**
+     * Forward-progress watchdog: if no instruction commits for this many
+     * cycles, the run throws DeadlockError with a machine-state snapshot
+     * instead of spinning forever (0 = disabled). A diagnostic
+     * threshold, not a modeled structure: it is excluded from the
+     * parameter manifest so tuning it never changes a manifest hash.
+     */
+    Cycle watchdogCycles = 100000;
 
     // ------------------------------------------------------------------
     /** The validated simulator of the paper. */

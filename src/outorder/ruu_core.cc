@@ -1,6 +1,7 @@
 #include "ruu_core.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.hh"
 
@@ -70,10 +71,9 @@ RuuCore::run(const Program &program, std::uint64_t max_insts)
         doDispatch();
         doFetch();
         _cycle++;
-        if (_cycle - _lastCommitCycle > 500000)
-            panic("%s deadlocked on '%s' at cycle %llu",
-                  _p.name.c_str(), program.name.c_str(),
-                  (unsigned long long)_cycle);
+        if (_p.watchdogCycles &&
+            _cycle - _lastCommitCycle > _p.watchdogCycles)
+            throw DeadlockError(deadlockSnapshot(program));
     }
 
     RunResult res;
@@ -85,6 +85,39 @@ RuuCore::run(const Program &program, std::uint64_t max_insts)
     _stats.counter("cycles").set(_cycle);
     _stats.counter("insts_committed").set(_committed);
     return res;
+}
+
+DeadlockInfo
+RuuCore::deadlockSnapshot(const Program &program) const
+{
+    DeadlockInfo info;
+    info.machine = _p.name;
+    info.program = program.name;
+    info.cycle = _cycle;
+    info.lastCommitCycle = _lastCommitCycle;
+    info.committed = _committed;
+    info.fetchPc = _fetchPc;
+    info.windowOccupancy = _ruu.size();
+    if (!_ruu.empty()) {
+        const RuuInst &h = _ruu.front();
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "seq=%llu pc=0x%llx %s wp=%d issued=%d done=%llu",
+                      (unsigned long long)h.seq,
+                      (unsigned long long)h.pc,
+                      h.inst.disassemble().c_str(), int(h.wrongPath),
+                      int(h.issued), (unsigned long long)h.doneCycle);
+        info.oldestInst = buf;
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "resumeAt=%llu wrongPath=%d haltFetched=%d fb=%zu "
+                  "recovery=%d",
+                  (unsigned long long)_fetchResumeAt,
+                  int(_wrongPathMode), int(_haltFetched),
+                  _fetchBuf.size(), int(_recovery.has_value()));
+    info.detail = buf;
+    return info;
 }
 
 void

@@ -19,6 +19,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/error.hh"
 #include "core/oracle.hh"
 #include "isa/machine.hh"
 #include "memory/hierarchy.hh"
@@ -58,6 +59,13 @@ struct RuuCoreParams
     int physRegs = 0;
 
     MemorySystemParams mem;
+
+    /**
+     * Forward-progress watchdog: if no instruction commits for this many
+     * cycles the run throws DeadlockError with a machine-state snapshot
+     * (0 = disabled). Diagnostic only — excluded from the manifest.
+     */
+    Cycle watchdogCycles = 100000;
 
     /** The paper's sim-outorder configuration matched to the 21264. */
     static RuuCoreParams simOutorder();
@@ -109,6 +117,8 @@ class RuuCore : public Machine
     };
 
     void resetMachine(const Program &program);
+    /** Machine-state snapshot for the forward-progress watchdog. */
+    DeadlockInfo deadlockSnapshot(const Program &program) const;
     void doCommit();
     void doRecovery();
     void doIssue();

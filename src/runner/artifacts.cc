@@ -9,8 +9,6 @@
 namespace simalpha {
 namespace runner {
 
-namespace {
-
 std::string
 jsonEscape(const std::string &s)
 {
@@ -42,6 +40,8 @@ jsonEscape(const std::string &s)
     }
     return out;
 }
+
+namespace {
 
 /** Fixed-precision double: deterministic for equal values. */
 std::string
@@ -96,6 +96,8 @@ toJson(const CampaignResult &result)
         os << "      \"seed\": " << r.seed << ",\n";
         os << "      \"ok\": " << (r.ok ? "true" : "false") << ",\n";
         os << "      \"error\": \"" << jsonEscape(r.error) << "\",\n";
+        os << "      \"error_class\": \"" << jsonEscape(r.errorClass)
+           << "\",\n";
         os << "      \"cycles\": " << r.cycles << ",\n";
         os << "      \"insts\": " << r.instsCommitted << ",\n";
         os << "      \"finished\": " << (r.finished ? "true" : "false")
@@ -125,7 +127,7 @@ toCsv(const CampaignResult &result)
 {
     std::ostringstream os;
     os << "machine,optimization,workload,max_insts,seed,ok,error,"
-          "cycles,insts,finished,ipc,cpi,manifest_hash\n";
+          "error_class,cycles,insts,finished,ipc,cpi,manifest_hash\n";
     for (const CellResult &r : result.cells) {
         // Error text may contain commas; quote it.
         std::string err = r.error;
@@ -137,6 +139,7 @@ toCsv(const CampaignResult &result)
            << validate::optimizationName(r.cell.opt) << ','
            << r.cell.workload << ',' << r.cell.maxInsts << ','
            << r.seed << ',' << (r.ok ? 1 : 0) << ',' << quoted << ','
+           << r.errorClass << ','
            << r.cycles << ',' << r.instsCommitted << ','
            << (r.finished ? 1 : 0) << ',' << fixed6(r.ipc()) << ','
            << fixed6(r.cpi()) << ',' << r.manifestHash << "\n";
@@ -197,6 +200,9 @@ diffCampaigns(const CampaignResult &a, const CampaignResult &b)
             diffs.push_back(describe(ra, "ok",
                                      ra.ok ? "true" : "false",
                                      rb.ok ? "true" : "false"));
+        if (ra.errorClass != rb.errorClass)
+            diffs.push_back(describe(ra, "error_class", ra.errorClass,
+                                     rb.errorClass));
         if (ra.cycles != rb.cycles)
             diffs.push_back(describe(ra, "cycles",
                                      std::to_string(ra.cycles),

@@ -20,6 +20,10 @@
 namespace simalpha {
 namespace runner {
 
+/** Escape a string for embedding in a JSON string literal (shared by
+ *  the artifact writers and the campaign journal). */
+std::string jsonEscape(const std::string &s);
+
 /** Render a campaign result as canonical JSON. */
 std::string toJson(const CampaignResult &result);
 

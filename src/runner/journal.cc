@@ -1,0 +1,377 @@
+#include "journal.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "runner/artifacts.hh"
+#include "runner/campaign.hh"
+
+namespace simalpha {
+namespace runner {
+
+using validate::Optimization;
+
+std::string
+journalKey(const Cell &cell)
+{
+    std::string key = cell.machine;
+    key += '\x1f';
+    key += validate::optimizationName(cell.opt);
+    key += '\x1f';
+    key += cell.workload;
+    key += '\x1f';
+    key += std::to_string(cell.maxInsts);
+    key += '\x1f';
+    key += std::to_string(cellSeed(cell));
+    return key;
+}
+
+std::string
+journalLine(const std::string &campaign, const CellResult &r)
+{
+    std::ostringstream os;
+    os << "{\"campaign\":\"" << jsonEscape(campaign) << "\""
+       << ",\"machine\":\"" << jsonEscape(r.cell.machine) << "\""
+       << ",\"optimization\":\""
+       << validate::optimizationName(r.cell.opt) << "\""
+       << ",\"workload\":\"" << jsonEscape(r.cell.workload) << "\""
+       << ",\"max_insts\":" << r.cell.maxInsts
+       << ",\"seed\":" << r.seed
+       << ",\"manifest_hash\":\"" << jsonEscape(r.manifestHash) << "\""
+       << ",\"ok\":" << (r.ok ? "true" : "false")
+       << ",\"error\":\"" << jsonEscape(r.error) << "\""
+       << ",\"error_class\":\"" << jsonEscape(r.errorClass) << "\""
+       << ",\"cycles\":" << r.cycles
+       << ",\"insts\":" << r.instsCommitted
+       << ",\"finished\":" << (r.finished ? "true" : "false")
+       << ",\"counters\":{";
+    bool first = true;
+    for (const auto &kv : r.counters) {
+        if (!first)
+            os << ",";
+        os << "\"" << jsonEscape(kv.first) << "\":" << kv.second;
+        first = false;
+    }
+    os << "}}";
+    return os.str();
+}
+
+namespace {
+
+/**
+ * A minimal parser for the journal's own output: flat objects whose
+ * values are strings, unsigned integers, booleans, or one nested
+ * string->integer object. Not a general JSON parser — it only needs to
+ * read what journalLine() writes (and reject everything else).
+ */
+class LineParser
+{
+  public:
+    explicit LineParser(const std::string &text) : _s(text) {}
+
+    bool
+    object(std::unordered_map<std::string, std::string> *strings,
+           std::unordered_map<std::string, std::uint64_t> *numbers,
+           std::unordered_map<std::string, bool> *bools,
+           std::map<std::string, std::uint64_t> *counters)
+    {
+        skipWs();
+        if (!eat('{'))
+            return false;
+        skipWs();
+        if (eat('}'))
+            return true;
+        for (;;) {
+            std::string key;
+            if (!stringLit(&key))
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return false;
+            skipWs();
+            if (peek() == '"') {
+                std::string v;
+                if (!stringLit(&v))
+                    return false;
+                (*strings)[key] = v;
+            } else if (peek() == 't' || peek() == 'f') {
+                bool v;
+                if (!boolLit(&v))
+                    return false;
+                (*bools)[key] = v;
+            } else if (peek() == '{') {
+                if (key != "counters" || !countersObj(counters))
+                    return false;
+            } else {
+                std::uint64_t v;
+                if (!numberLit(&v))
+                    return false;
+                (*numbers)[key] = v;
+            }
+            skipWs();
+            if (eat(',')) {
+                skipWs();
+                continue;
+            }
+            if (eat('}')) {
+                skipWs();
+                return _pos >= _s.size();
+            }
+            return false;
+        }
+    }
+
+  private:
+    char
+    peek() const
+    {
+        return _pos < _s.size() ? _s[_pos] : '\0';
+    }
+
+    bool
+    eat(char c)
+    {
+        if (peek() != c)
+            return false;
+        _pos++;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _s.size() &&
+               std::isspace(static_cast<unsigned char>(_s[_pos])))
+            _pos++;
+    }
+
+    bool
+    stringLit(std::string *out)
+    {
+        if (!eat('"'))
+            return false;
+        out->clear();
+        while (_pos < _s.size()) {
+            char c = _s[_pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (_pos >= _s.size())
+                return false;
+            char esc = _s[_pos++];
+            switch (esc) {
+              case '"':
+                *out += '"';
+                break;
+              case '\\':
+                *out += '\\';
+                break;
+              case 'n':
+                *out += '\n';
+                break;
+              case 't':
+                *out += '\t';
+                break;
+              case 'u': {
+                if (_pos + 4 > _s.size())
+                    return false;
+                unsigned v = 0;
+                for (int i = 0; i < 4; i++) {
+                    char h = _s[_pos++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= unsigned(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                // The writer only \u-escapes control bytes.
+                if (v > 0xFF)
+                    return false;
+                *out += char(v);
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false;
+    }
+
+    bool
+    boolLit(bool *out)
+    {
+        if (_s.compare(_pos, 4, "true") == 0) {
+            _pos += 4;
+            *out = true;
+            return true;
+        }
+        if (_s.compare(_pos, 5, "false") == 0) {
+            _pos += 5;
+            *out = false;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    numberLit(std::uint64_t *out)
+    {
+        std::size_t start = _pos;
+        while (_pos < _s.size() &&
+               std::isdigit(static_cast<unsigned char>(_s[_pos])))
+            _pos++;
+        if (_pos == start)
+            return false;
+        *out = std::strtoull(_s.substr(start, _pos - start).c_str(),
+                             nullptr, 10);
+        return true;
+    }
+
+    bool
+    countersObj(std::map<std::string, std::uint64_t> *out)
+    {
+        if (!eat('{'))
+            return false;
+        skipWs();
+        if (eat('}'))
+            return true;
+        for (;;) {
+            std::string key;
+            std::uint64_t value;
+            if (!stringLit(&key))
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return false;
+            skipWs();
+            if (!numberLit(&value))
+                return false;
+            (*out)[key] = value;
+            skipWs();
+            if (eat(',')) {
+                skipWs();
+                continue;
+            }
+            return eat('}');
+        }
+    }
+
+    const std::string &_s;
+    std::size_t _pos = 0;
+};
+
+Optimization
+parseOptimization(const std::string &name)
+{
+    if (name == "fastl1")
+        return Optimization::FastL1;
+    if (name == "bigl1")
+        return Optimization::BigL1;
+    if (name == "regs")
+        return Optimization::MoreRegs;
+    return Optimization::None;
+}
+
+} // namespace
+
+bool
+parseJournalLine(const std::string &line, const std::string &campaign,
+                 CellResult *result, std::string *key)
+{
+    std::unordered_map<std::string, std::string> strings;
+    std::unordered_map<std::string, std::uint64_t> numbers;
+    std::unordered_map<std::string, bool> bools;
+    std::map<std::string, std::uint64_t> counters;
+
+    LineParser parser(line);
+    if (!parser.object(&strings, &numbers, &bools, &counters))
+        return false;
+    if (strings["campaign"] != campaign)
+        return false;
+    if (!strings.count("machine") || !strings.count("workload") ||
+        !numbers.count("seed") || !bools.count("ok"))
+        return false;
+
+    CellResult r;
+    r.cell.machine = strings["machine"];
+    r.cell.opt = parseOptimization(strings["optimization"]);
+    r.cell.workload = strings["workload"];
+    r.cell.maxInsts = numbers["max_insts"];
+    r.cell.seed = numbers["seed"];    // pin the journaled seed
+    r.seed = numbers["seed"];
+    r.manifestHash = strings["manifest_hash"];
+    r.ok = bools["ok"];
+    r.error = strings["error"];
+    r.errorClass = strings["error_class"];
+    r.cycles = numbers["cycles"];
+    r.instsCommitted = numbers["insts"];
+    r.finished = bools.count("finished") ? bools["finished"] : false;
+    r.counters = std::move(counters);
+    r.fromJournal = true;
+
+    *key = journalKey(r.cell);
+    *result = std::move(r);
+    return true;
+}
+
+bool
+loadJournal(const std::string &path, const std::string &campaign,
+            std::unordered_map<std::string, CellResult> *out,
+            std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        // A journal that does not exist yet is an empty journal.
+        return true;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        CellResult r;
+        std::string key;
+        if (!parseJournalLine(line, campaign, &r, &key))
+            continue;   // other campaign / torn final line of a kill
+        (*out)[key] = std::move(r);
+    }
+    if (in.bad()) {
+        if (error)
+            *error = "error reading journal '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+CampaignJournal::open(const std::string &path, std::string *error)
+{
+    _out.open(path, std::ios::binary | std::ios::app);
+    if (!_out) {
+        if (error)
+            *error = "cannot open journal '" + path + "' for append";
+        return false;
+    }
+    return true;
+}
+
+void
+CampaignJournal::append(const std::string &campaign,
+                        const CellResult &result)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (!_out.is_open())
+        return;
+    _out << journalLine(campaign, result) << '\n';
+    _out.flush();
+}
+
+} // namespace runner
+} // namespace simalpha

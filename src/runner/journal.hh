@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The append-only JSONL campaign journal behind `--resume`.
+ *
+ * While a campaign runs, every completed cell is appended (and flushed)
+ * as one self-contained JSON line carrying the full serialized result —
+ * identity, manifest hash, status, error class, timing, and counters.
+ * A killed campaign therefore leaves a journal of exactly the cells
+ * that finished; restarting with resume serves those cells from the
+ * journal and re-executes only the rest, producing artifacts
+ * byte-identical to an uninterrupted run.
+ *
+ * Entries are keyed by the cell identity (machine, optimization,
+ * workload, instruction cap, seed) and validated against the current
+ * manifest hash at replay time: if a machine definition changed since
+ * the journal was written, the stale entry is ignored and the cell
+ * re-runs.
+ */
+
+#ifndef SIMALPHA_RUNNER_JOURNAL_HH
+#define SIMALPHA_RUNNER_JOURNAL_HH
+
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "runner/runner.hh"
+
+namespace simalpha {
+namespace runner {
+
+/** Identity key of a cell inside a journal (machine, optimization,
+ *  workload, cap, seed — the same identity the result cache uses). */
+std::string journalKey(const Cell &cell);
+
+/** Serialize one completed cell as a single JSONL line (no newline). */
+std::string journalLine(const std::string &campaign,
+                        const CellResult &result);
+
+/**
+ * Parse one journal line. Returns false on malformed input or a
+ * campaign mismatch. On success fills *result (cell identity included)
+ * and *key with journalKey of that identity.
+ */
+bool parseJournalLine(const std::string &line,
+                      const std::string &campaign, CellResult *result,
+                      std::string *key);
+
+/**
+ * Load every well-formed entry of @p path belonging to @p campaign,
+ * newest-wins. A missing file is not an error (empty map, true).
+ * Returns false only on unreadable-but-existing files.
+ */
+bool loadJournal(const std::string &path, const std::string &campaign,
+                 std::unordered_map<std::string, CellResult> *out,
+                 std::string *error);
+
+/** Thread-safe append-only writer; one line per completed cell. */
+class CampaignJournal
+{
+  public:
+    /** Open @p path for appending. Returns false with *error filled if
+     *  the file cannot be opened. */
+    bool open(const std::string &path, std::string *error);
+
+    bool isOpen() const { return _out.is_open(); }
+
+    /** Append one completed cell (flushes, so a kill loses at most the
+     *  line being written). */
+    void append(const std::string &campaign, const CellResult &result);
+
+  private:
+    std::mutex _mutex;
+    std::ofstream _out;
+};
+
+} // namespace runner
+} // namespace simalpha
+
+#endif // SIMALPHA_RUNNER_JOURNAL_HH

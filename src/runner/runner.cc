@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <deque>
+#include <stdexcept>
 #include <thread>
 
+#include "common/error.hh"
+#include "common/logging.hh"
 #include "common/random.hh"
+#include "runner/journal.hh"
 #include "validate/manifest.hh"
 
 namespace simalpha {
@@ -59,14 +63,22 @@ ExperimentRunner::ExperimentRunner(RunnerOptions options)
 }
 
 std::string
-ExperimentRunner::cacheKey(const Cell &cell) const
+ExperimentRunner::currentManifestHash(const Cell &cell)
 {
     Config config;
     std::string error;
     if (!validate::tryDescribeMachine(cell.machine, cell.opt, &config,
                                       &error))
         return "";
-    std::string key = validate::manifestHashHex(config);
+    return validate::manifestHashHex(config);
+}
+
+std::string
+ExperimentRunner::cacheKey(const Cell &cell) const
+{
+    std::string key = currentManifestHash(cell);
+    if (key.empty())
+        return "";
     key += '|';
     key += cell.workload;
     key += '|';
@@ -76,49 +88,134 @@ ExperimentRunner::cacheKey(const Cell &cell) const
     return key;
 }
 
+namespace {
+
+/**
+ * The Stall injection's machine: fetches nothing, commits nothing, and
+ * relies on its forward-progress watchdog to declare the deadlock —
+ * the same detection contract the real cores implement.
+ */
+class StallingMachine : public Machine
+{
+  public:
+    RunResult
+    run(const Program &program, std::uint64_t max_insts) override
+    {
+        (void)max_insts;
+        constexpr Cycle watchdog = 1000;
+        for (Cycle cycle = 0;; cycle++) {
+            if (cycle > watchdog) {
+                DeadlockInfo info;
+                info.machine = name();
+                info.program = program.name;
+                info.cycle = cycle;
+                info.lastCommitCycle = 0;
+                info.committed = 0;
+                info.fetchPc = program.entryPc;
+                info.windowOccupancy = 0;
+                info.detail = "injected stall";
+                throw DeadlockError(info);
+            }
+        }
+    }
+
+    stats::Group &statGroup() override { return _stats; }
+    std::string name() const override { return "stall-stub"; }
+
+  private:
+    stats::Group _stats{"stall-stub"};
+};
+
+} // namespace
+
 CellResult
-ExperimentRunner::runCell(const Cell &cell)
+ExperimentRunner::runCell(const Cell &cell, const FaultInjection *fault,
+                          int attempt)
 {
     CellResult result;
     result.cell = cell;
     result.seed = cellSeed(cell);
 
-    std::string error;
-    Config config;
-    if (!validate::tryDescribeMachine(cell.machine, cell.opt, &config,
-                                      &error)) {
-        result.error = error;
-        return result;
+    bool fault_active =
+        fault && (fault->times < 0 || attempt <= fault->times);
+
+    try {
+        std::string error;
+        Config config;
+        if (!validate::tryDescribeMachine(cell.machine, cell.opt,
+                                          &config, &error)) {
+            result.error = error;
+            result.errorClass = "config";
+            return result;
+        }
+        result.manifestHash = validate::manifestHashHex(config);
+
+        Program program;
+        if (!buildWorkload(cell.workload, &program, &error)) {
+            result.error = error;
+            result.errorClass = "workload";
+            return result;
+        }
+
+        std::unique_ptr<Machine> machine;
+        if (fault_active && fault->kind == FaultInjection::Kind::Stall)
+            machine = std::make_unique<StallingMachine>();
+        else
+            machine = validate::tryMakeMachine(cell.machine, cell.opt,
+                                               &error);
+        if (!machine) {
+            result.error = error;
+            result.errorClass = "config";
+            return result;
+        }
+
+        if (fault_active) {
+            if (fault->kind == FaultInjection::Kind::Panic)
+                panic("injected panic (cell %zu, attempt %d)",
+                      fault->cellIndex, attempt);
+            if (fault->kind == FaultInjection::Kind::Throw)
+                throw TransientError(
+                    "injected transient fault (cell " +
+                    std::to_string(fault->cellIndex) + ", attempt " +
+                    std::to_string(attempt) + ")");
+        }
+
+        // The cell's private RNG: any stochastic behaviour during cell
+        // execution must draw from here (never from shared state),
+        // which keeps results independent of scheduling. The bundled
+        // workloads and machine models are internally deterministic,
+        // so today the stream is untouched; the seed is still recorded
+        // in artifacts.
+        Random rng(result.seed);
+        (void)rng;
+
+        RunResult r = machine->run(program, cell.maxInsts);
+        result.ok = true;
+        result.cycles = r.cycles;
+        result.instsCommitted = r.instsCommitted;
+        result.finished = r.finished;
+        result.counters = machine->statGroup().snapshot();
+    } catch (const SimError &e) {
+        result.ok = false;
+        result.error = e.what();
+        result.errorClass = e.kind();
+        result.retryable = e.retryable();
+        result.cycles = 0;
+        result.instsCommitted = 0;
+        result.finished = false;
+        result.counters.clear();
+    } catch (const std::exception &e) {
+        // Unclassified failures are treated as environmental: worth a
+        // bounded retry, reported as "internal" if they persist.
+        result.ok = false;
+        result.error = e.what();
+        result.errorClass = "internal";
+        result.retryable = true;
+        result.cycles = 0;
+        result.instsCommitted = 0;
+        result.finished = false;
+        result.counters.clear();
     }
-    result.manifestHash = validate::manifestHashHex(config);
-
-    Program program;
-    if (!buildWorkload(cell.workload, &program, &error)) {
-        result.error = error;
-        return result;
-    }
-
-    auto machine =
-        validate::tryMakeMachine(cell.machine, cell.opt, &error);
-    if (!machine) {
-        result.error = error;
-        return result;
-    }
-
-    // The cell's private RNG: any stochastic behaviour during cell
-    // execution must draw from here (never from shared state), which
-    // keeps results independent of scheduling. The bundled workloads
-    // and machine models are internally deterministic, so today the
-    // stream is untouched; the seed is still recorded in artifacts.
-    Random rng(result.seed);
-    (void)rng;
-
-    RunResult r = machine->run(program, cell.maxInsts);
-    result.ok = true;
-    result.cycles = r.cycles;
-    result.instsCommitted = r.instsCommitted;
-    result.finished = r.finished;
-    result.counters = machine->statGroup().snapshot();
     return result;
 }
 
@@ -168,10 +265,40 @@ ExperimentRunner::run(const CampaignSpec &spec)
     result.campaign = spec.name;
     result.cells.resize(spec.cells.size());
 
+    // Resume: cells already journaled (same campaign + identity) are
+    // served from the journal, provided their manifest hash still
+    // matches the current machine definition.
+    std::unordered_map<std::string, CellResult> replay;
+    CampaignJournal journal;
+    if (!_opts.journalPath.empty()) {
+        std::string jerror;
+        if (_opts.resume &&
+            !loadJournal(_opts.journalPath, spec.name, &replay,
+                         &jerror))
+            warn("%s (resuming nothing)", jerror.c_str());
+        if (!journal.open(_opts.journalPath, &jerror))
+            warn("%s (campaign will not be resumable)",
+                 jerror.c_str());
+    }
+
     // Each task writes exactly one preallocated slot, so completion
     // order never affects result order (or bytes).
     auto execute = [&](std::size_t i) {
         const Cell &cell = spec.cells[i];
+
+        if (!replay.empty()) {
+            auto it = replay.find(journalKey(cell));
+            // An unknown machine journals an empty manifest hash, so
+            // empty==empty correctly replays still-unknown machines.
+            if (it != replay.end() &&
+                it->second.manifestHash == currentManifestHash(cell)) {
+                CellResult journaled = it->second;
+                journaled.cell = cell;  // identity of *this* cell
+                result.cells[i] = std::move(journaled);
+                return;
+            }
+        }
+
         std::string key = _opts.cache ? cacheKey(cell) : std::string();
 
         if (!key.empty()) {
@@ -181,17 +308,35 @@ ExperimentRunner::run(const CampaignSpec &spec)
                 CellResult cached = it->second;
                 cached.cell = cell;     // identity of *this* cell
                 cached.fromCache = true;
+                if (journal.isOpen())
+                    journal.append(spec.name, cached);
                 result.cells[i] = std::move(cached);
                 _cacheHits.fetch_add(1);
                 return;
             }
         }
 
-        CellResult r = runCell(cell);
+        const FaultInjection *fault = nullptr;
+        for (const FaultInjection &f : _opts.faults)
+            if (f.cellIndex == i)
+                fault = &f;
+
+        CellResult r;
+        int attempt = 0;
+        for (;;) {
+            attempt++;
+            r = runCell(cell, fault, attempt);
+            if (r.ok || !r.retryable || attempt > _opts.maxRetries)
+                break;
+        }
+        r.attempts = attempt;
+
         if (!key.empty() && r.ok) {
             std::lock_guard<std::mutex> lock(_cacheMutex);
             _cache.emplace(key, r);
         }
+        if (journal.isOpen())
+            journal.append(spec.name, r);
         result.cells[i] = std::move(r);
     };
 

@@ -14,6 +14,13 @@
  * An in-memory cache keyed by (manifest hash, workload, instruction
  * cap, seed) skips redundant cells across runs of the same runner —
  * e.g. the 3 base sweeps sharing each Table-5 configuration.
+ *
+ * Cells are fault-contained: an exception thrown during cell execution
+ * (invariant violation, watchdog deadlock, injected fault) becomes a
+ * failed CellResult carrying its error class, and every other cell
+ * completes bit-identically to a fault-free run at any --jobs. An
+ * optional append-only JSONL journal makes campaigns resumable after a
+ * crash or kill (see RunnerOptions::journalPath).
  */
 
 #ifndef SIMALPHA_RUNNER_RUNNER_HH
@@ -40,9 +47,13 @@ struct CellResult
     /** Seed the cell's RNG actually used (cellSeed(cell)). */
     std::uint64_t seed = 0;
 
-    /** False if the cell could not run (unknown machine/workload). */
+    /** False if the cell could not run (unknown machine/workload) or
+     *  its execution failed (invariant violation, deadlock, ...). */
     bool ok = false;
     std::string error;
+    /** Error-taxonomy class ("config", "workload", "invariant",
+     *  "deadlock", "transient", "internal"); empty when ok. */
+    std::string errorClass;
 
     Cycle cycles = 0;
     std::uint64_t instsCommitted = 0;
@@ -55,6 +66,16 @@ struct CellResult
     /** Served from the result cache (in-memory note; not serialized,
      *  so cached and computed campaigns stay byte-identical). */
     bool fromCache = false;
+
+    /** Served from a resumed campaign journal (in-memory note, not
+     *  serialized for the same reason as fromCache). */
+    bool fromJournal = false;
+
+    /** Executions this result took (1 + retries); in-memory note. */
+    int attempts = 1;
+
+    /** Whether the recorded failure class is retryable (in-memory). */
+    bool retryable = false;
 
     double
     ipc() const
@@ -90,6 +111,29 @@ struct CampaignResult
     std::size_t errorCount() const;
 };
 
+/**
+ * One deterministic fault injected into a campaign cell, for proving
+ * containment: the chosen cell fails in a controlled way while every
+ * other cell must stay byte-identical to a fault-free run.
+ */
+struct FaultInjection
+{
+    /** Index of the target cell in CampaignSpec::cells. */
+    std::size_t cellIndex = 0;
+
+    enum class Kind
+    {
+        Panic,      ///< a modeling bug: the real panic() path fires
+        Stall,      ///< a core that stops committing: watchdog fires
+        Throw,      ///< an environmental failure (retryable)
+    };
+    Kind kind = Kind::Throw;
+
+    /** How many executions of the cell fault (retries count as
+     *  executions); < 0 = every execution faults. */
+    int times = -1;
+};
+
 struct RunnerOptions
 {
     /** Worker threads; 0 = hardware concurrency, 1 = run serially in
@@ -97,6 +141,25 @@ struct RunnerOptions
     int jobs = 1;
     /** Reuse results across cells/runs with identical identity. */
     bool cache = true;
+
+    /** Extra executions granted to a cell whose failure class is
+     *  retryable (transient/internal); deterministic failures
+     *  (invariant, deadlock, config, workload) never retry. */
+    int maxRetries = 0;
+
+    /** Deterministic fault-injection plan (tests/drills only). */
+    std::vector<FaultInjection> faults;
+
+    /**
+     * Append-only JSONL campaign journal (empty = disabled). Every
+     * completed cell is journaled; with resume=true, cells already
+     * journaled under the same campaign, identity, and manifest hash
+     * are served from the journal instead of re-executing, making an
+     * interrupted-and-restarted campaign byte-identical to an
+     * uninterrupted one.
+     */
+    std::string journalPath;
+    bool resume = false;
 };
 
 class ExperimentRunner
@@ -118,9 +181,16 @@ class ExperimentRunner
     const RunnerOptions &options() const { return _opts; }
 
   private:
-    CellResult runCell(const Cell &cell);
+    /** Execute one cell; @p fault, when non-null, is this cell's
+     *  injection and @p attempt the 1-based execution count. Any
+     *  exception escaping execution is converted into a failed result
+     *  carrying its taxonomy class — never propagated to the pool. */
+    CellResult runCell(const Cell &cell, const FaultInjection *fault,
+                       int attempt);
     /** Cache key, or empty if the cell is not cacheable (bad machine). */
     std::string cacheKey(const Cell &cell) const;
+    /** Manifest hash of the cell's machine, empty if unknown. */
+    static std::string currentManifestHash(const Cell &cell);
 
     RunnerOptions _opts;
 

@@ -1,19 +1,27 @@
 /**
  * @file
- * Golden-value regression test for the paper's Table 2 campaign.
+ * Golden-value regression tests for the paper's table campaigns.
  *
- * Runs the 21-microbenchmark suite on ds10l, sim-alpha, and
- * sim-outorder through the parallel ExperimentRunner and compares the
- * canonical JSON artifact byte-for-byte against the checked-in golden
- * file — so any change to the machine models, the workloads, or the
- * runner that moves a single cycle count fails loudly.
+ * Each golden table runs a campaign through the parallel
+ * ExperimentRunner and compares the canonical JSON artifact
+ * byte-for-byte against the checked-in golden file — so any change to
+ * the machine models, the workloads, or the runner that moves a single
+ * cycle count fails loudly.
  *
- * When a change intentionally moves the numbers, regenerate with:
+ *   table2.json  the 21-microbenchmark suite on ds10l, sim-alpha, and
+ *                sim-outorder, run to completion
+ *   table4.json  the macro suite on sim-alpha and its ten ablations,
+ *                capped at 20k committed instructions per cell (the
+ *                full Table 4 takes minutes; the cap keeps the golden
+ *                run a few seconds while still exercising every
+ *                ablation's timing paths)
+ *
+ * When a change intentionally moves the numbers, regenerate both with:
  *
  *   build/tests/test_golden_tables --regenerate
  *
- * and commit the updated tests/golden/table2.json alongside the change
- * that explains it.
+ * and commit the updated golden files alongside the change that
+ * explains it.
  */
 
 #include <gtest/gtest.h>
@@ -33,17 +41,38 @@ using namespace simalpha::runner;
 
 namespace {
 
-const char *kGoldenPath = SIMALPHA_GOLDEN_DIR "/table2.json";
+struct GoldenTable
+{
+    const char *path;                   ///< checked-in artifact
+    CampaignResult (*run)();            ///< reproduces it
+    std::size_t expectCells;
+};
 
-/** The golden campaign: Table 2 on the three headline machines. */
 CampaignResult
-runGoldenCampaign()
+runTable2()
 {
     CampaignSpec spec =
         table2Campaign({"ds10l", "sim-alpha", "sim-outorder"});
-    ExperimentRunner runner({4, true});
+    RunnerOptions opts;
+    opts.jobs = 4;
+    ExperimentRunner runner(opts);
     return runner.run(spec);
 }
+
+CampaignResult
+runTable4()
+{
+    CampaignSpec spec = table4Campaign().withMaxInsts(20000);
+    RunnerOptions opts;
+    opts.jobs = 4;
+    ExperimentRunner runner(opts);
+    return runner.run(spec);
+}
+
+const GoldenTable kTables[] = {
+    {SIMALPHA_GOLDEN_DIR "/table2.json", runTable2, 21u * 3u},
+    {SIMALPHA_GOLDEN_DIR "/table4.json", runTable4, 110u},
+};
 
 std::string
 readFile(const char *path)
@@ -79,36 +108,46 @@ reportFirstDiff(const std::string &golden, const std::string &fresh)
     }
 }
 
-} // namespace
-
-TEST(GoldenTables, Table2MatchesCheckedInArtifact)
+void
+checkTable(const GoldenTable &table)
 {
-    std::string golden = readFile(kGoldenPath);
+    std::string golden = readFile(table.path);
     ASSERT_FALSE(golden.empty())
-        << "missing golden file " << kGoldenPath
+        << "missing golden file " << table.path
         << " — regenerate with: build/tests/test_golden_tables "
            "--regenerate";
 
-    CampaignResult result = runGoldenCampaign();
+    CampaignResult result = table.run();
     ASSERT_EQ(result.errorCount(), 0u);
-    ASSERT_EQ(result.cells.size(), 21u * 3u);
+    ASSERT_EQ(result.cells.size(), table.expectCells);
 
     std::string fresh = toJson(result);
     if (fresh != golden) {
         reportFirstDiff(golden, fresh);
-        FAIL() << "Table 2 campaign diverged from " << kGoldenPath
+        FAIL() << "campaign diverged from " << table.path
                << " — if the change is intentional, regenerate with: "
                   "build/tests/test_golden_tables --regenerate";
     }
 
-    // Cross-check a few table-level semantics independent of the byte
-    // comparison: the golden reference must finish every benchmark,
-    // and cycle counts must be positive everywhere.
+    // Cross-check table-level semantics independent of the byte
+    // comparison: every cell ran and made progress.
     for (const CellResult &r : result.cells) {
         EXPECT_TRUE(r.ok) << r.cell.workload;
         EXPECT_GT(r.cycles, 0u) << r.cell.workload;
         EXPECT_GT(r.instsCommitted, 0u) << r.cell.workload;
     }
+}
+
+} // namespace
+
+TEST(GoldenTables, Table2MatchesCheckedInArtifact)
+{
+    checkTable(kTables[0]);
+}
+
+TEST(GoldenTables, Table4CappedMatchesCheckedInArtifact)
+{
+    checkTable(kTables[1]);
 }
 
 int
@@ -117,21 +156,23 @@ main(int argc, char **argv)
     setQuiet(true);
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--regenerate") == 0) {
-            CampaignResult result = runGoldenCampaign();
-            if (result.errorCount()) {
-                std::fprintf(stderr,
-                             "refusing to regenerate: %zu cells "
-                             "failed\n",
-                             result.errorCount());
-                return 1;
+            for (const GoldenTable &table : kTables) {
+                CampaignResult result = table.run();
+                if (result.errorCount()) {
+                    std::fprintf(stderr,
+                                 "refusing to regenerate %s: %zu "
+                                 "cells failed\n",
+                                 table.path, result.errorCount());
+                    return 1;
+                }
+                std::string error;
+                if (!writeArtifact(result, table.path, &error)) {
+                    std::fprintf(stderr, "%s\n", error.c_str());
+                    return 1;
+                }
+                std::printf("wrote %s (%zu cells)\n", table.path,
+                            result.cells.size());
             }
-            std::string error;
-            if (!writeArtifact(result, kGoldenPath, &error)) {
-                std::fprintf(stderr, "%s\n", error.c_str());
-                return 1;
-            }
-            std::printf("wrote %s (%zu cells)\n", kGoldenPath,
-                        result.cells.size());
             return 0;
         }
     }

@@ -17,6 +17,14 @@
  *
  *   simalpha --campaign table2 --jobs 8 --out table2.json
  *   simalpha --campaign table5 --jobs 4 --max-insts 100000 --out t5.csv
+ *
+ * Campaigns with --out keep an append-only journal (<out>.journal.jsonl)
+ * of completed cells; a killed campaign restarted with --resume serves
+ * journaled cells and re-executes only the rest, with byte-identical
+ * artifacts.
+ *
+ * This is the only place a simulator error is turned into a process
+ * exit: 0 = success, 1 = cell/run failures, 2 = usage/config errors.
  */
 
 #include <cstdio>
@@ -26,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "runner/artifacts.hh"
 #include "runner/campaign.hh"
@@ -97,12 +106,22 @@ usage()
         "                      JSON; '-' = JSON to stdout)\n"
         "  --no-cache          disable the (manifest, workload) result\n"
         "                      cache\n"
-        "  --max-insts also caps every campaign cell.\n");
+        "  --retries <n>       re-run cells failing with a retryable\n"
+        "                      (transient) class up to n times\n"
+        "  --resume            skip cells already in <out>.journal.jsonl\n"
+        "                      (from an interrupted run of the same\n"
+        "                      campaign)\n"
+        "  --no-journal        do not keep a journal next to --out\n"
+        "  --max-insts also caps every campaign cell.\n"
+        "\n"
+        "exit codes: 0 success, 1 failed cells or a failed run,\n"
+        "            2 usage or configuration errors\n");
 }
 
 int
 runCampaign(const std::string &campaign_name, int jobs, bool use_cache,
-            std::uint64_t max_insts, const std::string &out_path)
+            std::uint64_t max_insts, const std::string &out_path,
+            int retries, bool resume, bool journal)
 {
     runner::CampaignSpec spec;
     if (!runner::campaignByName(campaign_name, &spec))
@@ -111,8 +130,24 @@ runCampaign(const std::string &campaign_name, int jobs, bool use_cache,
     if (max_insts)
         spec = spec.withMaxInsts(max_insts);
 
-    runner::ExperimentRunner rnr({jobs, use_cache});
+    runner::RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.cache = use_cache;
+    opts.maxRetries = retries;
+    if (journal && !out_path.empty() && out_path != "-") {
+        opts.journalPath = out_path + ".journal.jsonl";
+        opts.resume = resume;
+    } else if (resume) {
+        fatal("--resume needs --out <file> (the journal lives next to "
+              "the artifact)");
+    }
+
+    runner::ExperimentRunner rnr(opts);
     runner::CampaignResult result = rnr.run(spec);
+
+    std::size_t journaled = 0;
+    for (const runner::CellResult &r : result.cells)
+        journaled += r.fromJournal;
 
     std::printf("campaign    %s\n", result.campaign.c_str());
     std::printf("cells       %zu (%zu ok, %zu failed)\n",
@@ -120,9 +155,15 @@ runCampaign(const std::string &campaign_name, int jobs, bool use_cache,
                 result.errorCount());
     std::printf("cache hits  %llu\n",
                 (unsigned long long)rnr.cacheHits());
+    if (resume)
+        std::printf("resumed     %zu cells from %s\n", journaled,
+                    opts.journalPath.c_str());
     for (const runner::CellResult &r : result.cells)
         if (!r.ok)
-            std::printf("  FAILED %s/%s: %s\n", r.cell.machine.c_str(),
+            std::printf("  FAILED [%s] %s/%s: %s\n",
+                        r.errorClass.empty() ? "unknown"
+                                             : r.errorClass.c_str(),
+                        r.cell.machine.c_str(),
                         r.cell.workload.c_str(), r.error.c_str());
 
     std::printf("\n%-24s %6s %6s %12s %8s\n", "machine", "ok", "fail",
@@ -144,10 +185,8 @@ runCampaign(const std::string &campaign_name, int jobs, bool use_cache,
     return result.errorCount() ? 1 : 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+realMain(int argc, char **argv)
 {
     setQuiet(true);
     std::string machine_name = "sim-alpha";
@@ -156,7 +195,10 @@ main(int argc, char **argv)
     std::string out_path;
     std::uint64_t max_insts = 0;
     int jobs = 0;
+    int retries = 0;
     bool use_cache = true;
+    bool resume = false;
+    bool journal = true;
     bool want_stats = false;
     bool want_manifest = false;
     bool want_list = false;
@@ -180,6 +222,12 @@ main(int argc, char **argv)
             out_path = next();
         } else if (arg == "--no-cache") {
             use_cache = false;
+        } else if (arg == "--retries") {
+            retries = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--no-journal") {
+            journal = false;
         } else if (arg == "--max-insts") {
             max_insts = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--stats") {
@@ -199,7 +247,7 @@ main(int argc, char **argv)
 
     if (campaign_name)
         return runCampaign(*campaign_name, jobs, use_cache, max_insts,
-                           out_path);
+                           out_path, retries, resume, journal);
 
     if (want_list) {
         std::printf("machines:\n");
@@ -251,4 +299,30 @@ main(int argc, char **argv)
         machine->statGroup().dump(std::cout);
     }
     return 0;
+}
+
+} // namespace
+
+/**
+ * The one top-level error handler: library code only throws (see
+ * common/error.hh), and the driver maps the class to an exit code —
+ * usage/config mistakes exit 2, everything that failed while doing
+ * real work exits 1.
+ */
+int
+main(int argc, char **argv)
+{
+    try {
+        return realMain(argc, argv);
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "simalpha: %s\n", e.what());
+        return 2;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "simalpha: [%s] %s\n", e.kind().c_str(),
+                     e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "simalpha: %s\n", e.what());
+        return 1;
+    }
 }
