@@ -15,6 +15,11 @@
  *                   carrying a diagnostic machine-state snapshot
  *   TransientError  an environmental failure (I/O, resources) that a
  *                   bounded per-cell retry may clear
+ *   CrashError      a worker process died (signal, OOM kill, nonzero
+ *                   exit) — only ever raised by the process-isolation
+ *                   supervisor, never from inside a simulation
+ *   TimeoutError    a cell exceeded its wall-clock budget and its
+ *                   worker was killed by the supervisor
  *
  * For interactive debugging, SIMALPHA_ABORT_ON_PANIC=1 restores the
  * historical hard abort at the panic site so a debugger stops with the
@@ -92,6 +97,33 @@ class TransientError : public SimError
   public:
     explicit TransientError(const std::string &message)
         : SimError("transient", message, /*retryable=*/true)
+    {
+    }
+};
+
+/**
+ * A worker process died under the process-isolation supervisor: the
+ * wait status said signal death or an unexpected exit. The failure is
+ * attributed to the cell that was in flight when the worker died; it
+ * is deterministic from the cell's point of view (the same cell would
+ * kill the next worker too), so it is never retryable.
+ */
+class CrashError : public SimError
+{
+  public:
+    explicit CrashError(const std::string &message)
+        : SimError("crash", message)
+    {
+    }
+};
+
+/** A cell exceeded its wall-clock budget; the supervisor killed its
+ *  worker. Not retryable: re-running would hang again. */
+class TimeoutError : public SimError
+{
+  public:
+    explicit TimeoutError(const std::string &message)
+        : SimError("timeout", message)
     {
     }
 };

@@ -1,5 +1,7 @@
 #include "artifacts.hh"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -148,25 +150,44 @@ toCsv(const CampaignResult &result)
 }
 
 bool
+writeFileAtomic(const std::string &path, const std::string &content,
+                std::string *error)
+{
+    // The temporary lives in the target's directory so the final
+    // rename(2) never crosses a filesystem and is atomic.
+    std::string tmp =
+        path + ".tmp." + std::to_string(long(::getpid()));
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        if (error)
+            *error = "cannot open '" + tmp + "' for writing";
+        return false;
+    }
+    out << content;
+    out.close();
+    if (!out) {
+        std::remove(tmp.c_str());
+        if (error)
+            *error = "write to '" + tmp + "' failed";
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        if (error)
+            *error = "cannot rename '" + tmp + "' to '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
 writeArtifact(const CampaignResult &result, const std::string &path,
               std::string *error)
 {
     bool csv = path.size() >= 4 &&
                path.compare(path.size() - 4, 4, ".csv") == 0;
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-        if (error)
-            *error = "cannot open '" + path + "' for writing";
-        return false;
-    }
-    out << (csv ? toCsv(result) : toJson(result));
-    out.close();
-    if (!out) {
-        if (error)
-            *error = "write to '" + path + "' failed";
-        return false;
-    }
-    return true;
+    return writeFileAtomic(path, csv ? toCsv(result) : toJson(result),
+                           error);
 }
 
 std::vector<CellDiff>

@@ -31,9 +31,19 @@ std::string toJson(const CampaignResult &result);
 std::string toCsv(const CampaignResult &result);
 
 /**
+ * Atomically replace @p path with @p content: write a temporary file
+ * next to it, then rename over the target. A kill at any instant
+ * leaves either the previous file or the complete new one — never a
+ * truncated artifact. Returns false with *error filled on I/O failure
+ * (the temporary is removed).
+ */
+bool writeFileAtomic(const std::string &path,
+                     const std::string &content, std::string *error);
+
+/**
  * Write an artifact file; format chosen by extension (.csv writes
- * CSV, anything else JSON). Returns false with *error filled on I/O
- * failure.
+ * CSV, anything else JSON). The write is atomic (temp + rename).
+ * Returns false with *error filled on I/O failure.
  */
 bool writeArtifact(const CampaignResult &result,
                    const std::string &path, std::string *error);

@@ -1,5 +1,6 @@
 #include "campaign.hh"
 
+#include "validate/manifest.hh"
 #include "workloads/macro.hh"
 #include "workloads/membench.hh"
 #include "workloads/microbench.hh"
@@ -43,6 +44,17 @@ cellSeed(const Cell &cell)
         h *= 0x100000001b3ULL;
     }
     return h ? h : 1;
+}
+
+std::string
+cellManifestHash(const Cell &cell)
+{
+    Config config;
+    std::string error;
+    if (!validate::tryDescribeMachine(cell.machine, cell.opt, &config,
+                                      &error))
+        return "";
+    return validate::manifestHashHex(config);
 }
 
 namespace {
@@ -204,6 +216,19 @@ table5Campaign()
     return spec;
 }
 
+CampaignSpec
+smokeCampaign()
+{
+    CampaignSpec spec;
+    spec.name = "smoke";
+    for (const char *w : {"C-Ca", "C-Cb", "C-R", "C-S1", "C-S2",
+                          "C-S3", "C-O", "E-I", "E-D1", "E-D2",
+                          "E-D3", "E-D4"})
+        spec.cells.push_back(
+            {"sim-outorder", Optimization::None, w, 2000, 0});
+    return spec;
+}
+
 bool
 campaignByName(const std::string &name, CampaignSpec *out)
 {
@@ -215,6 +240,8 @@ campaignByName(const std::string &name, CampaignSpec *out)
         *out = table4Campaign();
     else if (name == "table5")
         *out = table5Campaign();
+    else if (name == "smoke")
+        *out = smokeCampaign();
     else
         return false;
     return true;

@@ -52,6 +52,11 @@ struct CampaignSpec
 /** Deterministic per-cell seed derived from the cell identity. */
 std::uint64_t cellSeed(const Cell &cell);
 
+/** Manifest hash of the cell's machine under the current build; empty
+ *  for unknown machines. Shared by the runner's cache/replay
+ *  validation and the supervisor's journal merge. */
+std::string cellManifestHash(const Cell &cell);
+
 /** Names of every bundled workload (microbench, SPEC2000 synthetics,
  *  stream kernels, lmbench), in catalogue order. */
 std::vector<std::string> workloadNames();
@@ -82,7 +87,13 @@ CampaignSpec table4Campaign();
  *  {none, fastl1, bigl1, regs}. */
 CampaignSpec table5Campaign();
 
-/** Campaign by name ("table2".."table5"); false on unknown names. */
+/** A 12-cell capped microbenchmark grid on sim-outorder — a campaign
+ *  that finishes in well under a second, for isolation-mode smoke
+ *  tests and fault drills (`simalpha --campaign smoke`). */
+CampaignSpec smokeCampaign();
+
+/** Campaign by name ("table2".."table5", "smoke"); false on unknown
+ *  names. */
 bool campaignByName(const std::string &name, CampaignSpec *out);
 
 } // namespace runner

@@ -1,6 +1,9 @@
 #include "runner.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <deque>
 #include <stdexcept>
 #include <thread>
@@ -65,12 +68,7 @@ ExperimentRunner::ExperimentRunner(RunnerOptions options)
 std::string
 ExperimentRunner::currentManifestHash(const Cell &cell)
 {
-    Config config;
-    std::string error;
-    if (!validate::tryDescribeMachine(cell.machine, cell.opt, &config,
-                                      &error))
-        return "";
-    return validate::manifestHashHex(config);
+    return cellManifestHash(cell);
 }
 
 std::string
@@ -178,6 +176,17 @@ ExperimentRunner::runCell(const Cell &cell, const FaultInjection *fault,
                     "injected transient fault (cell " +
                     std::to_string(fault->cellIndex) + ", attempt " +
                     std::to_string(attempt) + ")");
+            // The crash modes deliberately bypass the exception-based
+            // containment below: no catch clause can help, only a
+            // process boundary can.
+            if (fault->kind == FaultInjection::Kind::Abort)
+                std::abort();
+            if (fault->kind == FaultInjection::Kind::Segfault)
+                std::raise(SIGSEGV);
+            if (fault->kind == FaultInjection::Kind::Hang)
+                for (;;)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
         }
 
         // The cell's private RNG: any stochastic behaviour during cell
@@ -285,6 +294,11 @@ ExperimentRunner::run(const CampaignSpec &spec)
     // order never affects result order (or bytes).
     auto execute = [&](std::size_t i) {
         const Cell &cell = spec.cells[i];
+
+        // Cancelled (Ctrl-C): leave the slot as a default result and
+        // journal nothing, so a later --resume re-runs the cell.
+        if (_opts.cancel && *_opts.cancel)
+            return;
 
         if (!replay.empty()) {
             auto it = replay.find(journalKey(cell));

@@ -27,6 +27,7 @@
 #define SIMALPHA_RUNNER_RUNNER_HH
 
 #include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -126,6 +127,14 @@ struct FaultInjection
         Panic,      ///< a modeling bug: the real panic() path fires
         Stall,      ///< a core that stops committing: watchdog fires
         Throw,      ///< an environmental failure (retryable)
+
+        // Real crash modes: these kill or wedge the *process*, so only
+        // the process-isolation supervisor survives them. Injecting
+        // them into the in-process (thread) runner takes the whole
+        // campaign down — which is exactly what they exist to prove.
+        Abort,      ///< std::abort(): SIGABRT, like a glibc heap error
+        Segfault,   ///< raise(SIGSEGV), like a wild pointer
+        Hang,       ///< an infinite loop outside any watchdog's sight
     };
     Kind kind = Kind::Throw;
 
@@ -160,6 +169,14 @@ struct RunnerOptions
      */
     std::string journalPath;
     bool resume = false;
+
+    /**
+     * Cooperative cancellation (the Ctrl-C path): when non-null and
+     * set, no further cell starts executing — already-running cells
+     * finish and are journaled, the rest are left as default results.
+     * The flag is a sig_atomic_t so a signal handler can set it.
+     */
+    const volatile std::sig_atomic_t *cancel = nullptr;
 };
 
 class ExperimentRunner

@@ -1,0 +1,323 @@
+#include "shard.hh"
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+#include "runner/artifacts.hh"
+#include "runner/journal.hh"
+
+namespace simalpha {
+namespace runner {
+
+std::vector<std::vector<std::size_t>>
+shardCells(std::size_t cellCount, std::size_t shardCount)
+{
+    if (shardCount == 0)
+        shardCount = 1;
+    std::vector<std::vector<std::size_t>> shards(shardCount);
+    for (std::size_t i = 0; i < cellCount; i++)
+        shards[i % shardCount].push_back(i);
+    return shards;
+}
+
+std::string
+formatCellList(const std::vector<std::size_t> &cells)
+{
+    std::string out;
+    for (std::size_t i = 0; i < cells.size(); i++) {
+        if (i)
+            out += ',';
+        out += std::to_string(cells[i]);
+    }
+    return out;
+}
+
+bool
+parseCellList(const std::string &text, std::vector<std::size_t> *out,
+              std::string *error)
+{
+    out->clear();
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find(',', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string item = text.substr(pos, end - pos);
+        if (item.empty() ||
+            item.find_first_not_of("0123456789") != std::string::npos) {
+            if (error)
+                *error = "bad cell index '" + item + "' in '" + text +
+                         "'";
+            return false;
+        }
+        out->push_back(std::strtoull(item.c_str(), nullptr, 10));
+        pos = end + 1;
+    }
+    if (out->empty()) {
+        if (error)
+            *error = "empty cell list";
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+const char *
+faultKindName(FaultInjection::Kind kind)
+{
+    switch (kind) {
+      case FaultInjection::Kind::Panic:
+        return "panic";
+      case FaultInjection::Kind::Stall:
+        return "stall";
+      case FaultInjection::Kind::Throw:
+        return "throw";
+      case FaultInjection::Kind::Abort:
+        return "abort";
+      case FaultInjection::Kind::Segfault:
+        return "segfault";
+      case FaultInjection::Kind::Hang:
+        return "hang";
+    }
+    return "throw";
+}
+
+bool
+faultKindByName(const std::string &name, FaultInjection::Kind *out)
+{
+    for (FaultInjection::Kind kind :
+         {FaultInjection::Kind::Panic, FaultInjection::Kind::Stall,
+          FaultInjection::Kind::Throw, FaultInjection::Kind::Abort,
+          FaultInjection::Kind::Segfault, FaultInjection::Kind::Hang})
+        if (name == faultKindName(kind)) {
+            *out = kind;
+            return true;
+        }
+    return false;
+}
+
+} // namespace
+
+std::string
+formatFaultSpec(const FaultInjection &fault)
+{
+    std::string out = std::to_string(fault.cellIndex);
+    out += ':';
+    out += faultKindName(fault.kind);
+    if (fault.times >= 0) {
+        out += ':';
+        out += std::to_string(fault.times);
+    }
+    return out;
+}
+
+bool
+parseFaultSpec(const std::string &text, FaultInjection *out,
+               std::string *error)
+{
+    std::size_t c1 = text.find(':');
+    if (c1 == std::string::npos || c1 == 0) {
+        if (error)
+            *error = "fault spec '" + text +
+                     "' is not <cell>:<kind>[:<times>]";
+        return false;
+    }
+    std::string index = text.substr(0, c1);
+    if (index.find_first_not_of("0123456789") != std::string::npos) {
+        if (error)
+            *error = "bad cell index in fault spec '" + text + "'";
+        return false;
+    }
+    std::size_t c2 = text.find(':', c1 + 1);
+    std::string kind = text.substr(
+        c1 + 1, c2 == std::string::npos ? std::string::npos
+                                        : c2 - c1 - 1);
+    FaultInjection fault;
+    fault.cellIndex = std::strtoull(index.c_str(), nullptr, 10);
+    if (!faultKindByName(kind, &fault.kind)) {
+        if (error)
+            *error = "unknown fault kind '" + kind +
+                     "' (panic, stall, throw, abort, segfault, hang)";
+        return false;
+    }
+    if (c2 != std::string::npos) {
+        std::string times = text.substr(c2 + 1);
+        if (times.empty() ||
+            times.find_first_not_of("0123456789") !=
+                std::string::npos) {
+            if (error)
+                *error = "bad times in fault spec '" + text + "'";
+            return false;
+        }
+        fault.times = int(std::strtol(times.c_str(), nullptr, 10));
+    }
+    *out = fault;
+    return true;
+}
+
+std::string
+heartbeatLine(const std::string &campaign, std::size_t cellIndex,
+              const std::string &workload)
+{
+    std::string line = "{\"campaign\":\"";
+    line += jsonEscape(campaign);
+    line += "\",\"heartbeat\":\"start\",\"cell\":";
+    line += std::to_string(cellIndex);
+    line += ",\"workload\":\"";
+    line += jsonEscape(workload);
+    line += "\"}";
+    return line;
+}
+
+bool
+parseHeartbeatLine(const std::string &line, const std::string &campaign,
+                   std::size_t *cellIndex)
+{
+    // An exact-prefix parse of our own writer's output (the same
+    // contract the journal parser follows: read what we write, reject
+    // everything else).
+    std::string prefix = "{\"campaign\":\"";
+    prefix += jsonEscape(campaign);
+    prefix += "\",\"heartbeat\":\"start\",\"cell\":";
+    if (line.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    std::size_t pos = prefix.size();
+    std::size_t start = pos;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9')
+        pos++;
+    if (pos == start || pos >= line.size() || line[pos] != ',')
+        return false;
+    *cellIndex =
+        std::strtoull(line.substr(start, pos - start).c_str(),
+                      nullptr, 10);
+    return true;
+}
+
+bool
+describeWaitStatus(int waitStatus, std::string *errorClass,
+                   std::string *message)
+{
+    if (WIFEXITED(waitStatus)) {
+        int code = WEXITSTATUS(waitStatus);
+        if (code == 0) {
+            errorClass->clear();
+            message->clear();
+            return true;
+        }
+        *errorClass = "crash";
+        *message = "worker exited with status " +
+                   std::to_string(code) +
+                   " without completing its cells";
+        return false;
+    }
+    if (WIFSIGNALED(waitStatus)) {
+        int sig = WTERMSIG(waitStatus);
+        const char *name = strsignal(sig);
+        *errorClass = "crash";
+        *message = "worker killed by signal " + std::to_string(sig) +
+                   " (" + (name ? name : "unknown") + ")";
+        return false;
+    }
+    *errorClass = "crash";
+    *message = "worker vanished with unintelligible wait status " +
+               std::to_string(waitStatus);
+    return false;
+}
+
+void
+mergeShardJournals(const CampaignSpec &spec,
+                   const std::vector<std::string> &journalPaths,
+                   CampaignResult *out,
+                   std::vector<std::size_t> *missing)
+{
+    // Later journals override earlier ones: loadJournal itself is
+    // newest-wins per key, and inserting in path order preserves that
+    // across files.
+    std::unordered_map<std::string, CellResult> byKey;
+    for (const std::string &path : journalPaths) {
+        std::unordered_map<std::string, CellResult> one;
+        std::string error;
+        loadJournal(path, spec.name, &one, &error);
+        for (auto &kv : one)
+            byKey[kv.first] = std::move(kv.second);
+    }
+
+    out->campaign = spec.name;
+    out->cells.assign(spec.cells.size(), CellResult());
+    if (missing)
+        missing->clear();
+    for (std::size_t i = 0; i < spec.cells.size(); i++) {
+        const Cell &cell = spec.cells[i];
+        auto it = byKey.find(journalKey(cell));
+        // Unknown machines journal an empty manifest hash, so
+        // empty==empty correctly merges still-unknown machines.
+        if (it != byKey.end() &&
+            it->second.manifestHash == cellManifestHash(cell)) {
+            CellResult merged = it->second;
+            merged.cell = cell;     // identity of *this* cell
+            out->cells[i] = std::move(merged);
+            continue;
+        }
+        out->cells[i].cell = cell;
+        out->cells[i].seed = cellSeed(cell);
+        if (missing)
+            missing->push_back(i);
+    }
+}
+
+int
+runShardWorker(const ShardWorkerOptions &options)
+{
+    CampaignSpec spec;
+    if (!campaignByName(options.campaign, &spec))
+        return 2;
+    if (options.maxInsts)
+        spec = spec.withMaxInsts(options.maxInsts);
+
+    // The heartbeat stream and the runner's journal share one
+    // append-mode file; every line is flushed before the next is
+    // produced, so the file is a strict start/result alternation.
+    std::ofstream heartbeat(options.journalPath,
+                            std::ios::binary | std::ios::app);
+    if (!heartbeat)
+        return 2;
+
+    for (std::size_t index : options.cells) {
+        if (index >= spec.cells.size())
+            return 2;
+        if (options.interrupted && *options.interrupted)
+            return 3;
+
+        const Cell &cell = spec.cells[index];
+        heartbeat << heartbeatLine(spec.name, index, cell.workload)
+                  << '\n';
+        heartbeat.flush();
+
+        CampaignSpec one;
+        one.name = spec.name;
+        one.cells.push_back(cell);
+
+        RunnerOptions ro;
+        ro.jobs = 1;
+        ro.cache = false;
+        ro.maxRetries = options.maxRetries;
+        ro.journalPath = options.journalPath;
+        for (const FaultInjection &f : options.faults)
+            if (f.cellIndex == index) {
+                FaultInjection local = f;
+                local.cellIndex = 0;    // index within the 1-cell spec
+                ro.faults.push_back(local);
+            }
+
+        ExperimentRunner(ro).run(one);
+    }
+    return 0;
+}
+
+} // namespace runner
+} // namespace simalpha

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The shard protocol between the process-isolation supervisor and its
+ * `simalpha --shard` worker processes.
+ *
+ * A sharded campaign is split into slices of cell indices; each worker
+ * re-derives the campaign spec from its name (campaigns are pure
+ * functions of their name and instruction cap, so no state needs to
+ * cross the exec boundary) and executes its slice serially, writing
+ * one JSONL journal:
+ *
+ *   - a heartbeat line *before* each cell starts, carrying the
+ *     campaign cell index — the supervisor's only window into an
+ *     otherwise-silent simulation, used both to attribute a worker
+ *     death to the in-flight cell and to enforce per-cell wall-clock
+ *     timeouts, and
+ *   - the ordinary campaign-journal result line *after* each cell
+ *     completes (ok or contained failure), written by the regular
+ *     ExperimentRunner journal path so shard journals merge with the
+ *     exact bytes an in-process run would have produced.
+ *
+ * Everything here is deliberately plain data: cell-index lists,
+ * heartbeat lines, fault-injection specs (all exec-able as command
+ * lines), the wait-status → error-class mapping, and the merge of
+ * shard journals back into one spec-ordered campaign result.
+ */
+
+#ifndef SIMALPHA_RUNNER_SHARD_HH
+#define SIMALPHA_RUNNER_SHARD_HH
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hh"
+
+namespace simalpha {
+namespace runner {
+
+/** Round-robin assignment of @p cellCount cells over @p shardCount
+ *  shards (mirrors the thread pool's initial distribution). Shards
+ *  beyond the cell count come back empty. */
+std::vector<std::vector<std::size_t>>
+shardCells(std::size_t cellCount, std::size_t shardCount);
+
+/** "0,3,6" ⇄ {0,3,6} — the worker's --cells argument. */
+std::string formatCellList(const std::vector<std::size_t> &cells);
+bool parseCellList(const std::string &text,
+                   std::vector<std::size_t> *out, std::string *error);
+
+/** "17:segfault:1" ⇄ FaultInjection — the worker's --inject argument
+ *  (kinds: panic, stall, throw, abort, segfault, hang; the optional
+ *  :times counts faulting executions, default every execution). */
+std::string formatFaultSpec(const FaultInjection &fault);
+bool parseFaultSpec(const std::string &text, FaultInjection *out,
+                    std::string *error);
+
+/** The heartbeat line a worker writes (and flushes) into its journal
+ *  immediately before cell @p cellIndex starts executing. */
+std::string heartbeatLine(const std::string &campaign,
+                          std::size_t cellIndex,
+                          const std::string &workload);
+
+/** Parse a heartbeat line of @p campaign; false for anything else
+ *  (result lines, other campaigns, torn lines). */
+bool parseHeartbeatLine(const std::string &line,
+                        const std::string &campaign,
+                        std::size_t *cellIndex);
+
+/**
+ * Map a waitpid(2) status to the error taxonomy:
+ *
+ *   exited 0          → ok: *errorClass cleared, returns true
+ *   exited nonzero    → "crash" (worker exited without finishing)
+ *   killed by signal  → "crash", message names the signal (SIGSEGV,
+ *                        SIGABRT, SIGKILL — the OOM killer's spoor)
+ *
+ * Returns false when the status describes a failure.
+ */
+bool describeWaitStatus(int waitStatus, std::string *errorClass,
+                        std::string *message);
+
+/**
+ * Merge shard journals into one spec-ordered campaign result. Entries
+ * are matched by cell identity, newest-wins within a journal and
+ * later-journal-wins across @p journalPaths; entries whose manifest
+ * hash no longer matches the current machine definition are stale and
+ * ignored. Cells with no usable entry are listed in *missing and left
+ * as default (failed, empty error) results carrying their identity.
+ * Missing journal files are skipped (a worker that never spawned
+ * writes nothing).
+ */
+void mergeShardJournals(const CampaignSpec &spec,
+                        const std::vector<std::string> &journalPaths,
+                        CampaignResult *out,
+                        std::vector<std::size_t> *missing);
+
+/** What `simalpha --shard` executes. */
+struct ShardWorkerOptions
+{
+    std::string campaign;               ///< campaign name (re-derived)
+    std::vector<std::size_t> cells;     ///< campaign cell indices
+    std::string journalPath;            ///< this shard's journal
+    std::uint64_t maxInsts = 0;         ///< cap forwarded from the CLI
+    int maxRetries = 0;                 ///< per-cell retry budget
+    /** Fault plan in campaign cell indices (worker filters + remaps). */
+    std::vector<FaultInjection> faults;
+    /** Set by a signal handler: stop before the next cell, exit 3. */
+    const volatile std::sig_atomic_t *interrupted = nullptr;
+};
+
+/**
+ * Worker entry point: run the slice serially, heartbeat + journal each
+ * cell. Returns a process exit code (0 done, 2 bad campaign/options,
+ * 3 interrupted). Crash faults never return at all — that is the
+ * point.
+ */
+int runShardWorker(const ShardWorkerOptions &options);
+
+} // namespace runner
+} // namespace simalpha
+
+#endif // SIMALPHA_RUNNER_SHARD_HH

@@ -1,0 +1,533 @@
+#include "supervisor.hh"
+
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "runner/journal.hh"
+#include "runner/shard.hh"
+
+extern char **environ;
+
+namespace simalpha {
+namespace runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** One worker slot: its slice, its process, and its journal cursor. */
+struct ShardState
+{
+    std::size_t id = 0;
+    /** Campaign indices not yet settled (result, poison, or give-up),
+     *  in execution order. */
+    std::vector<std::size_t> pending;
+
+    pid_t pid = -1;
+    bool live = false;
+    bool done = false;
+    int spawns = 0;             ///< processes started for this shard
+
+    /** Campaign index of the cell the worker is executing (from its
+     *  last heartbeat), -1 between cells. */
+    long inFlight = -1;
+    /** When the supervisor observed that heartbeat. */
+    Clock::time_point inFlightSince;
+    /** The in-flight cell was SIGKILLed for exceeding its budget. */
+    bool timeoutKilled = false;
+
+    std::string journalPath;    ///< current attempt's journal
+    std::vector<std::string> journalPaths;  ///< every attempt, for merge
+    std::string logPath;        ///< worker stdout/stderr (appended)
+    std::streamoff offset = 0;  ///< journal bytes already consumed
+
+    Clock::time_point spawnAt;  ///< backoff: earliest next spawn
+};
+
+std::string
+cellLabel(const Cell &cell)
+{
+    std::string label = "'" + cell.workload + "' on '" + cell.machine;
+    if (cell.opt != validate::Optimization::None)
+        label += "+" + validate::optimizationName(cell.opt);
+    label += "'";
+    return label;
+}
+
+bool
+spawnShard(ShardState &shard, const SupervisorOptions &opts,
+           const std::string &scratch)
+{
+    shard.spawns++;
+    shard.journalPath = scratch + "/shard-" +
+                        std::to_string(shard.id) + "-try" +
+                        std::to_string(shard.spawns) + ".jsonl";
+    shard.journalPaths.push_back(shard.journalPath);
+    shard.offset = 0;
+    shard.inFlight = -1;
+    shard.timeoutKilled = false;
+    shard.logPath = scratch + "/shard-" + std::to_string(shard.id) +
+                    ".log";
+
+    std::vector<std::string> args;
+    args.push_back(opts.workerBinary);
+    args.push_back("--shard");
+    args.push_back("--campaign");
+    args.push_back(opts.campaign);
+    args.push_back("--cells");
+    args.push_back(formatCellList(shard.pending));
+    args.push_back("--journal");
+    args.push_back(shard.journalPath);
+    if (opts.maxInsts) {
+        args.push_back("--max-insts");
+        args.push_back(std::to_string(opts.maxInsts));
+    }
+    if (opts.maxRetries) {
+        args.push_back("--retries");
+        args.push_back(std::to_string(opts.maxRetries));
+    }
+    for (const FaultInjection &fault : opts.faults) {
+        args.push_back("--inject");
+        args.push_back(formatFaultSpec(fault));
+    }
+
+    std::vector<char *> argv;
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    posix_spawn_file_actions_t actions;
+    posix_spawn_file_actions_init(&actions);
+    posix_spawn_file_actions_addopen(&actions, 1,
+                                     shard.logPath.c_str(),
+                                     O_WRONLY | O_CREAT | O_APPEND,
+                                     0644);
+    posix_spawn_file_actions_adddup2(&actions, 1, 2);
+
+    pid_t pid = -1;
+    int rc = posix_spawn(&pid, opts.workerBinary.c_str(), &actions,
+                         nullptr, argv.data(), environ);
+    posix_spawn_file_actions_destroy(&actions);
+    if (rc != 0) {
+        shard.live = false;
+        return false;
+    }
+    shard.pid = pid;
+    shard.live = true;
+    return true;
+}
+
+/**
+ * Consume newly-appended complete lines of the shard's journal:
+ * heartbeats move the in-flight marker, result lines settle the
+ * in-flight cell and are copied verbatim into the master journal
+ * (verbatim, so resumed campaigns replay the worker's exact bytes).
+ */
+void
+drainJournal(ShardState &shard, const CampaignSpec &spec,
+             std::ofstream &master)
+{
+    std::ifstream in(shard.journalPath, std::ios::binary);
+    if (!in)
+        return;
+    in.seekg(shard.offset);
+    if (!in)
+        return;
+    std::ostringstream chunk;
+    chunk << in.rdbuf();
+    std::string data = chunk.str();
+
+    std::size_t pos = 0;
+    for (;;) {
+        std::size_t nl = data.find('\n', pos);
+        if (nl == std::string::npos)
+            break;      // a torn final line stays unconsumed
+        std::string line = data.substr(pos, nl - pos);
+        pos = nl + 1;
+        shard.offset += std::streamoff(line.size() + 1);
+
+        std::size_t hb = 0;
+        if (parseHeartbeatLine(line, spec.name, &hb)) {
+            shard.inFlight = long(hb);
+            shard.inFlightSince = Clock::now();
+            continue;
+        }
+        CellResult result;
+        std::string key;
+        if (!parseJournalLine(line, spec.name, &result, &key))
+            continue;
+        if (master.is_open()) {
+            master << line << '\n';
+            master.flush();
+        }
+        long settled = shard.inFlight;
+        if (settled < 0) {
+            // No heartbeat seen (shouldn't happen): match by identity.
+            for (std::size_t idx : shard.pending)
+                if (journalKey(spec.cells[idx]) == key) {
+                    settled = long(idx);
+                    break;
+                }
+        }
+        if (settled >= 0)
+            for (auto it = shard.pending.begin();
+                 it != shard.pending.end(); ++it)
+                if (long(*it) == settled) {
+                    shard.pending.erase(it);
+                    break;
+                }
+        shard.inFlight = -1;
+    }
+}
+
+} // namespace
+
+SupervisorOutcome
+superviseCampaign(const SupervisorOptions &opts)
+{
+    CampaignSpec spec;
+    if (!campaignByName(opts.campaign, &spec))
+        throw ConfigError("unknown campaign '" + opts.campaign +
+                          "' (table2..table5, smoke)");
+    if (opts.maxInsts)
+        spec = spec.withMaxInsts(opts.maxInsts);
+    if (opts.workerBinary.empty() ||
+        ::access(opts.workerBinary.c_str(), X_OK) != 0)
+        throw ConfigError("worker binary '" + opts.workerBinary +
+                          "' is not executable");
+
+    SupervisorOutcome out;
+    out.result.campaign = spec.name;
+    out.result.cells.assign(spec.cells.size(), CellResult());
+
+    // Resume: settled cells (ok, contained failures, and previously
+    // declared crashes/timeouts) replay from the master journal.
+    std::map<std::size_t, CellResult> replayed;
+    if (opts.resume && !opts.masterJournalPath.empty()) {
+        std::unordered_map<std::string, CellResult> replay;
+        std::string jerror;
+        if (!loadJournal(opts.masterJournalPath, spec.name, &replay,
+                         &jerror))
+            warn("%s (resuming nothing)", jerror.c_str());
+        for (std::size_t i = 0; i < spec.cells.size(); i++) {
+            auto it = replay.find(journalKey(spec.cells[i]));
+            if (it != replay.end() &&
+                it->second.manifestHash ==
+                    cellManifestHash(spec.cells[i])) {
+                CellResult r = it->second;
+                r.cell = spec.cells[i];
+                replayed[i] = std::move(r);
+            }
+        }
+    }
+
+    std::ofstream master;
+    if (!opts.masterJournalPath.empty()) {
+        master.open(opts.masterJournalPath,
+                    std::ios::binary | std::ios::app);
+        if (!master)
+            warn("cannot open journal '%s' for append (campaign will "
+                 "not be resumable)",
+                 opts.masterJournalPath.c_str());
+    }
+
+    // Scratch directory for shard journals and worker logs.
+    std::string scratch = opts.scratchDir;
+    if (scratch.empty() && !opts.masterJournalPath.empty())
+        scratch = opts.masterJournalPath + ".shards.d";
+    bool scratchIsTemp = false;
+    if (scratch.empty()) {
+        char tmpl[] = "/tmp/simalpha-shards-XXXXXX";
+        if (!::mkdtemp(tmpl))
+            throw ConfigError("cannot create scratch directory for "
+                              "shard journals");
+        scratch = tmpl;
+        scratchIsTemp = true;
+    } else if (::mkdir(scratch.c_str(), 0755) != 0 &&
+               errno != EEXIST) {
+        throw ConfigError("cannot create scratch directory '" +
+                          scratch + "'");
+    }
+
+    std::vector<std::size_t> work;
+    for (std::size_t i = 0; i < spec.cells.size(); i++)
+        if (!replayed.count(i))
+            work.push_back(i);
+
+    std::size_t nshards = std::size_t(opts.shards);
+    if (opts.shards <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        nshards = hw ? hw : 1;
+    }
+    nshards = std::min<std::size_t>(std::max<std::size_t>(work.size(),
+                                                          1),
+                                    std::max<std::size_t>(nshards, 1));
+
+    std::vector<ShardState> shards;
+    if (!work.empty()) {
+        auto slices = shardCells(work.size(), nshards);
+        for (std::size_t s = 0; s < slices.size(); s++) {
+            ShardState shard;
+            shard.id = s;
+            for (std::size_t w : slices[s])
+                shard.pending.push_back(work[w]);
+            shards.push_back(std::move(shard));
+        }
+    }
+
+    // Supervisor-declared failures (poison cells, timeouts, give-ups),
+    // journaled like any other settled cell so --resume replays them.
+    std::map<std::size_t, CellResult> failed;
+    auto recordFailure = [&](std::size_t index,
+                             const std::string &errorClass,
+                             const std::string &message) {
+        CellResult r;
+        r.cell = spec.cells[index];
+        r.seed = cellSeed(r.cell);
+        r.manifestHash = cellManifestHash(r.cell);
+        r.ok = false;
+        r.errorClass = errorClass;
+        r.error = message;
+        if (master.is_open()) {
+            master << journalLine(spec.name, r) << '\n';
+            master.flush();
+        }
+        if (errorClass == "timeout")
+            out.timedOutCells++;
+        else
+            out.crashedCells++;
+        failed[index] = std::move(r);
+    };
+
+    auto scheduleOrGiveUp = [&](ShardState &shard,
+                                const std::string &why) {
+        int respawnsUsed = shard.spawns - 1;
+        if (respawnsUsed >= opts.maxRespawns) {
+            for (std::size_t idx : shard.pending)
+                recordFailure(
+                    idx, "crash",
+                    "shard " + std::to_string(shard.id) +
+                        " worker died " +
+                        std::to_string(shard.spawns) +
+                        " times; giving up on this cell (" + why +
+                        ")");
+            shard.pending.clear();
+            shard.done = true;
+            return;
+        }
+        double delay =
+            opts.backoffSeconds * double(1 << respawnsUsed);
+        shard.spawnAt =
+            Clock::now() +
+            std::chrono::microseconds(long(delay * 1e6));
+        out.respawns++;
+    };
+
+    auto handleExit = [&](ShardState &shard, int status,
+                          bool interruptIssued) {
+        std::string errorClass, message;
+        bool clean = describeWaitStatus(status, &errorClass, &message);
+
+        if (shard.timeoutKilled && shard.inFlight >= 0) {
+            std::size_t idx = std::size_t(shard.inFlight);
+            std::ostringstream msg;
+            msg << "cell " << cellLabel(spec.cells[idx])
+                << " exceeded its " << opts.cellTimeout
+                << "s wall-clock timeout; shard " << shard.id
+                << " worker killed";
+            recordFailure(idx, "timeout", msg.str());
+            for (auto it = shard.pending.begin();
+                 it != shard.pending.end(); ++it)
+                if (long(*it) == shard.inFlight) {
+                    shard.pending.erase(it);
+                    break;
+                }
+        } else if (!clean && !interruptIssued &&
+                   shard.inFlight >= 0) {
+            std::size_t idx = std::size_t(shard.inFlight);
+            recordFailure(idx, errorClass,
+                          message + " (shard " +
+                              std::to_string(shard.id) + ", cell " +
+                              cellLabel(spec.cells[idx]) +
+                              " in flight)");
+            for (auto it = shard.pending.begin();
+                 it != shard.pending.end(); ++it)
+                if (long(*it) == shard.inFlight) {
+                    shard.pending.erase(it);
+                    break;
+                }
+        }
+        shard.inFlight = -1;
+        shard.timeoutKilled = false;
+
+        if (interruptIssued || shard.pending.empty()) {
+            shard.done = true;
+            return;
+        }
+        if (clean) {
+            // Exited 0 with unsettled cells: the worker skipped them.
+            for (std::size_t idx : shard.pending)
+                recordFailure(idx, "crash",
+                              "worker exited without producing a "
+                              "result for this cell (shard " +
+                                  std::to_string(shard.id) + ")");
+            shard.pending.clear();
+            shard.done = true;
+            return;
+        }
+        scheduleOrGiveUp(shard, message);
+    };
+
+    for (ShardState &shard : shards)
+        if (!spawnShard(shard, opts, scratch))
+            scheduleOrGiveUp(shard, "posix_spawn failed");
+
+    bool interruptIssued = false;
+    Clock::time_point interruptAt;
+    constexpr auto kGrace = std::chrono::seconds(2);
+
+    for (;;) {
+        bool allDone = true;
+        for (ShardState &shard : shards)
+            if (!shard.done)
+                allDone = false;
+        if (allDone)
+            break;
+
+        auto now = Clock::now();
+        if (opts.interrupted && *opts.interrupted &&
+            !interruptIssued) {
+            interruptIssued = true;
+            out.interrupted = true;
+            interruptAt = now;
+            for (ShardState &shard : shards) {
+                if (shard.live)
+                    ::kill(shard.pid, SIGTERM);
+                else if (!shard.done)
+                    shard.done = true;  // cancel scheduled respawns
+            }
+        }
+        if (interruptIssued && now - interruptAt > kGrace)
+            for (ShardState &shard : shards)
+                if (shard.live)
+                    ::kill(shard.pid, SIGKILL);
+
+        for (ShardState &shard : shards) {
+            if (shard.done)
+                continue;
+            if (!shard.live) {
+                if (interruptIssued) {
+                    shard.done = true;
+                    continue;
+                }
+                if (now >= shard.spawnAt) {
+                    if (!spawnShard(shard, opts, scratch))
+                        scheduleOrGiveUp(shard,
+                                         "posix_spawn failed");
+                }
+                continue;
+            }
+
+            drainJournal(shard, spec, master);
+
+            if (opts.cellTimeout > 0 && shard.inFlight >= 0 &&
+                !shard.timeoutKilled &&
+                Clock::now() - shard.inFlightSince >
+                    std::chrono::microseconds(
+                        long(opts.cellTimeout * 1e6))) {
+                shard.timeoutKilled = true;
+                ::kill(shard.pid, SIGKILL);
+            }
+
+            int status = 0;
+            pid_t reaped = ::waitpid(shard.pid, &status, WNOHANG);
+            if (reaped == shard.pid) {
+                shard.live = false;
+                drainJournal(shard, spec, master);
+                handleExit(shard, status, interruptIssued);
+            }
+        }
+
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    out.spawns = 0;
+    for (ShardState &shard : shards)
+        out.spawns += shard.spawns;
+
+    // Merge: replayed cells, supervisor-declared failures, then the
+    // shard journals (identity-matched, manifest-validated).
+    CampaignResult merged;
+    std::vector<std::size_t> missingIdx;
+    std::vector<std::string> allJournals;
+    for (ShardState &shard : shards)
+        for (const std::string &path : shard.journalPaths)
+            allJournals.push_back(path);
+    mergeShardJournals(spec, allJournals, &merged, &missingIdx);
+    std::set<std::size_t> missing(missingIdx.begin(),
+                                  missingIdx.end());
+
+    for (std::size_t i = 0; i < spec.cells.size(); i++) {
+        auto rit = replayed.find(i);
+        if (rit != replayed.end()) {
+            out.result.cells[i] = rit->second;
+            continue;
+        }
+        auto fit = failed.find(i);
+        if (fit != failed.end()) {
+            out.result.cells[i] = fit->second;
+            continue;
+        }
+        if (!missing.count(i) || out.interrupted) {
+            // Interrupted runs leave unfinished cells as default
+            // results (identity filled); the caller must not turn a
+            // partial result into an artifact.
+            out.result.cells[i] = merged.cells[i];
+            continue;
+        }
+        recordFailure(i, "crash",
+                      "no result from any worker for this cell");
+        out.result.cells[i] = failed[i];
+    }
+    out.replayedCells = replayed.size();
+
+    // Healthy runs clean up after themselves; anything that crashed,
+    // timed out, or was interrupted keeps its scratch directory (the
+    // worker logs are the post-mortem).
+    bool healthy = !out.interrupted && out.crashedCells == 0 &&
+                   out.timedOutCells == 0;
+    if (healthy || shards.empty()) {
+        for (ShardState &shard : shards) {
+            for (const std::string &path : shard.journalPaths)
+                std::remove(path.c_str());
+            if (!shard.logPath.empty())
+                std::remove(shard.logPath.c_str());
+        }
+        ::rmdir(scratch.c_str());   // fails harmlessly if non-empty
+    } else {
+        out.scratchRetained = scratch;
+    }
+    (void)scratchIsTemp;
+
+    return out;
+}
+
+} // namespace runner
+} // namespace simalpha

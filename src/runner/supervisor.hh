@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The process-isolation supervisor behind `simalpha --isolate=process`.
+ *
+ * The in-process (thread) runner contains any fault that surfaces as a
+ * C++ exception — but a SIGSEGV, an OOM kill, a stack overflow, or a
+ * runaway cell takes the whole campaign down, which is exactly the
+ * silent-cell-loss hazard a large validation sweep must not have. The
+ * supervisor moves the containment boundary to the process: it shards
+ * a campaign into slices, fork/execs one `simalpha --shard` worker per
+ * slice, and watches their journals.
+ *
+ * Failure model:
+ *
+ *   worker dies (signal / nonzero exit)
+ *       → the in-flight cell (known from its heartbeat line) is the
+ *         poison cell: it is recorded as failed with error class
+ *         "crash" and the wait status in the message; the worker is
+ *         respawned for the remaining cells — bounded respawns with
+ *         exponential backoff, poison cell excluded.
+ *   cell exceeds its wall-clock budget
+ *       → the worker is killed; the cell is recorded with error class
+ *         "timeout"; the worker respawns for the rest.
+ *   respawn budget exhausted
+ *       → every remaining cell of the shard is recorded as "crash".
+ *   no fault at all
+ *       → the merged result is byte-identical to an in-process
+ *         `--jobs N` run of the same campaign (journal lines round-trip
+ *         every serialized field).
+ *
+ * Completed result lines are copied verbatim into the master campaign
+ * journal as they appear, and supervisor-declared failures are
+ * journaled too — so Ctrl-C or a supervisor crash loses nothing and
+ * `--resume` replays every settled cell.
+ */
+
+#ifndef SIMALPHA_RUNNER_SUPERVISOR_HH
+#define SIMALPHA_RUNNER_SUPERVISOR_HH
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hh"
+
+namespace simalpha {
+namespace runner {
+
+struct SupervisorOptions
+{
+    /** Campaign name ("table2".."table5", "smoke") — workers re-derive
+     *  the spec from the name, so it must be a named campaign. */
+    std::string campaign;
+    /** Committed-instruction cap applied to every cell (0 = none). */
+    std::uint64_t maxInsts = 0;
+
+    /** Worker processes; 0 = hardware concurrency. */
+    int shards = 0;
+    /** Path to the simalpha binary to exec as workers. */
+    std::string workerBinary;
+    /** Scratch directory for shard journals and worker logs; empty =
+     *  derive from the master journal path or a temp directory. */
+    std::string scratchDir;
+
+    /** Per-cell wall-clock budget in seconds (0 = no timeout). */
+    double cellTimeout = 0.0;
+    /** Worker respawns allowed per shard after a death. */
+    int maxRespawns = 2;
+    /** First respawn delay in seconds; doubles per respawn. */
+    double backoffSeconds = 0.05;
+
+    /** Per-cell retry budget forwarded to workers (--retries). */
+    int maxRetries = 0;
+    /** Fault plan forwarded to workers (--inject), campaign indices. */
+    std::vector<FaultInjection> faults;
+
+    /** Master campaign journal (empty = none); with resume, settled
+     *  cells are replayed from it instead of re-sharded. */
+    std::string masterJournalPath;
+    bool resume = false;
+
+    /** Set by a signal handler: terminate workers and return early. */
+    const volatile std::sig_atomic_t *interrupted = nullptr;
+};
+
+struct SupervisorOutcome
+{
+    CampaignResult result;
+    /** True if the run was cut short by the interrupted flag; the
+     *  result is partial and should not become an artifact. */
+    bool interrupted = false;
+
+    std::size_t replayedCells = 0;  ///< served from the master journal
+    std::size_t crashedCells = 0;   ///< error class "crash"
+    std::size_t timedOutCells = 0;  ///< error class "timeout"
+    int spawns = 0;                 ///< worker processes started
+    int respawns = 0;               ///< of which after a death
+    /** Scratch directory left on disk for post-mortem (worker logs)
+     *  when something went wrong; empty when cleaned up. */
+    std::string scratchRetained;
+};
+
+/** Run a named campaign under process isolation. Throws ConfigError
+ *  for unusable options (unknown campaign, missing worker binary). */
+SupervisorOutcome superviseCampaign(const SupervisorOptions &options);
+
+} // namespace runner
+} // namespace simalpha
+
+#endif // SIMALPHA_RUNNER_SUPERVISOR_HH

@@ -139,6 +139,27 @@ TEST(ErrorTaxonomy, SimAssertThrowsInvariantError)
     EXPECT_NO_THROW({ sim_assert(2 + 2 == 4); });
 }
 
+TEST(ErrorTaxonomy, CrashAndTimeoutAreSupervisorOnlyClasses)
+{
+    // The process-isolation supervisor's classes: deaths it observed
+    // from outside (wait status, wall-clock), never raised inside a
+    // simulation — and never retryable, since the same cell would
+    // take down the next worker too.
+    CrashError crash("worker killed by signal 11");
+    EXPECT_EQ(crash.kind(), "crash");
+    EXPECT_FALSE(crash.retryable());
+
+    TimeoutError timeout("exceeded its 60s wall-clock timeout");
+    EXPECT_EQ(timeout.kind(), "timeout");
+    EXPECT_FALSE(timeout.retryable());
+
+    try {
+        throw CrashError("boom");
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), "crash");
+    }
+}
+
 TEST(ErrorTaxonomy, ClassesAreCatchableAsSimError)
 {
     try {
@@ -474,6 +495,39 @@ TEST(Journal, StaleManifestHashEntriesAreReExecuted)
     EXPECT_FALSE(result.cells[0].fromJournal);   // re-executed
     EXPECT_TRUE(result.cells[1].fromJournal);
     EXPECT_EQ(toJson(result), clean);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, CancelFlagSkipsCellsWithoutJournalingThem)
+{
+    // The Ctrl-C path: a pre-set cancel flag means no cell starts,
+    // nothing is journaled, and a later resume re-runs everything —
+    // skipped cells must never masquerade as settled results.
+    std::string path = uniquePath("cancel");
+    std::remove(path.c_str());
+    CampaignSpec spec = cheapSpec(4);
+
+    volatile std::sig_atomic_t flag = 1;
+    RunnerOptions opts;
+    opts.jobs = 2;
+    opts.cache = false;
+    opts.journalPath = path;
+    opts.cancel = &flag;
+    CampaignResult cancelled = ExperimentRunner(opts).run(spec);
+    for (const CellResult &r : cancelled.cells) {
+        EXPECT_FALSE(r.ok);
+        EXPECT_TRUE(r.error.empty());   // skipped, not failed
+    }
+    EXPECT_TRUE(readFile(path).empty());
+
+    // Resuming with the flag clear runs the whole campaign normally.
+    flag = 0;
+    RunnerOptions resuming = opts;
+    resuming.resume = true;
+    CampaignResult result = ExperimentRunner(resuming).run(spec);
+    EXPECT_EQ(result.okCount(), spec.cells.size());
+    for (const CellResult &r : result.cells)
+        EXPECT_FALSE(r.fromJournal);
     std::remove(path.c_str());
 }
 

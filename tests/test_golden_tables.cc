@@ -10,13 +10,20 @@
  *
  *   table2.json  the 21-microbenchmark suite on ds10l, sim-alpha, and
  *                sim-outorder, run to completion
+ *   table3.json  the ten SPEC2000 synthetics on ds10l, sim-alpha,
+ *                sim-stripped, and sim-outorder, capped at 20k
+ *                committed instructions per cell
  *   table4.json  the macro suite on sim-alpha and its ten ablations,
  *                capped at 20k committed instructions per cell (the
  *                full Table 4 takes minutes; the cap keeps the golden
  *                run a few seconds while still exercising every
  *                ablation's timing paths)
+ *   table5.json  the macro suite across all 13 stability
+ *                configurations × 4 optimization sweeps, capped at
+ *                20k — the widest grid, covering every machine the
+ *                stability analysis touches
  *
- * When a change intentionally moves the numbers, regenerate both with:
+ * When a change intentionally moves the numbers, regenerate all with:
  *
  *   build/tests/test_golden_tables --regenerate
  *
@@ -60,6 +67,16 @@ runTable2()
 }
 
 CampaignResult
+runTable3()
+{
+    CampaignSpec spec = table3Campaign().withMaxInsts(20000);
+    RunnerOptions opts;
+    opts.jobs = 4;
+    ExperimentRunner runner(opts);
+    return runner.run(spec);
+}
+
+CampaignResult
 runTable4()
 {
     CampaignSpec spec = table4Campaign().withMaxInsts(20000);
@@ -69,9 +86,23 @@ runTable4()
     return runner.run(spec);
 }
 
+CampaignResult
+runTable5()
+{
+    // The widest grid (520 cells); jobs never moves a byte, so run it
+    // wide to keep the golden check quick.
+    CampaignSpec spec = table5Campaign().withMaxInsts(20000);
+    RunnerOptions opts;
+    opts.jobs = 8;
+    ExperimentRunner runner(opts);
+    return runner.run(spec);
+}
+
 const GoldenTable kTables[] = {
     {SIMALPHA_GOLDEN_DIR "/table2.json", runTable2, 21u * 3u},
+    {SIMALPHA_GOLDEN_DIR "/table3.json", runTable3, 10u * 4u},
     {SIMALPHA_GOLDEN_DIR "/table4.json", runTable4, 110u},
+    {SIMALPHA_GOLDEN_DIR "/table5.json", runTable5, 520u},
 };
 
 std::string
@@ -145,9 +176,19 @@ TEST(GoldenTables, Table2MatchesCheckedInArtifact)
     checkTable(kTables[0]);
 }
 
-TEST(GoldenTables, Table4CappedMatchesCheckedInArtifact)
+TEST(GoldenTables, Table3CappedMatchesCheckedInArtifact)
 {
     checkTable(kTables[1]);
+}
+
+TEST(GoldenTables, Table4CappedMatchesCheckedInArtifact)
+{
+    checkTable(kTables[2]);
+}
+
+TEST(GoldenTables, Table5CappedMatchesCheckedInArtifact)
+{
+    checkTable(kTables[3]);
 }
 
 int

@@ -18,16 +18,30 @@
  *   simalpha --campaign table2 --jobs 8 --out table2.json
  *   simalpha --campaign table5 --jobs 4 --max-insts 100000 --out t5.csv
  *
+ * Two isolation modes share the campaign artifacts byte for byte:
+ * the default `--isolate=thread` pool contains any fault that surfaces
+ * as a C++ exception, while `--isolate=process` shards the campaign
+ * over `simalpha --shard` worker processes so even a SIGSEGV, an OOM
+ * kill, or a hung cell is contained to that cell:
+ *
+ *   simalpha --campaign table4 --isolate=process --shards 8 \
+ *            --cell-timeout 120 --out table4.json
+ *
  * Campaigns with --out keep an append-only journal (<out>.journal.jsonl)
- * of completed cells; a killed campaign restarted with --resume serves
- * journaled cells and re-executes only the rest, with byte-identical
- * artifacts.
+ * of completed cells; a killed or Ctrl-C'd campaign restarted with
+ * --resume serves journaled cells and re-executes only the rest, with
+ * byte-identical artifacts.
  *
  * This is the only place a simulator error is turned into a process
- * exit: 0 = success, 1 = cell/run failures, 2 = usage/config errors.
+ * exit: 0 = success, 1 = cell/run failures, 2 = usage/config errors,
+ * 3 = interrupted (SIGINT/SIGTERM; the journal is intact, resume).
  */
 
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -39,6 +53,8 @@
 #include "runner/artifacts.hh"
 #include "runner/campaign.hh"
 #include "runner/runner.hh"
+#include "runner/shard.hh"
+#include "runner/supervisor.hh"
 #include "validate/machines.hh"
 #include "validate/manifest.hh"
 #include "workloads/macro.hh"
@@ -50,6 +66,40 @@ using namespace simalpha::workloads;
 using namespace simalpha::validate;
 
 namespace {
+
+/**
+ * Ctrl-C / SIGTERM: the handler only sets a flag; campaign loops and
+ * the supervisor poll it between cells, flush what is settled into the
+ * journal, reap any workers, and exit 3 — so --resume always picks up
+ * where the interrupt landed.
+ */
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void
+onInterrupt(int)
+{
+    g_interrupted = 1;
+}
+
+void
+installInterruptHandlers()
+{
+    std::signal(SIGINT, onInterrupt);
+    std::signal(SIGTERM, onInterrupt);
+}
+
+/** Absolute path of this binary, for exec'ing shard workers. */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0 ? argv0 : "simalpha";
+}
 
 struct NamedProgram
 {
@@ -100,7 +150,8 @@ usage()
         "\n"
         "campaign mode:\n"
         "  --campaign <name>   run a whole table grid: table2, table3,\n"
-        "                      table4, or table5\n"
+        "                      table4, table5 (or smoke, a 12-cell\n"
+        "                      capped self-test grid)\n"
         "  --jobs <n>          worker threads (0 = all cores; default 0)\n"
         "  --out <file>        write the artifact (.csv = CSV, else\n"
         "                      JSON; '-' = JSON to stdout)\n"
@@ -114,50 +165,45 @@ usage()
         "  --no-journal        do not keep a journal next to --out\n"
         "  --max-insts also caps every campaign cell.\n"
         "\n"
+        "process isolation (crash-proof campaigns):\n"
+        "  --isolate <mode>    thread (default): in-process pool, C++\n"
+        "                      exceptions contained per cell; process:\n"
+        "                      shard over worker processes, so signal\n"
+        "                      deaths, OOM kills, and hangs are also\n"
+        "                      contained per cell\n"
+        "  --shards <n>        worker processes (0 = all cores)\n"
+        "  --cell-timeout <s>  kill a cell exceeding s seconds of\n"
+        "                      wall-clock (0 = no timeout)\n"
+        "  --inject <c:k[:t]>  fault drill: make cell c fail with kind\n"
+        "                      k (panic, stall, throw, abort, segfault,\n"
+        "                      hang) on its first t executions\n"
+        "\n"
         "exit codes: 0 success, 1 failed cells or a failed run,\n"
-        "            2 usage or configuration errors\n");
+        "            2 usage or configuration errors, 3 interrupted\n"
+        "            (journal intact; restart with --resume)\n");
 }
 
-int
-runCampaign(const std::string &campaign_name, int jobs, bool use_cache,
-            std::uint64_t max_insts, const std::string &out_path,
-            int retries, bool resume, bool journal)
+/** Everything campaign mode parsed off the command line. */
+struct CampaignCli
 {
-    runner::CampaignSpec spec;
-    if (!runner::campaignByName(campaign_name, &spec))
-        fatal("unknown campaign '%s' (table2..table5)",
-              campaign_name.c_str());
-    if (max_insts)
-        spec = spec.withMaxInsts(max_insts);
+    std::string campaign;
+    std::string isolate = "thread";     ///< "thread" or "process"
+    int jobs = 0;
+    int shards = 0;
+    double cellTimeout = 0.0;
+    bool useCache = true;
+    std::uint64_t maxInsts = 0;
+    std::string outPath;
+    int retries = 0;
+    bool resume = false;
+    bool journal = true;
+    std::vector<runner::FaultInjection> faults;
+    std::string workerBinary;           ///< for --isolate=process
+};
 
-    runner::RunnerOptions opts;
-    opts.jobs = jobs;
-    opts.cache = use_cache;
-    opts.maxRetries = retries;
-    if (journal && !out_path.empty() && out_path != "-") {
-        opts.journalPath = out_path + ".journal.jsonl";
-        opts.resume = resume;
-    } else if (resume) {
-        fatal("--resume needs --out <file> (the journal lives next to "
-              "the artifact)");
-    }
-
-    runner::ExperimentRunner rnr(opts);
-    runner::CampaignResult result = rnr.run(spec);
-
-    std::size_t journaled = 0;
-    for (const runner::CellResult &r : result.cells)
-        journaled += r.fromJournal;
-
-    std::printf("campaign    %s\n", result.campaign.c_str());
-    std::printf("cells       %zu (%zu ok, %zu failed)\n",
-                result.cells.size(), result.okCount(),
-                result.errorCount());
-    std::printf("cache hits  %llu\n",
-                (unsigned long long)rnr.cacheHits());
-    if (resume)
-        std::printf("resumed     %zu cells from %s\n", journaled,
-                    opts.journalPath.c_str());
+void
+printCampaignSummary(const runner::CampaignResult &result)
+{
     for (const runner::CellResult &r : result.cells)
         if (!r.ok)
             std::printf("  FAILED [%s] %s/%s: %s\n",
@@ -173,7 +219,12 @@ runCampaign(const std::string &campaign_name, int jobs, bool use_cache,
         std::printf("%-24s %6zu %6zu %12llu %8.3f\n",
                     agg.machine.c_str(), agg.cellsOk, agg.cellsFailed,
                     (unsigned long long)agg.totalCycles, agg.hmeanIpc);
+}
 
+int
+writeCampaignArtifact(const runner::CampaignResult &result,
+                      const std::string &out_path)
+{
     if (out_path == "-") {
         std::fputs(runner::toJson(result).c_str(), stdout);
     } else if (!out_path.empty()) {
@@ -186,19 +237,128 @@ runCampaign(const std::string &campaign_name, int jobs, bool use_cache,
 }
 
 int
+runCampaignProcess(const CampaignCli &cli,
+                   const std::string &journal_path)
+{
+    runner::SupervisorOptions opts;
+    opts.campaign = cli.campaign;
+    opts.maxInsts = cli.maxInsts;
+    opts.shards = cli.shards;
+    opts.workerBinary = cli.workerBinary;
+    opts.cellTimeout = cli.cellTimeout;
+    opts.maxRetries = cli.retries;
+    opts.faults = cli.faults;
+    opts.masterJournalPath = journal_path;
+    opts.resume = cli.resume;
+    opts.interrupted = &g_interrupted;
+
+    runner::SupervisorOutcome outcome =
+        runner::superviseCampaign(opts);
+    if (outcome.interrupted) {
+        std::fprintf(stderr,
+                     "simalpha: interrupted; %s; restart with "
+                     "--resume to continue\n",
+                     journal_path.empty()
+                         ? "no journal was kept (use --out)"
+                         : ("journal flushed to " + journal_path)
+                               .c_str());
+        return 3;
+    }
+
+    const runner::CampaignResult &result = outcome.result;
+    std::printf("campaign    %s\n", result.campaign.c_str());
+    std::printf("cells       %zu (%zu ok, %zu failed)\n",
+                result.cells.size(), result.okCount(),
+                result.errorCount());
+    std::printf("isolation   process (%d spawns, %d respawns, "
+                "%zu crashed, %zu timed out)\n",
+                outcome.spawns, outcome.respawns,
+                outcome.crashedCells, outcome.timedOutCells);
+    if (cli.resume)
+        std::printf("resumed     %zu cells from %s\n",
+                    outcome.replayedCells, journal_path.c_str());
+    if (!outcome.scratchRetained.empty())
+        std::printf("post-mortem %s (worker logs and shard "
+                    "journals)\n",
+                    outcome.scratchRetained.c_str());
+    printCampaignSummary(result);
+    return writeCampaignArtifact(result, cli.outPath);
+}
+
+int
+runCampaign(const CampaignCli &cli)
+{
+    std::string journal_path;
+    if (cli.journal && !cli.outPath.empty() && cli.outPath != "-")
+        journal_path = cli.outPath + ".journal.jsonl";
+    else if (cli.resume)
+        fatal("--resume needs --out <file> (the journal lives next to "
+              "the artifact)");
+
+    if (cli.isolate == "process")
+        return runCampaignProcess(cli, journal_path);
+    if (cli.isolate != "thread")
+        fatal("unknown isolation mode '%s' (thread, process)",
+              cli.isolate.c_str());
+
+    runner::CampaignSpec spec;
+    if (!runner::campaignByName(cli.campaign, &spec))
+        fatal("unknown campaign '%s' (table2..table5, smoke)",
+              cli.campaign.c_str());
+    if (cli.maxInsts)
+        spec = spec.withMaxInsts(cli.maxInsts);
+
+    runner::RunnerOptions opts;
+    opts.jobs = cli.jobs;
+    opts.cache = cli.useCache;
+    opts.maxRetries = cli.retries;
+    opts.faults = cli.faults;
+    opts.journalPath = journal_path;
+    opts.resume = cli.resume && !journal_path.empty();
+    opts.cancel = &g_interrupted;
+
+    runner::ExperimentRunner rnr(opts);
+    runner::CampaignResult result = rnr.run(spec);
+
+    if (g_interrupted) {
+        std::fprintf(stderr,
+                     "simalpha: interrupted; %s; restart with "
+                     "--resume to continue\n",
+                     journal_path.empty()
+                         ? "no journal was kept (use --out)"
+                         : ("journal flushed to " + journal_path)
+                               .c_str());
+        return 3;
+    }
+
+    std::size_t journaled = 0;
+    for (const runner::CellResult &r : result.cells)
+        journaled += r.fromJournal;
+
+    std::printf("campaign    %s\n", result.campaign.c_str());
+    std::printf("cells       %zu (%zu ok, %zu failed)\n",
+                result.cells.size(), result.okCount(),
+                result.errorCount());
+    std::printf("cache hits  %llu\n",
+                (unsigned long long)rnr.cacheHits());
+    if (cli.resume)
+        std::printf("resumed     %zu cells from %s\n", journaled,
+                    journal_path.c_str());
+    printCampaignSummary(result);
+    return writeCampaignArtifact(result, cli.outPath);
+}
+
+int
 realMain(int argc, char **argv)
 {
     setQuiet(true);
     std::string machine_name = "sim-alpha";
     std::optional<std::string> workload_name;
     std::optional<std::string> campaign_name;
-    std::string out_path;
-    std::uint64_t max_insts = 0;
-    int jobs = 0;
-    int retries = 0;
-    bool use_cache = true;
-    bool resume = false;
-    bool journal = true;
+    CampaignCli cli;
+    bool shard_mode = false;
+    std::string shard_cells;
+    std::string shard_journal;
     bool want_stats = false;
     bool want_manifest = false;
     bool want_list = false;
@@ -217,19 +377,39 @@ realMain(int argc, char **argv)
         } else if (arg == "--campaign") {
             campaign_name = next();
         } else if (arg == "--jobs") {
-            jobs = int(std::strtol(next(), nullptr, 10));
+            cli.jobs = int(std::strtol(next(), nullptr, 10));
         } else if (arg == "--out") {
-            out_path = next();
+            cli.outPath = next();
         } else if (arg == "--no-cache") {
-            use_cache = false;
+            cli.useCache = false;
         } else if (arg == "--retries") {
-            retries = int(std::strtol(next(), nullptr, 10));
+            cli.retries = int(std::strtol(next(), nullptr, 10));
         } else if (arg == "--resume") {
-            resume = true;
+            cli.resume = true;
         } else if (arg == "--no-journal") {
-            journal = false;
+            cli.journal = false;
         } else if (arg == "--max-insts") {
-            max_insts = std::strtoull(next(), nullptr, 10);
+            cli.maxInsts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--isolate") {
+            cli.isolate = next();
+        } else if (arg.rfind("--isolate=", 0) == 0) {
+            cli.isolate = arg.substr(10);
+        } else if (arg == "--shards") {
+            cli.shards = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--cell-timeout") {
+            cli.cellTimeout = std::strtod(next(), nullptr);
+        } else if (arg == "--inject") {
+            runner::FaultInjection fault;
+            std::string error;
+            if (!runner::parseFaultSpec(next(), &fault, &error))
+                fatal("%s", error.c_str());
+            cli.faults.push_back(fault);
+        } else if (arg == "--shard") {
+            shard_mode = true;
+        } else if (arg == "--cells") {
+            shard_cells = next();
+        } else if (arg == "--journal") {
+            shard_journal = next();
         } else if (arg == "--stats") {
             want_stats = true;
         } else if (arg == "--manifest") {
@@ -245,9 +425,37 @@ realMain(int argc, char **argv)
         }
     }
 
-    if (campaign_name)
-        return runCampaign(*campaign_name, jobs, use_cache, max_insts,
-                           out_path, retries, resume, journal);
+    if (shard_mode) {
+        // The hidden worker half of --isolate=process: execute a slice
+        // of a named campaign, heartbeat + journal every cell. No
+        // artifact, no summary — the supervisor owns those.
+        if (!campaign_name)
+            fatal("--shard needs --campaign <name>");
+        runner::ShardWorkerOptions wopts;
+        wopts.campaign = *campaign_name;
+        std::string error;
+        if (!runner::parseCellList(shard_cells, &wopts.cells, &error))
+            fatal("--shard: %s", error.c_str());
+        if (shard_journal.empty())
+            fatal("--shard needs --journal <path>");
+        wopts.journalPath = shard_journal;
+        wopts.maxInsts = cli.maxInsts;
+        wopts.maxRetries = cli.retries;
+        wopts.faults = cli.faults;
+        wopts.interrupted = &g_interrupted;
+        installInterruptHandlers();
+        int code = runShardWorker(wopts);
+        if (code == 2)
+            fatal("--shard: bad campaign, cell list, or journal");
+        return code;
+    }
+
+    if (campaign_name) {
+        cli.campaign = *campaign_name;
+        cli.workerBinary = selfExePath(argv[0]);
+        installInterruptHandlers();
+        return runCampaign(cli);
+    }
 
     if (want_list) {
         std::printf("machines:\n");
@@ -283,7 +491,7 @@ realMain(int argc, char **argv)
               workload_name->c_str());
 
     auto machine = makeMachine(machine_name);
-    RunResult r = machine->run(*prog, max_insts);
+    RunResult r = machine->run(*prog, cli.maxInsts);
 
     std::printf("machine   %s\n", r.machine.c_str());
     std::printf("workload  %s\n", r.program.c_str());
