@@ -11,6 +11,9 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/logging.hh"
@@ -46,17 +49,49 @@ suiteImprovement(const CampaignResult &cr, const std::string &config,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+
+    RunnerOptions ro;
+    ro.jobs = 0;
+    ro.cache = true;
+    std::uint64_t max_insts = 0;
+    for (int i = 1; i < argc; i++) {
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value after %s\n",
+                             argv[i]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--store") == 0)
+            ro.storePath = next();
+        else if (std::strcmp(argv[i], "--jobs") == 0)
+            ro.jobs = int(std::strtol(next(), nullptr, 10));
+        else if (std::strcmp(argv[i], "--max-insts") == 0)
+            max_insts = std::strtoull(next(), nullptr, 10);
+        else {
+            std::fprintf(stderr,
+                         "usage: table5_stability [--store DIR] "
+                         "[--jobs N] [--max-insts N]\n");
+            return 2;
+        }
+    }
+
     std::vector<MacroProfile> profiles = spec2000Profiles();
 
     // All 13 configurations × 4 variants × 10 programs as one
     // campaign. Each base cell appears once in the spec (the serial
     // code re-ran it for every optimization row), and the runner's
     // cache would collapse any remaining manifest-identical cells.
-    ExperimentRunner rnr({0, true});
-    CampaignResult cr = rnr.run(table5Campaign());
+    // With --store, a rerun serves every unchanged cell from disk.
+    ExperimentRunner rnr(ro);
+    CampaignSpec spec = table5Campaign();
+    if (max_insts)
+        spec = spec.withMaxInsts(max_insts);
+    CampaignResult cr = rnr.run(spec);
 
     struct OptRow
     {
@@ -97,6 +132,15 @@ main()
         }
         std::printf("\n");
         std::fflush(stdout);
+    }
+
+    if (rnr.storeOpen()) {
+        store::StoreCounters c = rnr.storeCounters();
+        std::printf("\nstore: %llu hits, %llu misses, "
+                    "%llu published\n",
+                    (unsigned long long)c.hits,
+                    (unsigned long long)c.misses,
+                    (unsigned long long)c.publishes);
     }
     return 0;
 }

@@ -278,5 +278,76 @@ aggregateByMachine(const CampaignResult &result)
     return out;
 }
 
+std::string
+toSummaryJson(const RunSummary &s)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"campaign\": \"" << jsonEscape(s.campaign) << "\",\n";
+    os << "  \"cells\": " << s.cells << ",\n";
+    os << "  \"ok\": " << s.cellsOk << ",\n";
+    os << "  \"failed\": " << s.cellsFailed << ",\n";
+    os << "  \"cache_hits\": " << s.cacheHits << ",\n";
+    os << "  \"store\": {\n";
+    os << "    \"enabled\": " << (s.storeEnabled ? "true" : "false")
+       << ",\n";
+    os << "    \"path\": \"" << jsonEscape(s.storePath) << "\",\n";
+    os << "    \"hits\": " << s.store.hits << ",\n";
+    os << "    \"misses\": " << s.store.misses << ",\n";
+    os << "    \"bytes_read\": " << s.store.bytesRead << ",\n";
+    os << "    \"bytes_written\": " << s.store.bytesWritten << ",\n";
+    os << "    \"shards\": [";
+    for (std::size_t i = 0; i < s.shardStore.size(); i++) {
+        const StoreTraffic &t = s.shardStore[i];
+        os << (i ? ",\n" : "\n");
+        os << "      {\"shard\": " << i << ", \"hits\": " << t.hits
+           << ", \"misses\": " << t.misses
+           << ", \"bytes_read\": " << t.bytesRead
+           << ", \"bytes_written\": " << t.bytesWritten << "}";
+    }
+    os << (s.shardStore.empty() ? "]\n" : "\n    ]\n");
+    os << "  }\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+toSummaryCsv(const RunSummary &s)
+{
+    std::ostringstream os;
+    os << "metric,value\n";
+    os << "campaign," << s.campaign << "\n";
+    os << "cells," << s.cells << "\n";
+    os << "ok," << s.cellsOk << "\n";
+    os << "failed," << s.cellsFailed << "\n";
+    os << "cache_hits," << s.cacheHits << "\n";
+    os << "store_enabled," << (s.storeEnabled ? 1 : 0) << "\n";
+    os << "store_hits," << s.store.hits << "\n";
+    os << "store_misses," << s.store.misses << "\n";
+    os << "store_bytes_read," << s.store.bytesRead << "\n";
+    os << "store_bytes_written," << s.store.bytesWritten << "\n";
+    for (std::size_t i = 0; i < s.shardStore.size(); i++) {
+        const StoreTraffic &t = s.shardStore[i];
+        os << "shard" << i << "_store_hits," << t.hits << "\n";
+        os << "shard" << i << "_store_misses," << t.misses << "\n";
+        os << "shard" << i << "_store_bytes_read," << t.bytesRead
+           << "\n";
+        os << "shard" << i << "_store_bytes_written,"
+           << t.bytesWritten << "\n";
+    }
+    return os.str();
+}
+
+bool
+writeSummaryArtifacts(const RunSummary &summary,
+                      const std::string &artifactPath,
+                      std::string *error)
+{
+    return writeFileAtomic(artifactPath + ".summary.json",
+                           toSummaryJson(summary), error) &&
+           writeFileAtomic(artifactPath + ".summary.csv",
+                           toSummaryCsv(summary), error);
+}
+
 } // namespace runner
 } // namespace simalpha

@@ -60,9 +60,20 @@ CampaignResult::errorCount() const
     return cells.size() - okCount();
 }
 
+/** Campaign tag inside store payloads: stored results are shared
+ *  across campaigns, so their journal lines carry this fixed name
+ *  instead of whichever campaign happened to publish them. */
+static constexpr const char *kStorePayloadCampaign = "store";
+
 ExperimentRunner::ExperimentRunner(RunnerOptions options)
     : _opts(options)
 {
+    if (!_opts.storePath.empty()) {
+        std::string error;
+        if (!_store.open(_opts.storePath, &error))
+            warn("%s (persistent result store disabled)",
+                 error.c_str());
+    }
 }
 
 std::string
@@ -313,9 +324,11 @@ ExperimentRunner::run(const CampaignSpec &spec)
             }
         }
 
-        std::string key = _opts.cache ? cacheKey(cell) : std::string();
+        std::string key = (_opts.cache || _store.isOpen())
+                              ? cacheKey(cell)
+                              : std::string();
 
-        if (!key.empty()) {
+        if (!key.empty() && _opts.cache) {
             std::lock_guard<std::mutex> lock(_cacheMutex);
             auto it = _cache.find(key);
             if (it != _cache.end()) {
@@ -326,6 +339,32 @@ ExperimentRunner::run(const CampaignSpec &spec)
                     journal.append(spec.name, cached);
                 result.cells[i] = std::move(cached);
                 _cacheHits.fetch_add(1);
+                return;
+            }
+        }
+
+        // The persistent store: same identity key, shared with every
+        // other runner/shard/invocation pointed at the same root. The
+        // payload is a campaign journal line, which round-trips every
+        // serialized field — so a store hit is byte-identical to a
+        // computed result in artifacts and journals alike.
+        if (!key.empty() && _store.isOpen()) {
+            std::string payload;
+            CellResult stored;
+            std::string stored_key;
+            if (_store.lookup(key, &payload) &&
+                parseJournalLine(payload, kStorePayloadCampaign,
+                                 &stored, &stored_key)) {
+                stored.cell = cell;     // identity of *this* cell
+                stored.fromJournal = false;
+                stored.fromStore = true;
+                if (_opts.cache) {
+                    std::lock_guard<std::mutex> lock(_cacheMutex);
+                    _cache.emplace(key, stored);
+                }
+                if (journal.isOpen())
+                    journal.append(spec.name, stored);
+                result.cells[i] = std::move(stored);
                 return;
             }
         }
@@ -346,8 +385,17 @@ ExperimentRunner::run(const CampaignSpec &spec)
         r.attempts = attempt;
 
         if (!key.empty() && r.ok) {
-            std::lock_guard<std::mutex> lock(_cacheMutex);
-            _cache.emplace(key, r);
+            if (_opts.cache) {
+                std::lock_guard<std::mutex> lock(_cacheMutex);
+                _cache.emplace(key, r);
+            }
+            if (_store.isOpen()) {
+                std::string serror;
+                if (!_store.publish(
+                        key, journalLine(kStorePayloadCampaign, r),
+                        &serror))
+                    warn("%s (result not persisted)", serror.c_str());
+            }
         }
         if (journal.isOpen())
             journal.append(spec.name, r);

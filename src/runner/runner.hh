@@ -13,7 +13,12 @@
  *
  * An in-memory cache keyed by (manifest hash, workload, instruction
  * cap, seed) skips redundant cells across runs of the same runner —
- * e.g. the 3 base sweeps sharing each Table-5 configuration.
+ * e.g. the 3 base sweeps sharing each Table-5 configuration. With
+ * RunnerOptions::storePath set, the same key also addresses a
+ * persistent on-disk result store (src/store/) shared by independent
+ * runners, process shards, and successive campaign invocations; the
+ * lookup order is journal replay → memory → store → compute, and
+ * served results are byte-identical to computed ones.
  *
  * Cells are fault-contained: an exception thrown during cell execution
  * (invariant violation, watchdog deadlock, injected fault) becomes a
@@ -37,6 +42,7 @@
 
 #include "isa/machine.hh"
 #include "runner/campaign.hh"
+#include "store/store.hh"
 
 namespace simalpha {
 namespace runner {
@@ -71,6 +77,11 @@ struct CellResult
     /** Served from a resumed campaign journal (in-memory note, not
      *  serialized for the same reason as fromCache). */
     bool fromJournal = false;
+
+    /** Served from the persistent result store (in-memory provenance
+     *  note, not serialized — store hits must stay byte-identical to
+     *  computed results in every artifact and journal). */
+    bool fromStore = false;
 
     /** Executions this result took (1 + retries); in-memory note. */
     int attempts = 1;
@@ -151,6 +162,15 @@ struct RunnerOptions
     /** Reuse results across cells/runs with identical identity. */
     bool cache = true;
 
+    /**
+     * Root of a persistent result store shared across runners, process
+     * shards, and campaign invocations (empty = disabled). Successful
+     * cells are published; lookups are integrity-checked and keyed by
+     * the same identity as the in-memory cache, so a machine-definition
+     * change (new manifest hash) never serves a stale result.
+     */
+    std::string storePath;
+
     /** Extra executions granted to a cell whose failure class is
      *  retryable (transient/internal); deterministic failures
      *  (invariant, deadlock, config, workload) never retry. */
@@ -190,6 +210,15 @@ class ExperimentRunner
     /** Cells served from cache since construction/clearCache(). */
     std::uint64_t cacheHits() const { return _cacheHits.load(); }
 
+    /** Whether the persistent store opened successfully. */
+    bool storeOpen() const { return _store.isOpen(); }
+
+    /** Store traffic of this runner (hits/misses/publishes/bytes). */
+    store::StoreCounters storeCounters() const
+    {
+        return _store.counters();
+    }
+
     /** Distinct results currently cached. */
     std::size_t cacheSize() const;
 
@@ -214,6 +243,9 @@ class ExperimentRunner
     mutable std::mutex _cacheMutex;
     std::unordered_map<std::string, CellResult> _cache;
     std::atomic<std::uint64_t> _cacheHits{0};
+
+    /** The disk-backed store (closed unless options.storePath set). */
+    store::ResultStore _store;
 };
 
 } // namespace runner

@@ -198,6 +198,65 @@ parseHeartbeatLine(const std::string &line, const std::string &campaign,
     return true;
 }
 
+std::string
+storeSummaryLine(const std::string &campaign,
+                 const StoreTraffic &traffic)
+{
+    std::string line = "{\"campaign\":\"";
+    line += jsonEscape(campaign);
+    line += "\",\"store_summary\":{\"hits\":";
+    line += std::to_string(traffic.hits);
+    line += ",\"misses\":";
+    line += std::to_string(traffic.misses);
+    line += ",\"bytes_read\":";
+    line += std::to_string(traffic.bytesRead);
+    line += ",\"bytes_written\":";
+    line += std::to_string(traffic.bytesWritten);
+    line += "}}";
+    return line;
+}
+
+bool
+parseStoreSummaryLine(const std::string &line,
+                      const std::string &campaign, StoreTraffic *out)
+{
+    // Same exact-prefix contract as parseHeartbeatLine: read what our
+    // own writer produced, reject everything else (in particular the
+    // campaign-journal parser rejects these lines, so they never leak
+    // into merged results).
+    std::string prefix = "{\"campaign\":\"";
+    prefix += jsonEscape(campaign);
+    prefix += "\",\"store_summary\":{\"hits\":";
+    if (line.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    std::size_t pos = prefix.size();
+    auto number = [&](const char *sep, std::uint64_t *value) {
+        std::size_t start = pos;
+        while (pos < line.size() && line[pos] >= '0' &&
+               line[pos] <= '9')
+            pos++;
+        if (pos == start)
+            return false;
+        *value = std::strtoull(
+            line.substr(start, pos - start).c_str(), nullptr, 10);
+        std::size_t n = std::strlen(sep);
+        if (line.compare(pos, n, sep) != 0)
+            return false;
+        pos += n;
+        return true;
+    };
+    StoreTraffic t;
+    if (!number(",\"misses\":", &t.hits) ||
+        !number(",\"bytes_read\":", &t.misses) ||
+        !number(",\"bytes_written\":", &t.bytesRead) ||
+        !number("}}", &t.bytesWritten))
+        return false;
+    if (pos != line.size())
+        return false;
+    *out = t;
+    return true;
+}
+
 bool
 describeWaitStatus(int waitStatus, std::string *errorClass,
                    std::string *message)
@@ -287,11 +346,26 @@ runShardWorker(const ShardWorkerOptions &options)
     if (!heartbeat)
         return 2;
 
+    // Store traffic is accumulated across the slice and reported as
+    // one summary line when the worker stops — normally or on
+    // interrupt. (A crashed worker reports nothing; its respawn
+    // re-reports the cells it reruns, and cells it completed before
+    // crashing are counted by whoever served or published them.)
+    StoreTraffic traffic;
+    auto reportStore = [&]() {
+        if (options.storePath.empty())
+            return;
+        heartbeat << storeSummaryLine(spec.name, traffic) << '\n';
+        heartbeat.flush();
+    };
+
     for (std::size_t index : options.cells) {
         if (index >= spec.cells.size())
             return 2;
-        if (options.interrupted && *options.interrupted)
+        if (options.interrupted && *options.interrupted) {
+            reportStore();
             return 3;
+        }
 
         const Cell &cell = spec.cells[index];
         heartbeat << heartbeatLine(spec.name, index, cell.workload)
@@ -305,6 +379,7 @@ runShardWorker(const ShardWorkerOptions &options)
         RunnerOptions ro;
         ro.jobs = 1;
         ro.cache = false;
+        ro.storePath = options.storePath;
         ro.maxRetries = options.maxRetries;
         ro.journalPath = options.journalPath;
         for (const FaultInjection &f : options.faults)
@@ -314,8 +389,17 @@ runShardWorker(const ShardWorkerOptions &options)
                 ro.faults.push_back(local);
             }
 
-        ExperimentRunner(ro).run(one);
+        ExperimentRunner rnr(ro);
+        rnr.run(one);
+        if (rnr.storeOpen()) {
+            store::StoreCounters c = rnr.storeCounters();
+            traffic.hits += c.hits;
+            traffic.misses += c.misses;
+            traffic.bytesRead += c.bytesRead;
+            traffic.bytesWritten += c.bytesWritten;
+        }
     }
+    reportStore();
     return 0;
 }
 

@@ -68,6 +68,27 @@ bool parseHeartbeatLine(const std::string &line,
                         const std::string &campaign,
                         std::size_t *cellIndex);
 
+/** A worker's (or supervisor's aggregated) persistent-store traffic. */
+struct StoreTraffic
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+};
+
+/** The store-traffic summary line a worker appends (and flushes) to
+ *  its journal when it finishes (or is interrupted mid-) slice, so the
+ *  supervisor can attribute store hits per shard. */
+std::string storeSummaryLine(const std::string &campaign,
+                             const StoreTraffic &traffic);
+
+/** Parse a store-summary line of @p campaign; false for anything else
+ *  (heartbeats, result lines, other campaigns, torn lines). */
+bool parseStoreSummaryLine(const std::string &line,
+                           const std::string &campaign,
+                           StoreTraffic *out);
+
 /**
  * Map a waitpid(2) status to the error taxonomy:
  *
@@ -104,6 +125,11 @@ struct ShardWorkerOptions
     std::string journalPath;            ///< this shard's journal
     std::uint64_t maxInsts = 0;         ///< cap forwarded from the CLI
     int maxRetries = 0;                 ///< per-cell retry budget
+    /** Persistent result store shared with the supervisor and every
+     *  sibling shard (empty = none): cells whose identity is already
+     *  stored are served instead of recomputed, and a store-summary
+     *  line reports this worker's hit counts. */
+    std::string storePath;
     /** Fault plan in campaign cell indices (worker filters + remaps). */
     std::vector<FaultInjection> faults;
     /** Set by a signal handler: stop before the next cell, exit 3. */

@@ -58,6 +58,10 @@ struct ShardState
     std::string logPath;        ///< worker stdout/stderr (appended)
     std::streamoff offset = 0;  ///< journal bytes already consumed
 
+    /** Store traffic summed over this shard's worker attempts (each
+     *  attempt reports its own summary line as it stops). */
+    StoreTraffic store;
+
     Clock::time_point spawnAt;  ///< backoff: earliest next spawn
 };
 
@@ -98,6 +102,10 @@ spawnShard(ShardState &shard, const SupervisorOptions &opts,
     if (opts.maxInsts) {
         args.push_back("--max-insts");
         args.push_back(std::to_string(opts.maxInsts));
+    }
+    if (!opts.storePath.empty()) {
+        args.push_back("--store");
+        args.push_back(opts.storePath);
     }
     if (opts.maxRetries) {
         args.push_back("--retries");
@@ -167,6 +175,16 @@ drainJournal(ShardState &shard, const CampaignSpec &spec,
         if (parseHeartbeatLine(line, spec.name, &hb)) {
             shard.inFlight = long(hb);
             shard.inFlightSince = Clock::now();
+            continue;
+        }
+        StoreTraffic traffic;
+        if (parseStoreSummaryLine(line, spec.name, &traffic)) {
+            // Bookkeeping only — never copied into the master journal,
+            // so journals stay byte-comparable with in-process runs.
+            shard.store.hits += traffic.hits;
+            shard.store.misses += traffic.misses;
+            shard.store.bytesRead += traffic.bytesRead;
+            shard.store.bytesWritten += traffic.bytesWritten;
             continue;
         }
         CellResult result;
@@ -471,6 +489,14 @@ superviseCampaign(const SupervisorOptions &opts)
     out.spawns = 0;
     for (ShardState &shard : shards)
         out.spawns += shard.spawns;
+
+    for (ShardState &shard : shards) {
+        out.shardStore.push_back(shard.store);
+        out.storeTraffic.hits += shard.store.hits;
+        out.storeTraffic.misses += shard.store.misses;
+        out.storeTraffic.bytesRead += shard.store.bytesRead;
+        out.storeTraffic.bytesWritten += shard.store.bytesWritten;
+    }
 
     // Merge: replayed cells, supervisor-declared failures, then the
     // shard journals (identity-matched, manifest-validated).

@@ -42,7 +42,7 @@
 #include <string>
 #include <vector>
 
-#include "runner/runner.hh"
+#include "runner/shard.hh"
 
 namespace simalpha {
 namespace runner {
@@ -70,6 +70,12 @@ struct SupervisorOptions
     /** First respawn delay in seconds; doubles per respawn. */
     double backoffSeconds = 0.05;
 
+    /** Persistent result store root forwarded to workers (--store);
+     *  empty = none. Every shard (and any other campaign pointed at
+     *  the same root) shares it without coordination, so a rerun of a
+     *  sharded campaign serves already-computed cells from disk. */
+    std::string storePath;
+
     /** Per-cell retry budget forwarded to workers (--retries). */
     int maxRetries = 0;
     /** Fault plan forwarded to workers (--inject), campaign indices. */
@@ -96,6 +102,13 @@ struct SupervisorOutcome
     std::size_t timedOutCells = 0;  ///< error class "timeout"
     int spawns = 0;                 ///< worker processes started
     int respawns = 0;               ///< of which after a death
+
+    /** Per-shard persistent-store traffic, indexed by shard id (from
+     *  the workers' store-summary journal lines; empty when no store
+     *  was configured or no shard spawned). */
+    std::vector<StoreTraffic> shardStore;
+    /** The same traffic summed across every shard. */
+    StoreTraffic storeTraffic;
     /** Scratch directory left on disk for post-mortem (worker logs)
      *  when something went wrong; empty when cleaned up. */
     std::string scratchRetained;

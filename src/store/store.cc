@@ -1,0 +1,677 @@
+#include "store.hh"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace simalpha {
+namespace store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *kHeaderPrefix = "{\"simalpha_store\":1,\"key\":\"";
+constexpr const char *kCheckPrefix = "\",\"check\":\"";
+constexpr const char *kHeaderSuffix = "\"}";
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char ch : s) {
+        h ^= ch;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+hex16(std::uint64_t h)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; i--, h >>= 4)
+        out[std::size_t(i)] = digits[h & 0xF];
+    return out;
+}
+
+/** The journal writers' escaping rules (store entries must embed keys
+ *  and payloads that round-trip byte for byte). */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Consume an escaped JSON string body starting at *pos (just past the
+ *  opening quote); leaves *pos past the closing quote. */
+bool
+readStringBody(const std::string &s, std::size_t *pos, std::string *out)
+{
+    out->clear();
+    std::size_t p = *pos;
+    while (p < s.size()) {
+        char c = s[p++];
+        if (c == '"') {
+            *pos = p;
+            return true;
+        }
+        if (c != '\\') {
+            *out += c;
+            continue;
+        }
+        if (p >= s.size())
+            return false;
+        char esc = s[p++];
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'u': {
+            if (p + 4 > s.size())
+                return false;
+            unsigned v = 0;
+            for (int i = 0; i < 4; i++) {
+                char h = s[p++];
+                v <<= 4;
+                if (h >= '0' && h <= '9')
+                    v |= unsigned(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    v |= unsigned(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    v |= unsigned(h - 'A' + 10);
+                else
+                    return false;
+            }
+            if (v > 0xFF)
+                return false;   // the writer only escapes raw bytes
+            *out += char(v);
+            break;
+          }
+          default:
+            return false;
+        }
+    }
+    return false;
+}
+
+bool
+eatLiteral(const std::string &s, std::size_t *pos, const char *lit)
+{
+    std::size_t n = std::strlen(lit);
+    if (s.compare(*pos, n, lit) != 0)
+        return false;
+    *pos += n;
+    return true;
+}
+
+std::string
+headerLine(const std::string &key, const std::string &payload)
+{
+    std::string line = kHeaderPrefix;
+    line += escapeJson(key);
+    line += kCheckPrefix;
+    line += hex16(fnv1a64(payload));
+    line += kHeaderSuffix;
+    return line;
+}
+
+/** Parse a header line into the recorded key and integrity hash. */
+bool
+parseHeader(const std::string &line, std::string *key,
+            std::string *check)
+{
+    std::size_t pos = 0;
+    if (!eatLiteral(line, &pos, kHeaderPrefix))
+        return false;
+    if (!readStringBody(line, &pos, key))
+        return false;
+    // readStringBody consumed the closing quote; kCheckPrefix starts
+    // with one, so step back over it.
+    pos--;
+    if (!eatLiteral(line, &pos, kCheckPrefix))
+        return false;
+    if (pos + 16 > line.size())
+        return false;
+    *check = line.substr(pos, 16);
+    pos += 16;
+    return eatLiteral(line, &pos, kHeaderSuffix) && pos == line.size();
+}
+
+/** Atomic write: temp file in the target's directory, then rename. */
+bool
+writeAtomic(const std::string &path, const std::string &content,
+            std::uint64_t seq, std::string *error)
+{
+    std::string tmp = path + ".tmp." + std::to_string(long(::getpid())) +
+                      "." + std::to_string(seq);
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        if (error)
+            *error = "cannot open '" + tmp + "' for writing";
+        return false;
+    }
+    out << content;
+    out.close();
+    if (!out) {
+        std::remove(tmp.c_str());
+        if (error)
+            *error = "write to '" + tmp + "' failed";
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        if (error)
+            *error = "cannot rename '" + tmp + "' to '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+/** Slurp a whole file; false (not an error) when it does not exist. */
+bool
+slurp(const std::string &path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream os;
+    os << in.rdbuf();
+    *out = os.str();
+    return !in.bad();
+}
+
+/** An flock(2)-scoped advisory lock; no-throw, best effort on systems
+ *  or filesystems without flock support. */
+class ScopedFlock
+{
+  public:
+    explicit ScopedFlock(const std::string &path)
+    {
+        _fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+        if (_fd >= 0)
+            ::flock(_fd, LOCK_EX);
+    }
+
+    ~ScopedFlock()
+    {
+        if (_fd >= 0) {
+            ::flock(_fd, LOCK_UN);
+            ::close(_fd);
+        }
+    }
+
+    ScopedFlock(const ScopedFlock &) = delete;
+    ScopedFlock &operator=(const ScopedFlock &) = delete;
+
+  private:
+    int _fd = -1;
+};
+
+bool
+isEntryName(const std::string &name)
+{
+    return name.size() == 14 + 5 &&
+           name.compare(name.size() - 5, 5, ".json") == 0 &&
+           name.find_first_not_of("0123456789abcdef") == 14;
+}
+
+/** Every *.json entry path under @p root (unsorted). */
+std::vector<std::string>
+listEntries(const std::string &root, std::uint64_t *corrupt_files)
+{
+    std::vector<std::string> entries;
+    std::error_code ec;
+    for (const fs::directory_entry &shard :
+         fs::directory_iterator(root, ec)) {
+        if (!shard.is_directory(ec))
+            continue;
+        std::string shard_name = shard.path().filename().string();
+        if (shard_name.size() != 2 ||
+            shard_name.find_first_not_of("0123456789abcdef") !=
+                std::string::npos)
+            continue;
+        for (const fs::directory_entry &file :
+             fs::directory_iterator(shard.path(), ec)) {
+            std::string name = file.path().filename().string();
+            if (isEntryName(name))
+                entries.push_back(file.path().string());
+            else if (corrupt_files && name.size() > 8 &&
+                     name.compare(name.size() - 8, 8, ".corrupt") == 0)
+                (*corrupt_files)++;
+        }
+    }
+    std::sort(entries.begin(), entries.end());
+    return entries;
+}
+
+} // namespace
+
+std::string
+ResultStore::keyHash(const std::string &key)
+{
+    return hex16(fnv1a64(key));
+}
+
+std::string
+ResultStore::entryPath(const std::string &key) const
+{
+    std::string hash = keyHash(key);
+    return _root + "/" + hash.substr(0, 2) + "/" + hash.substr(2) +
+           ".json";
+}
+
+bool
+ResultStore::open(const std::string &root, std::string *error)
+{
+    std::error_code ec;
+    fs::create_directories(root, ec);
+    if (ec || !fs::is_directory(root)) {
+        if (error)
+            *error = "cannot create result store at '" + root + "'";
+        return false;
+    }
+    _root = root;
+    return true;
+}
+
+void
+ResultStore::quarantine(const std::string &path)
+{
+    if (std::rename(path.c_str(), (path + ".corrupt").c_str()) != 0)
+        std::remove(path.c_str());
+    _quarantined.fetch_add(1);
+}
+
+void
+ResultStore::touchSidecar(const std::string &entry_path)
+{
+    // Only the sidecar's mtime matters to gc; the decimal timestamp in
+    // the content is for humans. A concurrent toucher can tear the
+    // content, never the mtime.
+    auto now = std::chrono::system_clock::now().time_since_epoch();
+    std::ofstream out(entry_path + ".atime",
+                      std::ios::binary | std::ios::trunc);
+    out << std::chrono::duration_cast<std::chrono::seconds>(now).count()
+        << "\n";
+}
+
+bool
+ResultStore::readEntry(const std::string &path, std::string *key,
+                       std::string *payload, bool *corrupt)
+{
+    *corrupt = false;
+    std::string content;
+    if (!slurp(path, &content))
+        return false;
+
+    std::size_t nl = content.find('\n');
+    if (nl == std::string::npos) {
+        *corrupt = true;
+        return false;
+    }
+    std::string header = content.substr(0, nl);
+    std::string body = content.substr(nl + 1);
+    if (!body.empty() && body.back() == '\n')
+        body.pop_back();
+    else {
+        *corrupt = true;    // torn write can't survive rename; corrupt
+        return false;
+    }
+
+    std::string check;
+    if (!parseHeader(header, key, &check) ||
+        check != hex16(fnv1a64(body))) {
+        *corrupt = true;
+        return false;
+    }
+    *payload = std::move(body);
+    return true;
+}
+
+bool
+ResultStore::lookup(const std::string &key, std::string *payload)
+{
+    if (!isOpen())
+        return false;
+    std::string path = entryPath(key);
+
+    std::string stored_key, body;
+    bool corrupt = false;
+    if (!readEntry(path, &stored_key, &body, &corrupt)) {
+        if (corrupt)
+            quarantine(path);
+        _misses.fetch_add(1);
+        return false;
+    }
+    if (stored_key != key) {
+        // A 64-bit hash collision: not our entry, not corruption.
+        _misses.fetch_add(1);
+        return false;
+    }
+    _hits.fetch_add(1);
+    _bytesRead.fetch_add(body.size());
+    touchSidecar(path);
+    *payload = std::move(body);
+    return true;
+}
+
+bool
+ResultStore::publish(const std::string &key, const std::string &payload,
+                     std::string *error)
+{
+    if (!isOpen()) {
+        if (error)
+            *error = "result store is not open";
+        return false;
+    }
+    if (payload.find('\n') != std::string::npos) {
+        if (error)
+            *error = "store payloads are single lines (embedded "
+                     "newline rejected)";
+        return false;
+    }
+    std::string path = entryPath(key);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (ec) {
+        if (error)
+            *error = "cannot create store shard directory for '" +
+                     path + "'";
+        return false;
+    }
+
+    std::string content = headerLine(key, payload);
+    content += '\n';
+    content += payload;
+    content += '\n';
+
+    // The advisory lock serializes writers of this entry; readers never
+    // take it (rename is atomic), so a reader can't block a writer.
+    ScopedFlock lock(path + ".lock");
+    if (!writeAtomic(path, content, _tmpSeq.fetch_add(1), error))
+        return false;
+    touchSidecar(path);
+    _publishes.fetch_add(1);
+    _bytesWritten.fetch_add(content.size());
+    return true;
+}
+
+StoreCounters
+ResultStore::counters() const
+{
+    StoreCounters c;
+    c.hits = _hits.load();
+    c.misses = _misses.load();
+    c.publishes = _publishes.load();
+    c.bytesRead = _bytesRead.load();
+    c.bytesWritten = _bytesWritten.load();
+    c.quarantined = _quarantined.load();
+    return c;
+}
+
+StoreUsage
+ResultStore::usage(std::string *error) const
+{
+    StoreUsage u;
+    if (!isOpen()) {
+        if (error)
+            *error = "result store is not open";
+        return u;
+    }
+    std::error_code ec;
+    for (const std::string &path : listEntries(_root, &u.corrupt)) {
+        u.entries++;
+        u.bytes += fs::file_size(path, ec);
+    }
+    return u;
+}
+
+StoreUsage
+ResultStore::verifyAll(std::vector<std::string> *corruptPaths,
+                       std::string *error)
+{
+    StoreUsage u;
+    if (!isOpen()) {
+        if (error)
+            *error = "result store is not open";
+        return u;
+    }
+    std::error_code ec;
+    for (const std::string &path : listEntries(_root, &u.corrupt)) {
+        std::string key, payload;
+        bool corrupt = false;
+        bool ok = readEntry(path, &key, &payload, &corrupt);
+        // A well-formed entry filed under the wrong path is as
+        // unservable as a bad hash: lookups address by key hash.
+        if (ok && entryPath(key) != path)
+            ok = false;
+        if (!ok) {
+            quarantine(path);
+            u.corrupt++;
+            if (corruptPaths)
+                corruptPaths->push_back(path);
+            continue;
+        }
+        u.entries++;
+        u.bytes += fs::file_size(path, ec);
+    }
+    return u;
+}
+
+GcOutcome
+ResultStore::gc(const GcOptions &options, std::string *error)
+{
+    GcOutcome out;
+    if (!isOpen()) {
+        if (error)
+            *error = "result store is not open";
+        return out;
+    }
+
+    // One collector at a time; readers and writers are unaffected
+    // (they never take this lock).
+    ScopedFlock lock(_root + "/.gc.lock");
+
+    struct Entry
+    {
+        std::string path;
+        std::uint64_t size;
+        fs::file_time_type lastUse;
+    };
+    std::vector<Entry> entries;
+    std::error_code ec;
+    for (const std::string &path : listEntries(_root, nullptr)) {
+        Entry e;
+        e.path = path;
+        e.size = fs::file_size(path, ec);
+        e.lastUse = fs::last_write_time(path + ".atime", ec);
+        if (ec)
+            e.lastUse = fs::last_write_time(path, ec);
+        entries.push_back(std::move(e));
+    }
+    out.scanned = entries.size();
+
+    // Oldest first; ties broken by path so gc is deterministic.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.lastUse != b.lastUse)
+                      return a.lastUse < b.lastUse;
+                  return a.path < b.path;
+              });
+
+    std::uint64_t total = 0;
+    for (const Entry &e : entries)
+        total += e.size;
+
+    auto now = fs::file_time_type::clock::now();
+    auto removeEntry = [&](const Entry &e) {
+        fs::remove(e.path, ec);
+        fs::remove(e.path + ".atime", ec);
+        fs::remove(e.path + ".lock", ec);
+        out.removed++;
+        out.bytesRemoved += e.size;
+        total -= e.size;
+    };
+
+    std::size_t i = 0;
+    if (options.maxAgeSeconds > 0) {
+        auto cutoff = now - std::chrono::duration_cast<
+                                fs::file_time_type::duration>(
+                                std::chrono::duration<double>(
+                                    options.maxAgeSeconds));
+        for (; i < entries.size() && entries[i].lastUse < cutoff; i++)
+            removeEntry(entries[i]);
+    }
+    if (options.maxBytes > 0)
+        for (; i < entries.size() && total > options.maxBytes; i++)
+            removeEntry(entries[i]);
+
+    for (; i < entries.size(); i++) {
+        out.entriesKept++;
+        out.bytesKept += entries[i].size;
+    }
+
+    // Sweep sidecars and locks whose entry is gone (earlier gc kills,
+    // quarantines, or crashed writers).
+    for (const fs::directory_entry &shard :
+         fs::directory_iterator(_root, ec)) {
+        if (!shard.is_directory(ec))
+            continue;
+        for (const fs::directory_entry &file :
+             fs::directory_iterator(shard.path(), ec)) {
+            std::string name = file.path().filename().string();
+            for (const char *suffix : {".json.atime", ".json.lock"}) {
+                std::size_t n = std::strlen(suffix);
+                if (name.size() > n &&
+                    name.compare(name.size() - n, n, suffix) == 0) {
+                    std::string entry = file.path().string();
+                    entry.resize(entry.size() + 5 - n);  // keep ".json"
+                    if (!fs::exists(entry, ec))
+                        fs::remove(file.path(), ec);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+bool
+ResultStore::exportTo(const std::string &path, std::uint64_t *exported,
+                      std::string *error) const
+{
+    if (!isOpen()) {
+        if (error)
+            *error = "result store is not open";
+        return false;
+    }
+    std::ostringstream os;
+    std::uint64_t count = 0;
+    for (const std::string &entry : listEntries(_root, nullptr)) {
+        std::string key, payload;
+        bool corrupt = false;
+        if (!readEntry(entry, &key, &payload, &corrupt))
+            continue;   // unreadable or corrupt: not exportable
+        os << "{\"key\":\"" << escapeJson(key) << "\",\"payload\":\""
+           << escapeJson(payload) << "\"}\n";
+        count++;
+    }
+    if (!writeAtomic(path, os.str(), 0, error))
+        return false;
+    if (exported)
+        *exported = count;
+    return true;
+}
+
+bool
+ResultStore::importFrom(const std::string &path,
+                        std::uint64_t *imported, std::string *error)
+{
+    if (!isOpen()) {
+        if (error)
+            *error = "result store is not open";
+        return false;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open '" + path + "' for import";
+        return false;
+    }
+    std::uint64_t count = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::size_t pos = 0;
+        std::string key, payload;
+        if (!eatLiteral(line, &pos, "{\"key\":\"") ||
+            !readStringBody(line, &pos, &key))
+            continue;
+        pos--;      // step back over the consumed closing quote
+        if (!eatLiteral(line, &pos, "\",\"payload\":\"") ||
+            !readStringBody(line, &pos, &payload))
+            continue;
+        pos--;
+        if (!eatLiteral(line, &pos, "\"}") || pos != line.size())
+            continue;
+        if (publish(key, payload, nullptr))
+            count++;
+    }
+    if (in.bad()) {
+        if (error)
+            *error = "error reading '" + path + "'";
+        return false;
+    }
+    if (imported)
+        *imported = count;
+    return true;
+}
+
+} // namespace store
+} // namespace simalpha

@@ -55,6 +55,7 @@
 #include "runner/runner.hh"
 #include "runner/shard.hh"
 #include "runner/supervisor.hh"
+#include "store/store.hh"
 #include "validate/machines.hh"
 #include "validate/manifest.hh"
 #include "workloads/macro.hh"
@@ -157,6 +158,11 @@ usage()
         "                      JSON; '-' = JSON to stdout)\n"
         "  --no-cache          disable the (manifest, workload) result\n"
         "                      cache\n"
+        "  --store <dir>       persistent result store: cells whose\n"
+        "                      identity is already stored are served\n"
+        "                      from disk, new results are published —\n"
+        "                      shared across runs, shards, and\n"
+        "                      isolation modes\n"
         "  --retries <n>       re-run cells failing with a retryable\n"
         "                      (transient) class up to n times\n"
         "  --resume            skip cells already in <out>.journal.jsonl\n"
@@ -178,6 +184,15 @@ usage()
         "                      k (panic, stall, throw, abort, segfault,\n"
         "                      hang) on its first t executions\n"
         "\n"
+        "store maintenance (simalpha store <verb> --store <dir>):\n"
+        "  stats               entry count, bytes, quarantined blobs\n"
+        "  verify              integrity-check every entry; corrupt\n"
+        "                      ones are quarantined (exit 1 if any)\n"
+        "  gc                  evict least-recently-used entries; needs\n"
+        "                      --max-bytes <n> and/or --max-age <secs>\n"
+        "  export --to <f>     dump every entry as JSONL\n"
+        "  import --from <f>   publish a dump into this store\n"
+        "\n"
         "exit codes: 0 success, 1 failed cells or a failed run,\n"
         "            2 usage or configuration errors, 3 interrupted\n"
         "            (journal intact; restart with --resume)\n");
@@ -192,6 +207,7 @@ struct CampaignCli
     int shards = 0;
     double cellTimeout = 0.0;
     bool useCache = true;
+    std::string storePath;
     std::uint64_t maxInsts = 0;
     std::string outPath;
     int retries = 0;
@@ -221,6 +237,32 @@ printCampaignSummary(const runner::CampaignResult &result)
                     (unsigned long long)agg.totalCycles, agg.hmeanIpc);
 }
 
+/** Sidecar run-summary artifacts (<out>.summary.{json,csv}) — skipped
+ *  for stdout artifacts, best-effort otherwise (the cell results are
+ *  the deliverable; traffic counters are observability). */
+void
+writeRunSummary(const runner::RunSummary &summary,
+                const std::string &out_path)
+{
+    if (out_path.empty() || out_path == "-")
+        return;
+    std::string error;
+    if (!runner::writeSummaryArtifacts(summary, out_path, &error))
+        warn("%s (run summary not written)", error.c_str());
+}
+
+void
+printStoreTraffic(const runner::StoreTraffic &t,
+                  const std::string &path)
+{
+    std::printf("store       %llu hits, %llu misses (%llu B read, "
+                "%llu B written) at %s\n",
+                (unsigned long long)t.hits,
+                (unsigned long long)t.misses,
+                (unsigned long long)t.bytesRead,
+                (unsigned long long)t.bytesWritten, path.c_str());
+}
+
 int
 writeCampaignArtifact(const runner::CampaignResult &result,
                       const std::string &out_path)
@@ -246,6 +288,7 @@ runCampaignProcess(const CampaignCli &cli,
     opts.shards = cli.shards;
     opts.workerBinary = cli.workerBinary;
     opts.cellTimeout = cli.cellTimeout;
+    opts.storePath = cli.storePath;
     opts.maxRetries = cli.retries;
     opts.faults = cli.faults;
     opts.masterJournalPath = journal_path;
@@ -274,6 +317,15 @@ runCampaignProcess(const CampaignCli &cli,
                 "%zu crashed, %zu timed out)\n",
                 outcome.spawns, outcome.respawns,
                 outcome.crashedCells, outcome.timedOutCells);
+    if (!cli.storePath.empty()) {
+        printStoreTraffic(outcome.storeTraffic, cli.storePath);
+        for (std::size_t s = 0; s < outcome.shardStore.size(); s++)
+            std::printf("  shard %-3zu %llu hits, %llu misses\n", s,
+                        (unsigned long long)
+                            outcome.shardStore[s].hits,
+                        (unsigned long long)
+                            outcome.shardStore[s].misses);
+    }
     if (cli.resume)
         std::printf("resumed     %zu cells from %s\n",
                     outcome.replayedCells, journal_path.c_str());
@@ -282,6 +334,17 @@ runCampaignProcess(const CampaignCli &cli,
                     "journals)\n",
                     outcome.scratchRetained.c_str());
     printCampaignSummary(result);
+
+    runner::RunSummary summary;
+    summary.campaign = result.campaign;
+    summary.cells = result.cells.size();
+    summary.cellsOk = result.okCount();
+    summary.cellsFailed = result.errorCount();
+    summary.storeEnabled = !cli.storePath.empty();
+    summary.storePath = cli.storePath;
+    summary.store = outcome.storeTraffic;
+    summary.shardStore = outcome.shardStore;
+    writeRunSummary(summary, cli.outPath);
     return writeCampaignArtifact(result, cli.outPath);
 }
 
@@ -311,6 +374,7 @@ runCampaign(const CampaignCli &cli)
     runner::RunnerOptions opts;
     opts.jobs = cli.jobs;
     opts.cache = cli.useCache;
+    opts.storePath = cli.storePath;
     opts.maxRetries = cli.retries;
     opts.faults = cli.faults;
     opts.journalPath = journal_path;
@@ -341,17 +405,152 @@ runCampaign(const CampaignCli &cli)
                 result.errorCount());
     std::printf("cache hits  %llu\n",
                 (unsigned long long)rnr.cacheHits());
+    runner::StoreTraffic traffic;
+    if (rnr.storeOpen()) {
+        store::StoreCounters c = rnr.storeCounters();
+        traffic = {c.hits, c.misses, c.bytesRead, c.bytesWritten};
+        printStoreTraffic(traffic, cli.storePath);
+    }
     if (cli.resume)
         std::printf("resumed     %zu cells from %s\n", journaled,
                     journal_path.c_str());
     printCampaignSummary(result);
+
+    runner::RunSummary summary;
+    summary.campaign = result.campaign;
+    summary.cells = result.cells.size();
+    summary.cellsOk = result.okCount();
+    summary.cellsFailed = result.errorCount();
+    summary.cacheHits = rnr.cacheHits();
+    summary.storeEnabled = rnr.storeOpen();
+    summary.storePath = cli.storePath;
+    summary.store = traffic;
+    writeRunSummary(summary, cli.outPath);
     return writeCampaignArtifact(result, cli.outPath);
+}
+
+/**
+ * `simalpha store <verb>` — maintenance of a persistent result store.
+ * Exit codes follow the driver convention: 0 clean, 1 when verify
+ * finds corruption, 2 for usage/config errors (via fatal()).
+ */
+int
+runStoreCommand(int argc, char **argv)
+{
+    std::string verb = argc >= 2 ? argv[1] : "";
+    std::string root, to_path, from_path;
+    std::uint64_t max_bytes = 0;
+    double max_age = 0.0;
+
+    for (int i = 2; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--store")
+            root = next();
+        else if (arg == "--max-bytes")
+            max_bytes = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--max-age")
+            max_age = std::strtod(next(), nullptr);
+        else if (arg == "--to")
+            to_path = next();
+        else if (arg == "--from")
+            from_path = next();
+        else
+            fatal("unknown store option '%s'", arg.c_str());
+    }
+    if (verb.empty())
+        fatal("store needs a verb: stats, verify, gc, export, "
+              "import");
+    if (root.empty())
+        fatal("store %s needs --store <dir>", verb.c_str());
+
+    store::ResultStore s;
+    std::string error;
+    if (!s.open(root, &error))
+        fatal("%s", error.c_str());
+
+    if (verb == "stats") {
+        store::StoreUsage u = s.usage(&error);
+        if (!error.empty())
+            fatal("%s", error.c_str());
+        std::printf("store       %s\n", s.root().c_str());
+        std::printf("entries     %llu\n",
+                    (unsigned long long)u.entries);
+        std::printf("bytes       %llu\n", (unsigned long long)u.bytes);
+        std::printf("quarantined %llu\n",
+                    (unsigned long long)u.corrupt);
+        return 0;
+    }
+    if (verb == "verify") {
+        std::vector<std::string> corrupt;
+        store::StoreUsage u = s.verifyAll(&corrupt, &error);
+        if (!error.empty())
+            fatal("%s", error.c_str());
+        std::printf("verified    %llu entries intact\n",
+                    (unsigned long long)u.entries);
+        for (const std::string &path : corrupt)
+            std::printf("quarantined %s.corrupt\n", path.c_str());
+        if (u.corrupt)
+            std::printf("quarantine  %llu blob(s) on disk\n",
+                        (unsigned long long)u.corrupt);
+        return corrupt.empty() ? 0 : 1;
+    }
+    if (verb == "gc") {
+        if (!max_bytes && max_age <= 0.0)
+            fatal("store gc needs --max-bytes <n> and/or "
+                  "--max-age <seconds>");
+        store::GcOptions g;
+        g.maxBytes = max_bytes;
+        g.maxAgeSeconds = max_age;
+        store::GcOutcome o = s.gc(g, &error);
+        if (!error.empty())
+            fatal("%s", error.c_str());
+        std::printf("scanned     %llu entries\n",
+                    (unsigned long long)o.scanned);
+        std::printf("evicted     %llu entries (%llu bytes)\n",
+                    (unsigned long long)o.removed,
+                    (unsigned long long)o.bytesRemoved);
+        std::printf("kept        %llu entries (%llu bytes)\n",
+                    (unsigned long long)o.entriesKept,
+                    (unsigned long long)o.bytesKept);
+        return 0;
+    }
+    if (verb == "export") {
+        if (to_path.empty())
+            fatal("store export needs --to <file>");
+        std::uint64_t n = 0;
+        if (!s.exportTo(to_path, &n, &error))
+            fatal("%s", error.c_str());
+        std::printf("exported    %llu entries to %s\n",
+                    (unsigned long long)n, to_path.c_str());
+        return 0;
+    }
+    if (verb == "import") {
+        if (from_path.empty())
+            fatal("store import needs --from <file>");
+        std::uint64_t n = 0;
+        if (!s.importFrom(from_path, &n, &error))
+            fatal("%s", error.c_str());
+        std::printf("imported    %llu entries from %s\n",
+                    (unsigned long long)n, from_path.c_str());
+        return 0;
+    }
+    fatal("unknown store verb '%s' (stats, verify, gc, export, "
+          "import)",
+          verb.c_str());
 }
 
 int
 realMain(int argc, char **argv)
 {
     setQuiet(true);
+    if (argc >= 2 && std::strcmp(argv[1], "store") == 0)
+        return runStoreCommand(argc - 1, argv + 1);
+
     std::string machine_name = "sim-alpha";
     std::optional<std::string> workload_name;
     std::optional<std::string> campaign_name;
@@ -382,6 +581,8 @@ realMain(int argc, char **argv)
             cli.outPath = next();
         } else if (arg == "--no-cache") {
             cli.useCache = false;
+        } else if (arg == "--store") {
+            cli.storePath = next();
         } else if (arg == "--retries") {
             cli.retries = int(std::strtol(next(), nullptr, 10));
         } else if (arg == "--resume") {
@@ -440,6 +641,7 @@ realMain(int argc, char **argv)
             fatal("--shard needs --journal <path>");
         wopts.journalPath = shard_journal;
         wopts.maxInsts = cli.maxInsts;
+        wopts.storePath = cli.storePath;
         wopts.maxRetries = cli.retries;
         wopts.faults = cli.faults;
         wopts.interrupted = &g_interrupted;
