@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Standalone entry point for the perf-trajectory harness — the same
+ * measurement as `simalpha bench`, kept under bench/ so the perf
+ * campaign shows up next to the table regenerators.
+ */
+
+#include "runner/perfbench.hh"
+
+int
+main(int argc, char **argv)
+{
+    return simalpha::runner::runBenchCommand(argc, argv);
+}

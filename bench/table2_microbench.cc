@@ -11,9 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/logging.hh"
-#include "runner/campaign.hh"
-#include "runner/runner.hh"
+#include "common.hh"
 #include "validate/metrics.hh"
 #include "workloads/microbench.hh"
 
@@ -23,13 +21,12 @@ using namespace simalpha::validate;
 using namespace simalpha::runner;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
+    bench::CampaignHarness harness(argc, argv, "table2_microbench");
     std::vector<std::string> names = microbenchNames();
 
-    ExperimentRunner rnr({0, true});
-    CampaignResult result = rnr.run(table2Campaign());
+    CampaignResult result = harness.run(table2Campaign());
 
     std::printf("Table 2: microbenchmark validation "
                 "(IPC; %% error in CPI vs reference)\n\n");
@@ -67,5 +64,6 @@ main()
                 "mean", "", "", meanAbsoluteError(err_initial), "",
                 meanAbsoluteError(err_alpha), "",
                 meanAbsoluteError(err_outorder));
+    harness.reportStore();
     return 0;
 }

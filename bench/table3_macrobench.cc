@@ -12,9 +12,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/logging.hh"
-#include "runner/campaign.hh"
-#include "runner/runner.hh"
+#include "common.hh"
 #include "validate/metrics.hh"
 #include "workloads/macro.hh"
 
@@ -24,12 +22,11 @@ using namespace simalpha::validate;
 using namespace simalpha::runner;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
+    bench::CampaignHarness harness(argc, argv, "table3_macrobench");
 
-    ExperimentRunner rnr({0, true});
-    CampaignResult cr = rnr.run(table3Campaign());
+    CampaignResult cr = harness.run(table3Campaign());
 
     std::printf("Table 3: macrobenchmark validation "
                 "(IPC; %% error in CPI vs reference)\n\n");
@@ -74,5 +71,6 @@ main()
                 meanAbsoluteError(err_alpha), aggregateIpc(strips),
                 meanAbsoluteError(err_strip), aggregateIpc(outords),
                 meanAbsoluteError(err_out));
+    harness.reportStore();
     return 0;
 }

@@ -12,10 +12,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/logging.hh"
+#include "common.hh"
 #include "common/stats.hh"
-#include "runner/campaign.hh"
-#include "runner/runner.hh"
 #include "validate/metrics.hh"
 #include "workloads/macro.hh"
 
@@ -25,15 +23,14 @@ using namespace simalpha::validate;
 using namespace simalpha::runner;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
+    bench::CampaignHarness harness(argc, argv, "table4_features");
     std::vector<MacroProfile> profiles = spec2000Profiles();
 
     // The whole (sim-alpha + ten ablations) × macro-suite grid in one
     // parallel campaign.
-    ExperimentRunner rnr({0, true});
-    CampaignResult cr = rnr.run(table4Campaign());
+    CampaignResult cr = harness.run(table4Campaign());
 
     // Reference column: the full sim-alpha.
     std::vector<RunResult> ref;
@@ -64,5 +61,6 @@ main()
                     aggregateIpc(runs), arithmeticMean(change),
                     stdDeviation(change));
     }
+    harness.reportStore();
     return 0;
 }

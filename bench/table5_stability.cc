@@ -11,14 +11,10 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
-#include "common/logging.hh"
-#include "runner/campaign.hh"
-#include "runner/runner.hh"
+#include "common.hh"
 #include "validate/metrics.hh"
 #include "workloads/macro.hh"
 
@@ -51,34 +47,7 @@ suiteImprovement(const CampaignResult &cr, const std::string &config,
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-
-    RunnerOptions ro;
-    ro.jobs = 0;
-    ro.cache = true;
-    std::uint64_t max_insts = 0;
-    for (int i = 1; i < argc; i++) {
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value after %s\n",
-                             argv[i]);
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (std::strcmp(argv[i], "--store") == 0)
-            ro.storePath = next();
-        else if (std::strcmp(argv[i], "--jobs") == 0)
-            ro.jobs = int(std::strtol(next(), nullptr, 10));
-        else if (std::strcmp(argv[i], "--max-insts") == 0)
-            max_insts = std::strtoull(next(), nullptr, 10);
-        else {
-            std::fprintf(stderr,
-                         "usage: table5_stability [--store DIR] "
-                         "[--jobs N] [--max-insts N]\n");
-            return 2;
-        }
-    }
+    bench::CampaignHarness harness(argc, argv, "table5_stability");
 
     std::vector<MacroProfile> profiles = spec2000Profiles();
 
@@ -87,11 +56,7 @@ main(int argc, char **argv)
     // code re-ran it for every optimization row), and the runner's
     // cache would collapse any remaining manifest-identical cells.
     // With --store, a rerun serves every unchanged cell from disk.
-    ExperimentRunner rnr(ro);
-    CampaignSpec spec = table5Campaign();
-    if (max_insts)
-        spec = spec.withMaxInsts(max_insts);
-    CampaignResult cr = rnr.run(spec);
+    CampaignResult cr = harness.run(table5Campaign());
 
     struct OptRow
     {
@@ -134,13 +99,6 @@ main(int argc, char **argv)
         std::fflush(stdout);
     }
 
-    if (rnr.storeOpen()) {
-        store::StoreCounters c = rnr.storeCounters();
-        std::printf("\nstore: %llu hits, %llu misses, "
-                    "%llu published\n",
-                    (unsigned long long)c.hits,
-                    (unsigned long long)c.misses,
-                    (unsigned long long)c.publishes);
-    }
+    harness.reportStore();
     return 0;
 }

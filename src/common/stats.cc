@@ -118,9 +118,13 @@ Group::counterNames() const
 std::map<std::string, std::uint64_t>
 Group::snapshot() const
 {
+    // Skip zero-valued counters: cores pre-create (bind) their hot
+    // counters at construction, and an event that never fired must
+    // look the same in artifacts as a counter that was never created.
     std::map<std::string, std::uint64_t> out;
     for (const auto &kv : _counters)
-        out[kv.first] = kv.second.value();
+        if (kv.second.value())
+            out[kv.first] = kv.second.value();
     return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "common/trace.hh"
@@ -58,7 +60,37 @@ slotAssignment(const Instruction &inst, int packet_slot)
 } // namespace
 
 AlphaCore::AlphaCore(const AlphaCoreParams &params)
-    : _p(params), _stats(params.name)
+    : _p(params), _stats(params.name), _c(_stats)
+{
+}
+
+AlphaCore::BoundCounters::BoundCounters(stats::Group &g)
+    : cycles(g.counter("cycles")),
+      instsCommitted(g.counter("insts_committed")),
+      branchesRetired(g.counter("branches_retired")),
+      mispredictsRetired(g.counter("mispredicts_retired")),
+      jumpMispredicts(g.counter("jump_mispredicts")),
+      branchMispredicts(g.counter("branch_mispredicts")),
+      replayTraps(g.counter("replay_traps")),
+      instsSquashed(g.counter("insts_squashed")),
+      instsIssued(g.counter("insts_issued")),
+      storeForwards(g.counter("store_forwards")),
+      loadOrderTraps(g.counter("load_order_traps")),
+      mboxExtraTraps(g.counter("mbox_extra_traps")),
+      storeReplayTraps(g.counter("store_replay_traps")),
+      loadUseReplays(g.counter("load_use_replays")),
+      loadUseViolations(g.counter("load_use_violations")),
+      mapStalls(g.counter("map_stalls")),
+      unopsRemoved(g.counter("unops_removed")),
+      instsMapped(g.counter("insts_mapped")),
+      wayMispredicts(g.counter("way_mispredicts")),
+      icacheMissStalls(g.counter("icache_miss_stalls")),
+      fetchPackets(g.counter("fetch_packets")),
+      directionMispredicts(g.counter("direction_mispredicts")),
+      targetMispredicts(g.counter("target_mispredicts")),
+      slotMisses(g.counter("slot_misses")),
+      lineMisfires(g.counter("line_misfires")),
+      wrongPathPackets(g.counter("wrong_path_packets"))
 {
 }
 
@@ -66,24 +98,45 @@ void
 AlphaCore::resetMachine(const Program &program)
 {
     _prog = &program;
+    // The oracle is program state and is rebuilt every run; every other
+    // sub-unit's geometry is fixed by _p, so on reuse the units are
+    // reset in place instead of reallocated (campaign core reuse).
     _oracle = std::make_unique<OracleStream>(program);
-    _mem = std::make_unique<MemorySystem>(_p.mem);
-    _rename = std::make_unique<RenameUnit>(_p.physIntRegs, _p.physFpRegs);
-    _scoreboard =
-        std::make_unique<Scoreboard>(_p.physIntRegs + _p.physFpRegs);
-    _fuPool = std::make_unique<FuPool>(_p.bugWrongFuMix);
-    _branchPred =
-        std::make_unique<TournamentPredictor>(_p.speculativeUpdate);
-    _linePred = std::make_unique<LinePredictor>(1024, 1);
-    int icache_sets =
-        _p.mem.l1i.sizeBytes / (_p.mem.l1i.blockBytes * _p.mem.l1i.assoc);
-    _wayPred = std::make_unique<WayPredictor>(icache_sets);
-    _ras = std::make_unique<ReturnAddressStack>();
-    _loadUsePred = std::make_unique<LoadUsePredictor>();
-    _storeWait = std::make_unique<StoreWaitPredictor>();
-    int removal_delay = _p.approxDelayedIqRemoval ? 2 : 1;
-    _intIq = std::make_unique<IssueQueue>(_p.intIqEntries, removal_delay);
-    _fpIq = std::make_unique<IssueQueue>(_p.fpIqEntries, removal_delay);
+    if (!_mem) {
+        _mem = std::make_unique<MemorySystem>(_p.mem);
+        _rename =
+            std::make_unique<RenameUnit>(_p.physIntRegs, _p.physFpRegs);
+        _scoreboard =
+            std::make_unique<Scoreboard>(_p.physIntRegs + _p.physFpRegs);
+        _fuPool = std::make_unique<FuPool>(_p.bugWrongFuMix);
+        _branchPred =
+            std::make_unique<TournamentPredictor>(_p.speculativeUpdate);
+        _linePred = std::make_unique<LinePredictor>(1024, 1);
+        int icache_sets = _p.mem.l1i.sizeBytes /
+                          (_p.mem.l1i.blockBytes * _p.mem.l1i.assoc);
+        _wayPred = std::make_unique<WayPredictor>(icache_sets);
+        _ras = std::make_unique<ReturnAddressStack>();
+        _loadUsePred = std::make_unique<LoadUsePredictor>();
+        _storeWait = std::make_unique<StoreWaitPredictor>();
+        int removal_delay = _p.approxDelayedIqRemoval ? 2 : 1;
+        _intIq =
+            std::make_unique<IssueQueue>(_p.intIqEntries, removal_delay);
+        _fpIq =
+            std::make_unique<IssueQueue>(_p.fpIqEntries, removal_delay);
+    } else {
+        _mem->reset();
+        _rename->reset();
+        _scoreboard->reset();
+        _fuPool->reset();
+        _branchPred->reset();
+        _linePred->reset();
+        _wayPred->reset();
+        _ras->reset();
+        _loadUsePred->reset();
+        _storeWait->reset();
+        _intIq->clear();
+        _fpIq->clear();
+    }
 
     _cycle = 0;
     _seqCounter = 0;
@@ -103,6 +156,16 @@ AlphaCore::resetMachine(const Program &program)
     _loadUseChecks.clear();
     _outstandingMisses.clear();
     _stats.reset();
+
+    _intWakeAt = 0;
+    _fpWakeAt = 0;
+    _nextLoadUseVerify = kNoCycle;
+    _issuedStores.clear();
+    _issuedLoads.clear();
+    const char *slow = std::getenv("SIMALPHA_SLOWPATH");
+    _slowpath = slow && std::strcmp(slow, "1") == 0;
+    _ffCheckUntil = 0;
+    _activity = false;
 }
 
 RunResult
@@ -124,8 +187,8 @@ AlphaCore::run(const Program &program, std::uint64_t max_insts)
     res.cycles = _cycle;
     res.instsCommitted = _committed;
     res.finished = _finished;
-    _stats.counter("cycles").set(_cycle);
-    _stats.counter("insts_committed").set(_committed);
+    _c.cycles.set(_cycle);
+    _c.instsCommitted.set(_committed);
     return res;
 }
 
@@ -170,6 +233,28 @@ AlphaCore::deadlockSnapshot(const Program &program) const
 void
 AlphaCore::cycleTick()
 {
+    if (_slowpath) {
+        // Dual-run mode: predict the idle window the fast path would
+        // skip, then execute every cycle anyway and assert each one
+        // really was inactive.
+        if (_cycle >= _ffCheckUntil) {
+            Cycle j = fastForwardTarget();
+            if (j)
+                _ffCheckUntil = j;
+        }
+        _activity = false;
+    } else {
+        Cycle j = fastForwardTarget();
+        if (j) {
+            // Every cycle in [_cycle, j) is provably inactive: each
+            // stage's next possible action is at or after j (capped
+            // at the watchdog horizon, so deadlocks still fire at the
+            // exact baseline cycle).
+            _cycle = j;
+            return;
+        }
+    }
+
     doVerify();
     doRetire();
     if (_finished)
@@ -177,7 +262,228 @@ AlphaCore::cycleTick()
     doIssue();
     doMap();
     doFetch();
+    if (_slowpath && _cycle < _ffCheckUntil)
+        sim_assert(!_activity);
     _cycle++;
+}
+
+// ---------------------------------------------------------------------
+// Event-driven wakeup: lower bounds on each stage's next action
+// ---------------------------------------------------------------------
+
+Cycle
+AlphaCore::entryIssueLB(const DynInst &inst, bool fp_queue) const
+{
+    Cycle lb = inst.mapCycle + Cycle(_p.mapToIssueCycles);
+    lb = std::max(lb, inst.replayBlockedUntil);
+    if (!inst.wrongPath) {
+        // Wrong-path slots issue whenever a pipe frees; correct-path
+        // entries additionally wait for operands on some cluster.
+        Cycle r;
+        if (fp_queue) {
+            r = operandReadyCycle(inst, 0);
+        } else {
+            Cycle r0 = operandReadyCycle(inst, 0);
+            Cycle r1 = operandReadyCycle(inst, 1);
+            r = std::min(r0, r1);
+        }
+        if (r == kNoCycle)
+            return kNoCycle;
+        lb = std::max(lb, r);
+    }
+    return lb;
+}
+
+Cycle
+AlphaCore::recomputeWakeAt(const IssueQueue &queue, bool fp_queue) const
+{
+    Cycle wake = kNoCycle;
+    for (const DynInst *inst : queue.entries()) {
+        if (inst->issued || inst->retiredEarly)
+            continue;
+        Cycle lb = entryIssueLB(*inst, fp_queue);
+        if (lb <= _cycle) {
+            // Blocked only by per-cycle arbitration (pipe busy,
+            // store-wait): must rescan every cycle.
+            return _cycle + 1;
+        }
+        wake = std::min(wake, lb);
+    }
+    return wake;
+}
+
+Cycle
+AlphaCore::mapEventCycle() const
+{
+    // Mirrors doMap's first-iteration gates. Conditions that only a
+    // tracked event can clear (ROB/queue space) report kNoCycle; the
+    // event that clears them is in nextEventCycle()'s min.
+    if (_fetchQueue.empty())
+        return kNoCycle;
+    const DynInst &front = _fetchQueue.front();
+    Cycle cand = std::max(front.readyForMap, _mapBlockedUntil);
+    if (int(_rob.size()) >= _p.robEntries)
+        return kNoCycle;
+    bool is_nop = front.inst.isNop();
+    bool remove_early =
+        is_nop && _p.earlyUnopRetire && !_p.bugNoUnopRemoval;
+    if (!remove_early) {
+        bool fp_queue = front.inst.isFp() && !front.inst.isMem();
+        const IssueQueue &iq = fp_queue ? *_fpIq : *_intIq;
+        if (iq.full())
+            return kNoCycle;
+        if (front.inst.isLoad() && _lqUsed >= _p.lqEntries)
+            return kNoCycle;
+        if (front.inst.isStore() && _sqUsed >= _p.sqEntries)
+            return kNoCycle;
+    }
+    if (!front.wrongPath) {
+        RegIndex dst = front.inst.dstReg();
+        if (dst != kNoReg && !is_nop && !remove_early) {
+            bool fp = isFpRegIndex(dst);
+            int free_regs =
+                fp ? _rename->freeFpRegs() : _rename->freeIntRegs();
+            if (_p.mapStall && free_regs < _p.minFreeRegs)
+                return cand;    // the stall branch itself is activity
+            if (free_regs == 0)
+                return kNoCycle;
+        }
+    }
+    return cand;
+}
+
+Cycle
+AlphaCore::fetchEventCycle() const
+{
+    // All of these gates are invariant across an idle window: they
+    // change only when fetch, map, or a recovery acts.
+    if (_haltFetched && !_wrongPathMode)
+        return kNoCycle;
+    if (int(_fetchQueue.size()) + _p.fetchWidth > _p.fetchQueueEntries)
+        return kNoCycle;
+    if (!_wrongPathMode && _oracle->exhausted())
+        return kNoCycle;
+    return _fetchResumeAt;
+}
+
+Cycle
+AlphaCore::nextEventCycle() const
+{
+    Cycle ev = kNoCycle;
+    if (_recovery)
+        ev = std::min(ev, _recovery->atCycle);
+    ev = std::min(ev, _nextLoadUseVerify);
+    if (!_rob.empty()) {
+        const DynInst &head = _rob.front();
+        // Incomplete or wrong-path heads unblock via issue/recovery
+        // events; a recovery-gated head unblocks when it fires.
+        if (!head.wrongPath && head.completed &&
+            !(_recovery && head.seq >= _recovery->seq))
+            ev = std::min(ev, head.doneCycle);
+    }
+    ev = std::min(ev, _intIq->nextRemoval());
+    ev = std::min(ev, _fpIq->nextRemoval());
+    ev = std::min(ev, _intWakeAt);
+    ev = std::min(ev, _fpWakeAt);
+    ev = std::min(ev, mapEventCycle());
+    ev = std::min(ev, fetchEventCycle());
+    return ev;
+}
+
+Cycle
+AlphaCore::fastForwardTarget() const
+{
+    Cycle j = nextEventCycle();
+    if (_p.watchdogCycles) {
+        // Jump at most to the cycle where the watchdog fires, so a
+        // deadlocked machine still throws with the baseline cycle
+        // number and snapshot.
+        j = std::min(j, _lastCommitCycle + _p.watchdogCycles + 1);
+    }
+    if (j == kNoCycle || j <= _cycle + 1)
+        return 0;
+    return j;
+}
+
+// ---------------------------------------------------------------------
+// Issued-memory-op indexes (replace full ROB scans at issue time)
+// ---------------------------------------------------------------------
+
+void
+AlphaCore::addIssuedRef(std::vector<IssuedMemRef> &index,
+                        const DynInst &inst)
+{
+    IssuedMemRef ref{inst.seq, inst.effAddr, inst.inst.memBytes(),
+                     inst.pc};
+    auto it = std::lower_bound(
+        index.begin(), index.end(), ref,
+        [](const IssuedMemRef &a, const IssuedMemRef &b) {
+            return a.seq < b.seq;
+        });
+    index.insert(it, ref);
+}
+
+void
+AlphaCore::removeIssuedRef(std::vector<IssuedMemRef> &index, InstSeq seq)
+{
+    auto it = std::lower_bound(
+        index.begin(), index.end(), seq,
+        [](const IssuedMemRef &a, InstSeq s) { return a.seq < s; });
+    if (it != index.end() && it->seq == seq)
+        index.erase(it);
+}
+
+bool
+AlphaCore::storeForwardLookup(const DynInst &ld) const
+{
+    for (auto it = _issuedStores.rbegin(); it != _issuedStores.rend();
+         ++it) {
+        if (it->seq >= ld.seq)
+            continue;
+        bool overlap = _p.approxMaskedStoreTrapAddr
+                           ? overlapWord(it->addr, ld.effAddr)
+                           : overlapExact(it->addr, it->bytes,
+                                          ld.effAddr,
+                                          ld.inst.memBytes());
+        if (overlap)
+            return true;
+    }
+    return false;
+}
+
+const AlphaCore::IssuedMemRef *
+AlphaCore::youngestConflictingLoad(const DynInst &ld) const
+{
+    for (auto it = _issuedLoads.rbegin(); it != _issuedLoads.rend();
+         ++it) {
+        if (it->seq <= ld.seq)
+            break;      // seq-sorted: everything further is older
+        bool conflict = _p.bugMaskedLoadTrapAddr
+                            ? overlapWord(it->addr, ld.effAddr)
+                            : overlapExact(it->addr, it->bytes,
+                                           ld.effAddr,
+                                           ld.inst.memBytes());
+        if (conflict)
+            return &*it;
+    }
+    return nullptr;
+}
+
+const AlphaCore::IssuedMemRef *
+AlphaCore::oldestConflictingLoad(const DynInst &st) const
+{
+    for (const IssuedMemRef &ref : _issuedLoads) {
+        if (ref.seq <= st.seq)
+            continue;
+        bool conflict = _p.approxMaskedStoreTrapAddr
+                            ? overlapWord(ref.addr, st.effAddr)
+                            : overlapExact(ref.addr, ref.bytes,
+                                           st.effAddr,
+                                           st.inst.memBytes());
+        if (conflict)
+            return &ref;
+    }
+    return nullptr;
 }
 
 // ---------------------------------------------------------------------
@@ -209,9 +515,12 @@ AlphaCore::doRetire()
         if (head.inst.isStore()) {
             _mem->dataAccess(head.effAddr, true, _cycle);
             _sqUsed--;
+            removeIssuedRef(_issuedStores, head.seq);
         }
-        if (head.inst.isLoad())
+        if (head.inst.isLoad()) {
             _lqUsed--;
+            removeIssuedRef(_issuedLoads, head.seq);
+        }
         if (head.inst.isCondBranch() && head.hasBpSnap)
             _branchPred->update(head.pc, head.taken, head.bpSnap);
         if (!_p.speculativeUpdate) {
@@ -226,13 +535,14 @@ AlphaCore::doRetire()
         _oracle->retireBefore(head.oracleSeq + 1);
 
         if (head.inst.isControl())
-            ++_stats.counter("branches_retired");
+            ++_c.branchesRetired;
         if (head.mispredicted)
-            ++_stats.counter("mispredicts_retired");
+            ++_c.mispredictsRetired;
 
         _committed++;
         _lastCommitCycle = _cycle;
         retired++;
+        _activity = true;
 
         // Make sure no issue-queue pointer survives the pop.
         _intIq->remove(&head);
@@ -254,18 +564,36 @@ void
 AlphaCore::doVerify()
 {
     // Load-use mis-speculation: replay what issued inside the window.
-    for (std::size_t i = 0; i < _loadUseChecks.size();) {
-        if (_loadUseChecks[i].verifyAt <= _cycle) {
-            unissueForReplay(_loadUseChecks[i]);
-            _loadUseChecks.erase(_loadUseChecks.begin() +
-                                 std::ptrdiff_t(i));
-        } else {
-            i++;
+    // Scans are gated on the earliest pending verifyAt; a check is
+    // never added without clamping _nextLoadUseVerify, so the gate can
+    // only fire early (wasted scan), never late.
+    bool verify_gate = _nextLoadUseVerify <= _cycle;
+    if (_slowpath || verify_gate) {
+        bool erased = false;
+        for (std::size_t i = 0; i < _loadUseChecks.size();) {
+            if (_loadUseChecks[i].verifyAt <= _cycle) {
+                unissueForReplay(_loadUseChecks[i]);
+                _loadUseChecks.erase(_loadUseChecks.begin() +
+                                     std::ptrdiff_t(i));
+                erased = true;
+            } else {
+                i++;
+            }
         }
+        if (erased) {
+            _activity = true;
+            if (_slowpath)
+                sim_assert(verify_gate);
+        }
+        _nextLoadUseVerify = kNoCycle;
+        for (const LoadUseCheck &c : _loadUseChecks)
+            _nextLoadUseVerify =
+                std::min(_nextLoadUseVerify, c.verifyAt);
     }
 
     if (!_recovery || _recovery->atCycle > _cycle)
         return;
+    _activity = true;
 
     Recovery rec = *_recovery;
     _recovery.reset();
@@ -293,9 +621,8 @@ AlphaCore::doVerify()
             if (causer->inst.isCondBranch() && causer->hasBpSnap)
                 _branchPred->recover(causer->bpSnap, causer->taken);
             _linePred->train(causer->pc, rec.resumePc);
-            ++_stats.counter(causer->inst.isIndirect()
-                                 ? "jump_mispredicts"
-                                 : "branch_mispredicts");
+            ++(causer->inst.isIndirect() ? _c.jumpMispredicts
+                                          : _c.branchMispredicts);
             // The redirect is a one-shot fetch event: if a load-use
             // replay later re-issues this instruction, it must not
             // redirect again.
@@ -316,7 +643,7 @@ AlphaCore::doVerify()
         // Replay trap: refetch from the victim itself.
         if (rec.markStoreWait && _p.storeWaitTable)
             _storeWait->markConflict(rec.storeWaitPc);
-        ++_stats.counter("replay_traps");
+        ++_c.replayTraps;
         _fetchPc = rec.resumePc;
         _fetchResumeAt =
             std::max(_fetchResumeAt, _cycle + Cycle(_p.trapRestartCycles));
@@ -366,7 +693,7 @@ AlphaCore::squashFrom(InstSeq seq, bool refetch_inclusive)
                 _sqUsed--;
             lowest_oracle = di.oracleSeq;
         }
-        ++_stats.counter("insts_squashed");
+        ++_c.instsSquashed;
         _rob.pop_back();
     }
 
@@ -374,6 +701,22 @@ AlphaCore::squashFrom(InstSeq seq, bool refetch_inclusive)
     // squashed (replay traps refetch them).
     if (refetch_inclusive && lowest_oracle != kNoCycle)
         _oracle->rewindTo(lowest_oracle);
+
+    // Drop the squashed tail of the issued-memory-op indexes.
+    auto chop = [seq](std::vector<IssuedMemRef> &index) {
+        index.erase(
+            std::lower_bound(index.begin(), index.end(), seq,
+                             [](const IssuedMemRef &a, InstSeq s) {
+                                 return a.seq < s;
+                             }),
+            index.end());
+    };
+    chop(_issuedStores);
+    chop(_issuedLoads);
+
+    // setReadyNow during the unwind can expose past ready cycles to
+    // surviving consumers; re-arm both issue-queue wakeups.
+    noteSetReady(_cycle);
 }
 
 void
@@ -432,8 +775,17 @@ AlphaCore::operandsReady(const DynInst &inst, int cluster) const
 void
 AlphaCore::doIssue()
 {
-    _intIq->compact(_cycle);
-    _fpIq->compact(_cycle);
+    _activity = _intIq->compact(_cycle) || _activity;
+    _activity = _fpIq->compact(_cycle) || _activity;
+
+    // A queue whose wake-up lower bound lies in the future holds no
+    // entry that can pass the issue gates, so its scan (and every
+    // stateful call inside it, e.g. the store-wait predictor's
+    // shouldWait) is skipped wholesale.
+    Cycle int_wake0 = _intWakeAt;
+    Cycle fp_wake0 = _fpWakeAt;
+    bool int_issued = false;
+    bool fp_issued = false;
 
     // Per-pipe arbitration: each execution pipe issues the oldest queue
     // entry that can use it this cycle and whose operands have reached
@@ -441,6 +793,9 @@ AlphaCore::doIssue()
     // 21264, one winner per pipe.
     for (int pipe = 0; pipe < _fuPool->numPipes(); pipe++) {
         bool fp_pipe = _fuPool->pipeIsFp(pipe);
+        Cycle wake0 = fp_pipe ? fp_wake0 : int_wake0;
+        if (!_slowpath && wake0 > _cycle)
+            continue;
         IssueQueue &queue = fp_pipe ? *_fpIq : *_intIq;
         int cluster = fp_pipe ? -1 : _fuPool->pipeCluster(pipe);
 
@@ -469,9 +824,29 @@ AlphaCore::doIssue()
 
             _fuPool->reservePipe(pipe, cls, _cycle);
             performIssue(*inst, cluster);
+            queue.noteIssued(_cycle);
+            (fp_pipe ? fp_issued : int_issued) = true;
+            _activity = true;
+            if (_slowpath)
+                sim_assert(wake0 <= _cycle);
             break;      // this pipe is consumed for the cycle
         }
     }
+
+    // A queue that issued must be rescanned next cycle; a queue that
+    // was scanned fruitlessly gets an exact recomputed bound; a queue
+    // that was skipped keeps its bound (clamped by noteSetReady as
+    // operands get scheduled).
+    _intWakeAt = int_issued
+                     ? _cycle + 1
+                     : ((int_wake0 <= _cycle || _slowpath)
+                            ? recomputeWakeAt(*_intIq, false)
+                            : _intWakeAt);
+    _fpWakeAt = fp_issued
+                    ? _cycle + 1
+                    : ((fp_wake0 <= _cycle || _slowpath)
+                           ? recomputeWakeAt(*_fpIq, true)
+                           : _fpWakeAt);
 }
 
 bool
@@ -498,7 +873,7 @@ AlphaCore::performIssue(DynInst &inst, int cluster)
     inst.issued = true;
     inst.issueCycle = _cycle;
     inst.cluster = cluster < 0 ? 0 : cluster;
-    ++_stats.counter("insts_issued");
+    ++_c.instsIssued;
 
     OpClass cls = inst.inst.opClass();
 
@@ -521,8 +896,10 @@ AlphaCore::performIssue(DynInst &inst, int cluster)
     if (_p.bugShortMulLatency && cls == OpClass::IntMul)
         latency = 1;
     Cycle done = _cycle + Cycle(latency);
-    if (inst.dstPhys != kNoPhys)
+    if (inst.dstPhys != kNoPhys) {
         _scoreboard->setReady(inst.dstPhys, done, cluster);
+        noteSetReady(done);
+    }
     inst.doneCycle = done;
     inst.completed = true;
 
@@ -552,24 +929,30 @@ AlphaCore::issueLoad(DynInst &ld)
     // (fp loads pay one extra cycle, Table 1).
     int hit_lat = _p.mem.l1d.hitLatency + (is_fp ? 1 : 0);
 
-    // Search older stores for a forwarding or conflict partner.
-    bool forwarded = false;
-    for (auto it = _rob.rbegin(); it != _rob.rend(); ++it) {
-        if (it->seq >= ld.seq)
-            continue;
-        if (!it->inst.isStore() || it->wrongPath)
-            continue;
-        bool overlap = _p.approxMaskedStoreTrapAddr
-                           ? overlapWord(it->effAddr, ld.effAddr)
-                           : overlapExact(it->effAddr,
-                                          it->inst.memBytes(),
-                                          ld.effAddr,
-                                          ld.inst.memBytes());
-        if (it->memIssued && overlap) {
-            // Store-to-load forwarding from the store queue.
-            forwarded = true;
-            break;
+    // Search older issued stores for a forwarding partner (the
+    // seq-sorted index replaces the original full ROB scan).
+    bool forwarded = storeForwardLookup(ld);
+    if (_slowpath) {
+        bool scan_forwarded = false;
+        for (auto it = _rob.rbegin(); it != _rob.rend(); ++it) {
+            if (it->seq >= ld.seq)
+                continue;
+            if (!it->inst.isStore() || it->wrongPath)
+                continue;
+            bool overlap = _p.approxMaskedStoreTrapAddr
+                               ? overlapWord(it->effAddr, ld.effAddr)
+                               : overlapExact(it->effAddr,
+                                              it->inst.memBytes(),
+                                              ld.effAddr,
+                                              ld.inst.memBytes());
+            if (it->memIssued && overlap) {
+                // Store-to-load forwarding from the store queue.
+                scan_forwarded = true;
+                break;
+            }
         }
+        sim_assert(scan_forwarded == forwarded);
+        forwarded = scan_forwarded;
     }
 
     Cycle hit_done = _cycle + Cycle(hit_lat);
@@ -579,7 +962,7 @@ AlphaCore::issueLoad(DynInst &ld)
     if (forwarded) {
         hit = true;
         real_done = hit_done;
-        ++_stats.counter("store_forwards");
+        ++_c.storeForwards;
     } else {
         MemAccessResult r = _mem->dataAccess(
             ld.effAddr, false, _cycle + Cycle(_p.regreadCycles));
@@ -603,8 +986,10 @@ AlphaCore::issueLoad(DynInst &ld)
 
     if (_p.loadUseSpec && pred_hit) {
         // Consumers wake as if the load hits; a miss replays the window.
-        if (ld.dstPhys != kNoPhys)
+        if (ld.dstPhys != kNoPhys) {
             _scoreboard->setReady(ld.dstPhys, hit_done, ld.cluster);
+            noteSetReady(hit_done);
+        }
         if (!hit) {
             LoadUseCheck check;
             check.loadSeq = ld.seq;
@@ -613,6 +998,8 @@ AlphaCore::issueLoad(DynInst &ld)
             check.loadDst = ld.dstPhys;
             check.windowStart = hit_done;
             _loadUseChecks.push_back(check);
+            _nextLoadUseVerify =
+                std::min(_nextLoadUseVerify, check.verifyAt);
         }
     } else {
         // Conservative scheduling: consumers wait for the verified
@@ -620,40 +1007,55 @@ AlphaCore::issueLoad(DynInst &ld)
         Cycle ready = hit ? hit_done + 2 : real_done;
         if (_p.loadUseSpec && !pred_hit && !hit)
             ready = real_done;
-        if (ld.dstPhys != kNoPhys)
+        if (ld.dstPhys != kNoPhys) {
             _scoreboard->setReady(ld.dstPhys, ready, ld.cluster);
+            noteSetReady(ready);
+        }
     }
 
     ld.dcacheHit = hit;
     ld.doneCycle = real_done;
     ld.completed = true;
+    addIssuedRef(_issuedLoads, ld);
 
     if (!_p.mboxTraps)
         return;
 
     // Load-load order traps: this load may reveal that a younger load
-    // to a conflicting address already executed out of order.
-    for (auto it = _rob.rbegin(); it != _rob.rend(); ++it) {
-        if (it->seq <= ld.seq || it->wrongPath)
-            continue;
-        if (!it->inst.isLoad() || !it->memIssued)
-            continue;
-        bool conflict = _p.bugMaskedLoadTrapAddr
-                            ? overlapWord(it->effAddr, ld.effAddr)
-                            : overlapExact(it->effAddr,
-                                           it->inst.memBytes(),
-                                           ld.effAddr,
-                                           ld.inst.memBytes());
-        if (conflict) {
-            Recovery rec;
-            rec.kind = Recovery::Kind::Trap;
-            rec.seq = it->seq;
-            rec.atCycle = _cycle + 2;
-            rec.resumePc = it->pc;
-            scheduleRecovery(rec);
-            ++_stats.counter("load_order_traps");
-            break;
+    // to a conflicting address already executed out of order. The
+    // trap victim is the youngest such load (first hit of the
+    // original youngest-first ROB scan).
+    const IssuedMemRef *ll_victim = youngestConflictingLoad(ld);
+    if (_slowpath) {
+        const DynInst *scan_victim = nullptr;
+        for (auto it = _rob.rbegin(); it != _rob.rend(); ++it) {
+            if (it->seq <= ld.seq || it->wrongPath)
+                continue;
+            if (!it->inst.isLoad() || !it->memIssued)
+                continue;
+            bool conflict = _p.bugMaskedLoadTrapAddr
+                                ? overlapWord(it->effAddr, ld.effAddr)
+                                : overlapExact(it->effAddr,
+                                               it->inst.memBytes(),
+                                               ld.effAddr,
+                                               ld.inst.memBytes());
+            if (conflict) {
+                scan_victim = &*it;
+                break;
+            }
         }
+        sim_assert((scan_victim != nullptr) == (ll_victim != nullptr));
+        if (scan_victim)
+            sim_assert(scan_victim->seq == ll_victim->seq);
+    }
+    if (ll_victim) {
+        Recovery rec;
+        rec.kind = Recovery::Kind::Trap;
+        rec.seq = ll_victim->seq;
+        rec.atCycle = _cycle + 2;
+        rec.resumePc = ll_victim->pc;
+        scheduleRecovery(rec);
+        ++_c.loadOrderTraps;
     }
 
     // Golden-only mbox trap conditions: MAF pressure and same-set
@@ -689,7 +1091,7 @@ AlphaCore::issueLoad(DynInst &ld)
             rec.atCycle = _cycle + 2;
             rec.resumePc = ld.pc;
             scheduleRecovery(rec);
-            ++_stats.counter("mbox_extra_traps");
+            ++_c.mboxExtraTraps;
         }
     }
 }
@@ -700,28 +1102,37 @@ AlphaCore::issueStore(DynInst &st)
     st.memIssued = true;
     st.doneCycle = _cycle + 1;
     st.completed = true;
+    addIssuedRef(_issuedStores, st);
 
     if (!_p.mboxTraps)
         return;
 
     // Store replay trap: a younger load to a conflicting address already
     // executed; squash and refetch it, and teach the store-wait table.
-    const DynInst *victim = nullptr;
-    for (const DynInst &di : _rob) {
-        if (di.seq <= st.seq || di.wrongPath)
-            continue;
-        if (!di.inst.isLoad() || !di.memIssued)
-            continue;
-        bool conflict = _p.approxMaskedStoreTrapAddr
-                            ? overlapWord(di.effAddr, st.effAddr)
-                            : overlapExact(di.effAddr,
-                                           di.inst.memBytes(),
-                                           st.effAddr,
-                                           st.inst.memBytes());
-        if (conflict) {
-            victim = &di;
-            break;
+    // The victim is the oldest such load (first hit of the original
+    // oldest-first ROB scan).
+    const IssuedMemRef *victim = oldestConflictingLoad(st);
+    if (_slowpath) {
+        const DynInst *scan_victim = nullptr;
+        for (const DynInst &di : _rob) {
+            if (di.seq <= st.seq || di.wrongPath)
+                continue;
+            if (!di.inst.isLoad() || !di.memIssued)
+                continue;
+            bool conflict = _p.approxMaskedStoreTrapAddr
+                                ? overlapWord(di.effAddr, st.effAddr)
+                                : overlapExact(di.effAddr,
+                                               di.inst.memBytes(),
+                                               st.effAddr,
+                                               st.inst.memBytes());
+            if (conflict) {
+                scan_victim = &di;
+                break;
+            }
         }
+        sim_assert((scan_victim != nullptr) == (victim != nullptr));
+        if (scan_victim)
+            sim_assert(scan_victim->seq == victim->seq);
     }
     if (victim) {
         Recovery rec;
@@ -732,16 +1143,20 @@ AlphaCore::issueStore(DynInst &st)
         rec.markStoreWait = true;
         rec.storeWaitPc = victim->pc;
         scheduleRecovery(rec);
-        ++_stats.counter("store_replay_traps");
+        ++_c.storeReplayTraps;
     }
 }
 
 void
 AlphaCore::unissueForReplay(const LoadUseCheck &check)
 {
-    // The load's destination becomes ready only when the miss returns.
-    if (check.loadDst != kNoPhys)
+    // The load's destination becomes ready only when the miss returns
+    // (possibly already in the past: clamp the wake-ups so a consumer
+    // made issuable this very cycle is still scanned).
+    if (check.loadDst != kNoPhys) {
         _scoreboard->setReady(check.loadDst, check.missDone, -1);
+        noteSetReady(check.missDone);
+    }
 
     Cycle recovery_cycles =
         _p.bugUnderchargedLoadUseRecovery
@@ -780,18 +1195,25 @@ AlphaCore::unissueForReplay(const LoadUseCheck &check)
         di.completed = false;
         di.memIssued = false;
         di.replayBlockedUntil = check.verifyAt + recovery_cycles;
+        if (di.inst.isLoad())
+            removeIssuedRef(_issuedLoads, di.seq);
+        else if (di.inst.isStore())
+            removeIssuedRef(_issuedStores, di.seq);
         if (di.dstPhys != kNoPhys) {
             _scoreboard->setPending(di.dstPhys);
             poisoned[std::size_t(di.dstPhys)] = true;
         }
-        if (di.inst.isFp() && !di.inst.isMem())
+        if (di.inst.isFp() && !di.inst.isMem()) {
             _fpIq->reinsert(&di);
-        else
+            _fpWakeAt = std::min(_fpWakeAt, di.replayBlockedUntil);
+        } else {
             _intIq->reinsert(&di);
-        ++_stats.counter("load_use_replays");
+            _intWakeAt = std::min(_intWakeAt, di.replayBlockedUntil);
+        }
+        ++_c.loadUseReplays;
     }
     if (any)
-        ++_stats.counter("load_use_violations");
+        ++_c.loadUseViolations;
 }
 
 // ---------------------------------------------------------------------
@@ -839,7 +1261,8 @@ AlphaCore::doMap()
                     // The rename table stalls three cycles when fewer
                     // than eight free names remain.
                     _mapBlockedUntil = _cycle + Cycle(_p.mapStallCycles);
-                    ++_stats.counter("map_stalls");
+                    ++_c.mapStalls;
+                    _activity = true;
                     return;
                 }
                 if (free_regs == 0)
@@ -888,14 +1311,19 @@ AlphaCore::doMap()
             placed.completed = true;
             placed.issueCycle = _cycle;
             placed.doneCycle = _cycle;
-            ++_stats.counter("unops_removed");
+            ++_c.unopsRemoved;
         } else {
             bool fp_queue = placed.inst.isFp() && !placed.inst.isMem();
             (fp_queue ? *_fpIq : *_intIq).insert(&placed);
+            Cycle &wake = fp_queue ? _fpWakeAt : _intWakeAt;
+            wake = std::min(wake,
+                            _cycle + Cycle(_p.mapToIssueCycles));
         }
         mapped++;
-        ++_stats.counter("insts_mapped");
+        ++_c.instsMapped;
     }
+    if (mapped)
+        _activity = true;
 }
 
 // ---------------------------------------------------------------------
@@ -921,12 +1349,12 @@ AlphaCore::icacheTiming(Addr pc, Cycle now)
             done += 2;      // way misprediction bubble
             if (_p.bugExtraWayPredCycle)
                 done += 1;  // over-charged way-predictor access
-            ++_stats.counter("way_mispredicts");
+            ++_c.wayMispredicts;
         }
         if (actual >= 0)
             _wayPred->update(pc, actual);
     } else {
-        ++_stats.counter("icache_miss_stalls");
+        ++_c.icacheMissStalls;
         if (_p.bugExtraWayPredCycle)
             done += 1;
     }
@@ -981,11 +1409,12 @@ AlphaCore::doFetch()
     if (!_wrongPathMode && _oracle->exhausted())
         return;
 
+    _activity = true;
     if (_wrongPathMode)
         fetchWrongPath();
     else
         fetchCorrectPath();
-    ++_stats.counter("fetch_packets");
+    ++_c.fetchPackets;
 }
 
 void
@@ -1112,7 +1541,7 @@ AlphaCore::fetchCorrectPath()
         cut_inst->predNextFetch = oct_end;
         _wrongPathMode = true;
         _fetchPc = oct_end;
-        ++_stats.counter("direction_mispredicts");
+        ++_c.directionMispredicts;
         enqueuePacket(packet, fdone);
         _fetchResumeAt = fdone;
         return;
@@ -1130,7 +1559,7 @@ AlphaCore::fetchCorrectPath()
             // Branch predictor / RAS overrides the line predictor: one
             // bubble while fetch resteers (slot miss).
             bubbles += 1;
-            ++_stats.counter("slot_misses");
+            ++_c.slotMisses;
         }
         if (_p.speculativeUpdate && slot_steered &&
             frontend_next != lp_next) {
@@ -1170,9 +1599,8 @@ AlphaCore::fetchCorrectPath()
                   (unsigned long long)actual_next);
             _wrongPathMode = true;
             _fetchPc = frontend_next;
-            ++_stats.counter(cut_inst->inst.isCondBranch()
-                                 ? "direction_mispredicts"
-                                 : "target_mispredicts");
+            ++(cut_inst->inst.isCondBranch() ? _c.directionMispredicts
+                                              : _c.targetMispredicts);
         }
         enqueuePacket(packet, fdone);
         _fetchResumeAt = fdone + bubbles;
@@ -1191,7 +1619,7 @@ AlphaCore::fetchCorrectPath()
         // unless the buggy first-cut simulator is modeled, which only
         // discovered line mispredictions after execute and initiated a
         // full rollback (Section 3.4).
-        ++_stats.counter("line_misfires");
+        ++_c.lineMisfires;
         Cycle bubble = 2;
         if (_p.bugLateBranchRecovery)
             bubble = 7 + Cycle(_p.lateRecoveryExtraCycles);
@@ -1255,7 +1683,7 @@ AlphaCore::fetchWrongPath()
     _fetchPc = next_fetch;
     enqueuePacket(packet, fdone);
     _fetchResumeAt = fdone + bubbles;
-    ++_stats.counter("wrong_path_packets");
+    ++_c.wrongPathPackets;
 }
 
 } // namespace simalpha

@@ -104,6 +104,48 @@ class AlphaCore : public Machine
     void issueStore(DynInst &inst);
     void scheduleRecovery(const Recovery &rec);
 
+    // ---- Event-driven wakeup (perf only; cycle-exact semantics) -----
+    /** Earliest cycle @p inst could possibly pass the issue gates
+     *  (kNoCycle while an operand has no scheduled ready time). */
+    Cycle entryIssueLB(const DynInst &inst, bool fp_queue) const;
+    /** Scan @p queue for the earliest possible issue; _cycle + 1 if
+     *  an entry is blocked only by per-cycle arbitration. */
+    Cycle recomputeWakeAt(const IssueQueue &queue, bool fp_queue) const;
+    /** A register acquired a scheduled ready time: cap both queues'
+     *  wake-up cycles (over-early is safe, over-late never happens). */
+    void
+    noteSetReady(Cycle ready)
+    {
+        _intWakeAt = std::min(_intWakeAt, ready);
+        _fpWakeAt = std::min(_fpWakeAt, ready);
+    }
+    /** Earliest cycle the map stage could act (kNoCycle if blocked on
+     *  a condition that another tracked event must clear first). */
+    Cycle mapEventCycle() const;
+    /** Earliest cycle the fetch stage could act (same convention). */
+    Cycle fetchEventCycle() const;
+    Cycle nextEventCycle() const;
+    /** Target cycle for an idle fast-forward jump; 0 if the coming
+     *  cycle may be active (or the jump would not skip anything). */
+    Cycle fastForwardTarget() const;
+
+    // Address-indexed views of issued correct-path memory ops in the
+    // ROB (replacing the per-issue full ROB scans).
+    struct IssuedMemRef
+    {
+        InstSeq seq;
+        Addr addr;
+        int bytes;
+        Addr pc;
+    };
+    static void addIssuedRef(std::vector<IssuedMemRef> &index,
+                             const DynInst &inst);
+    static void removeIssuedRef(std::vector<IssuedMemRef> &index,
+                                InstSeq seq);
+    bool storeForwardLookup(const DynInst &ld) const;
+    const IssuedMemRef *youngestConflictingLoad(const DynInst &ld) const;
+    const IssuedMemRef *oldestConflictingLoad(const DynInst &st) const;
+
     // Squash machinery.
     void squashFrom(InstSeq seq, bool refetch_inclusive);
     void unissueForReplay(const LoadUseCheck &check);
@@ -113,6 +155,41 @@ class AlphaCore : public Machine
     // ---- Configuration ----------------------------------------------
     AlphaCoreParams _p;
     stats::Group _stats;
+
+    /** Hot-path counters resolved once at construction; the
+     *  string-keyed registry in _stats stays for dumps and snapshots
+     *  only, never on a per-event path. */
+    struct BoundCounters
+    {
+        explicit BoundCounters(stats::Group &g);
+        stats::Counter &cycles;
+        stats::Counter &instsCommitted;
+        stats::Counter &branchesRetired;
+        stats::Counter &mispredictsRetired;
+        stats::Counter &jumpMispredicts;
+        stats::Counter &branchMispredicts;
+        stats::Counter &replayTraps;
+        stats::Counter &instsSquashed;
+        stats::Counter &instsIssued;
+        stats::Counter &storeForwards;
+        stats::Counter &loadOrderTraps;
+        stats::Counter &mboxExtraTraps;
+        stats::Counter &storeReplayTraps;
+        stats::Counter &loadUseReplays;
+        stats::Counter &loadUseViolations;
+        stats::Counter &mapStalls;
+        stats::Counter &unopsRemoved;
+        stats::Counter &instsMapped;
+        stats::Counter &wayMispredicts;
+        stats::Counter &icacheMissStalls;
+        stats::Counter &fetchPackets;
+        stats::Counter &directionMispredicts;
+        stats::Counter &targetMispredicts;
+        stats::Counter &slotMisses;
+        stats::Counter &lineMisfires;
+        stats::Counter &wrongPathPackets;
+    };
+    BoundCounters _c;
 
     // ---- Run state ---------------------------------------------------
     const Program *_prog = nullptr;
@@ -149,6 +226,21 @@ class AlphaCore : public Machine
     std::deque<DynInst> _rob;
     std::optional<Recovery> _recovery;
     std::vector<LoadUseCheck> _loadUseChecks;
+
+    // ---- Event-driven wakeup state (bookkeeping only — every value
+    // is a lower bound on when something can happen, so the worst
+    // case of a stale value is a wasted scan, never a changed
+    // simulation outcome) ---------------------------------------------
+    Cycle _intWakeAt = 0;        ///< earliest possible int-queue issue
+    Cycle _fpWakeAt = 0;         ///< earliest possible fp-queue issue
+    Cycle _nextLoadUseVerify = kNoCycle; ///< min pending verifyAt
+    std::vector<IssuedMemRef> _issuedStores; ///< seq-sorted, issued
+    std::vector<IssuedMemRef> _issuedLoads;  ///< seq-sorted, issued
+    /** SIMALPHA_SLOWPATH=1: run the original scans, maintain the fast
+     *  bookkeeping alongside, and assert they agree. */
+    bool _slowpath = false;
+    Cycle _ffCheckUntil = 0;     ///< slowpath: predicted-idle window end
+    bool _activity = false;      ///< slowpath: stage acted this cycle
 
     /** Outstanding load misses (for the golden extra-trap conditions). */
     struct OutstandingMiss

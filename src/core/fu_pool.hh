@@ -58,6 +58,17 @@ class FuPool
     /** Reserve a specific pipe for one op this cycle. */
     void reservePipe(int pipe, OpClass cls, Cycle now);
 
+    /** Restore freshly-constructed state (campaign core reuse); the
+     *  capability table is fixed by the mix, only timing resets. */
+    void
+    reset()
+    {
+        for (Pipe &p : _pipes) {
+            p.lastIssue = kNoCycle;
+            p.busyUntil = 0;
+        }
+    }
+
   private:
     struct Pipe
     {

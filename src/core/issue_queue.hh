@@ -59,15 +59,46 @@ class IssueQueue
         _entries.insert(it, inst);
     }
 
-    /** Free entries whose post-issue removal delay has elapsed. */
-    void
+    /**
+     * Free entries whose post-issue removal delay has elapsed. Gated
+     * on the earliest scheduled removal (noteIssued), so cycles with
+     * nothing due skip the scan; the erase condition itself is
+     * unchanged, so removals happen at exactly the same cycle as an
+     * ungated every-cycle compact.
+     * @return true if any entry was removed
+     */
+    bool
     compact(Cycle now)
     {
-        std::erase_if(_entries, [&](const DynInst *inst) {
-            return inst->issued &&
-                   now >= inst->issueCycle + Cycle(_removalDelay);
-        });
+        if (_nextRemoval > now)
+            return false;
+        std::size_t removed = std::erase_if(
+            _entries, [&](const DynInst *inst) {
+                return inst->issued &&
+                       now >= inst->issueCycle + Cycle(_removalDelay);
+            });
+        _nextRemoval = kNoCycle;
+        for (const DynInst *inst : _entries)
+            if (inst->issued)
+                _nextRemoval =
+                    std::min(_nextRemoval,
+                             inst->issueCycle + Cycle(_removalDelay));
+        return removed != 0;
     }
+
+    /** An entry of this queue issued at @p at: schedule its removal.
+     *  (Entries removed by other means leave _nextRemoval pointing
+     *  too early, which only costs a no-op compact — never a late
+     *  removal.) */
+    void
+    noteIssued(Cycle at)
+    {
+        _nextRemoval = std::min(_nextRemoval, at + Cycle(_removalDelay));
+    }
+
+    /** Earliest cycle a compact could remove an entry (kNoCycle if
+     *  none scheduled). */
+    Cycle nextRemoval() const { return _nextRemoval; }
 
     /** Remove squashed instructions with seq >= `from`. */
     void
@@ -89,11 +120,17 @@ class IssueQueue
     /** Age-ordered scan access. */
     const std::vector<DynInst *> &entries() const { return _entries; }
 
-    void clear() { _entries.clear(); }
+    void
+    clear()
+    {
+        _entries.clear();
+        _nextRemoval = kNoCycle;
+    }
 
   private:
     int _capacity;
     int _removalDelay;
+    Cycle _nextRemoval = kNoCycle;
     std::vector<DynInst *> _entries;
 };
 

@@ -23,6 +23,22 @@ RenameUnit::RenameUnit(int phys_int, int phys_fp)
         _freeFp.push_back(PhysReg(_totalInt + p));
 }
 
+void
+RenameUnit::reset()
+{
+    // Identical to the constructor body, reusing the vector storage.
+    for (int a = 0; a < kNumIntRegs; a++)
+        _map[a] = PhysReg(a);
+    for (int a = 0; a < kNumFpRegs; a++)
+        _map[kNumIntRegs + a] = PhysReg(_totalInt + a);
+    _freeInt.clear();
+    _freeFp.clear();
+    for (int p = kNumIntRegs; p < _totalInt; p++)
+        _freeInt.push_back(PhysReg(p));
+    for (int p = kNumFpRegs; p < _totalFp; p++)
+        _freeFp.push_back(PhysReg(_totalInt + p));
+}
+
 PhysReg
 RenameUnit::lookup(RegIndex arch) const
 {

@@ -36,6 +36,9 @@ class RenameUnit
     /** Retire-time release of the displaced mapping. */
     void release(PhysReg old_phys);
 
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void reset();
+
     int freeIntRegs() const { return int(_freeInt.size()); }
     int freeFpRegs() const { return int(_freeFp.size()); }
 
@@ -79,6 +82,13 @@ class Scoreboard
     void setReadyNow(PhysReg phys);
 
     bool pending(PhysReg phys) const;
+
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void
+    reset()
+    {
+        _state.assign(_state.size(), State{});
+    }
 
   private:
     struct State

@@ -88,7 +88,14 @@ Cache::Cache(const CacheParams &params, MemLevel *downstream, Bus *bus,
       _bus(bus),
       _ownMshrs(params.mshrEntries, params.mshrTargets),
       _mshrs(shared_mshrs ? shared_mshrs : &_ownMshrs),
-      _stats(params.name)
+      _stats(params.name),
+      _hits(_stats.counter("hits")),
+      _misses(_stats.counter("misses")),
+      _writebacks(_stats.counter("writebacks")),
+      _prefetches(_stats.counter("prefetches")),
+      _victimHits(_stats.counter("victim_hits")),
+      _mshrCombines(_stats.counter("mshr_combines")),
+      _mshrTargetStalls(_stats.counter("mshr_target_stalls"))
 {
     if (_p.sizeBytes <= 0 || _p.assoc <= 0 || _p.blockBytes <= 0)
         fatal("%s: invalid geometry", _p.name.c_str());
@@ -105,6 +112,18 @@ Cache::Cache(const CacheParams &params, MemLevel *downstream, Bus *bus,
     _lines.assign(std::size_t(blocks), Line{});
     _victims.assign(std::size_t(_p.victimEntries), VictimEntry{});
     _portFree.assign(std::size_t(std::max(1, _p.ports)), 0);
+}
+
+void
+Cache::reset()
+{
+    _lines.assign(_lines.size(), Line{});
+    _victims.assign(_victims.size(), VictimEntry{});
+    _portFree.assign(_portFree.size(), 0);
+    _useTick = 0;
+    _insertTick = 0;
+    _ownMshrs.reset();
+    _stats.reset();
 }
 
 Cache::Line *
@@ -190,7 +209,7 @@ Cache::installBlock(Addr block, bool dirty, Cycle now, bool prefetched)
             });
         if (oldest->block != kNoAddr && oldest->dirty && _downstream) {
             // The displaced victim writes back; occupancy only.
-            ++_stats.counter("writebacks");
+            ++_writebacks;
             _downstream->access(oldest->block << _blockShift, true, now);
         }
         oldest->block = line.tag;
@@ -198,7 +217,7 @@ Cache::installBlock(Addr block, bool dirty, Cycle now, bool prefetched)
         oldest->inserted = ++_insertTick;
     } else if (line.tag != kNoAddr && line.dirty && _p.writeback &&
                _downstream) {
-        ++_stats.counter("writebacks");
+        ++_writebacks;
         _downstream->access(line.tag << _blockShift, true, now);
     }
     line.tag = block;
@@ -234,7 +253,7 @@ Cache::issuePrefetches(Addr block, Cycle from)
         if (findLine(pf_block) ||
             _mshrs->findMatch(pf_block, from) != kNoCycle)
             continue;
-        ++_stats.counter("prefetches");
+        ++_prefetches;
         bool pf_below_hit = false;
         Cycle pf_done = fillFromBelow(pf_block, from, pf_below_hit);
         Cycle pf_avail;
@@ -255,7 +274,7 @@ Cache::access(Addr addr, bool is_write, Cycle now)
 
     Line *line = findLine(block);
     if (line) {
-        ++_stats.counter("hits");
+        ++_hits;
         line->lastUse = ++_useTick;
         if (is_write)
             line->dirty = true;
@@ -273,12 +292,12 @@ Cache::access(Addr addr, bool is_write, Cycle now)
         return res;
     }
 
-    ++_stats.counter("misses");
+    ++_misses;
 
     // Victim buffer: a short bounce back into the cache.
     int vidx = victimLookup(block);
     if (vidx >= 0) {
-        ++_stats.counter("victim_hits");
+        ++_victimHits;
         bool vdirty = _victims[vidx].dirty || is_write;
         _victims[vidx].block = kNoAddr;
         installBlock(block, vdirty, start);
@@ -291,10 +310,10 @@ Cache::access(Addr addr, bool is_write, Cycle now)
     // MAF: combine with an outstanding miss to the same block.
     Cycle in_flight = _mshrs->findMatch(block, start);
     if (in_flight != kNoCycle) {
-        ++_stats.counter("mshr_combines");
+        ++_mshrCombines;
         Cycle done = in_flight;
         if (!_mshrs->addTarget(block, start)) {
-            ++_stats.counter("mshr_target_stalls");
+            ++_mshrTargetStalls;
             done += 1;
         }
         res.hit = false;

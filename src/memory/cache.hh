@@ -61,6 +61,14 @@ class MshrPool
 
     std::uint64_t fullStalls() const { return _fullStalls; }
 
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void
+    reset()
+    {
+        _active.clear();
+        _fullStalls = 0;
+    }
+
   private:
     struct Entry
     {
@@ -122,8 +130,12 @@ class Cache : public MemLevel
     stats::Group &statGroup() { return _stats; }
     const CacheParams &params() const { return _p; }
 
-    std::uint64_t hits() const { return _stats.get("hits"); }
-    std::uint64_t misses() const { return _stats.get("misses"); }
+    /** Restore freshly-constructed state (campaign core reuse); the
+     *  bound counter references stay valid across the reset. */
+    void reset();
+
+    std::uint64_t hits() const { return _hits.value(); }
+    std::uint64_t misses() const { return _misses.value(); }
     double
     missRate() const
     {
@@ -182,6 +194,15 @@ class Cache : public MemLevel
     std::uint64_t _useTick = 0;
     std::uint64_t _insertTick = 0;
     stats::Group _stats;
+    // Bound once at construction; the string-keyed map stays for
+    // registration and dumps only, never on the access path.
+    stats::Counter &_hits;
+    stats::Counter &_misses;
+    stats::Counter &_writebacks;
+    stats::Counter &_prefetches;
+    stats::Counter &_victimHits;
+    stats::Counter &_mshrCombines;
+    stats::Counter &_mshrTargetStalls;
 };
 
 } // namespace simalpha

@@ -8,7 +8,11 @@ Dram::Dram(const DramParams &params)
     : _p(params),
       _banks(std::size_t(params.banks)),
       _bus(params.busBytesPerBeat, params.busCpuCyclesPerBeat),
-      _stats("dram")
+      _stats("dram"),
+      _reads(_stats.counter("reads")),
+      _writes(_stats.counter("writes")),
+      _rowHits(_stats.counter("row_hits")),
+      _rowMisses(_stats.counter("row_misses"))
 {
     if (_p.banks <= 0 || (_p.banks & (_p.banks - 1)) != 0)
         fatal("DRAM bank count must be a power of two");
@@ -19,7 +23,7 @@ Dram::Dram(const DramParams &params)
 AccessResult
 Dram::access(Addr addr, bool is_write, Cycle now)
 {
-    ++_stats.counter(is_write ? "writes" : "reads");
+    ++(is_write ? _writes : _reads);
 
     if (_p.flatLatency > 0) {
         AccessResult flat;
@@ -43,9 +47,9 @@ Dram::access(Addr addr, bool is_write, Cycle now)
     Cycle latency = 0;
     if (_p.openPage) {
         if (bank.openRow == row) {
-            ++_stats.counter("row_hits");
+            ++_rowHits;
         } else {
-            ++_stats.counter("row_misses");
+            ++_rowMisses;
             Cycle toggle = Cycle(_p.rasCycles) * dram_cycle;
             if (bank.openRow != kNoAddr)
                 toggle += Cycle(_p.prechargeCycles) * dram_cycle;
@@ -58,7 +62,7 @@ Dram::access(Addr addr, bool is_write, Cycle now)
         // Closed-page: the row was precharged after the last access, so
         // every access activates, and the precharge after this access
         // overlaps subsequent idle time (charged to bank occupancy).
-        ++_stats.counter("row_misses");
+        ++_rowMisses;
         latency += Cycle(_p.rasCycles) * dram_cycle;
         bank.openRow = kNoAddr;
     }

@@ -59,8 +59,17 @@ class Dram : public MemLevel
     AccessResult access(Addr addr, bool is_write, Cycle now) override;
 
     stats::Group &statGroup() { return _stats; }
-    std::uint64_t rowHits() const { return _stats.get("row_hits"); }
-    std::uint64_t rowMisses() const { return _stats.get("row_misses"); }
+    std::uint64_t rowHits() const { return _rowHits.value(); }
+    std::uint64_t rowMisses() const { return _rowMisses.value(); }
+
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void
+    reset()
+    {
+        _banks.assign(_banks.size(), Bank{});
+        _bus.reset();
+        _stats.reset();
+    }
 
   private:
     struct Bank
@@ -73,6 +82,10 @@ class Dram : public MemLevel
     std::vector<Bank> _banks;
     Bus _bus;
     stats::Group _stats;
+    stats::Counter &_reads;
+    stats::Counter &_writes;
+    stats::Counter &_rowHits;
+    stats::Counter &_rowMisses;
 };
 
 } // namespace simalpha

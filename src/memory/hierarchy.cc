@@ -69,6 +69,20 @@ MemorySystem::MemorySystem(const MemorySystemParams &params)
     _dtlb = std::make_unique<Tlb>(_p.dtlb, _l2.get());
 }
 
+void
+MemorySystem::reset()
+{
+    _dram->reset();
+    _l2->reset();
+    _l2Bus->reset();
+    if (_sharedMaf)
+        _sharedMaf->reset();
+    _l1i->reset();
+    _l1d->reset();
+    _itlb->reset();
+    _dtlb->reset();
+}
+
 MemAccessResult
 MemorySystem::fetchAccess(Addr pc, Cycle now)
 {

@@ -69,6 +69,10 @@ class MemorySystem
 
     const MemorySystemParams &params() const { return _p; }
 
+    /** Restore every level to freshly-constructed state (campaign
+     *  core reuse); geometry is fixed by the construction params. */
+    void reset();
+
   private:
     MemorySystemParams _p;
     std::unique_ptr<Dram> _dram;

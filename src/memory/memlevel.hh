@@ -76,6 +76,14 @@ class Bus
     Cycle nextFree() const { return _nextFree; }
     std::uint64_t transfers() const { return _transfers; }
 
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void
+    reset()
+    {
+        _nextFree = 0;
+        _transfers = 0;
+    }
+
   private:
     int _bytesPerBeat;
     int _cyclesPerBeat;

@@ -9,7 +9,9 @@ namespace simalpha {
 Tlb::Tlb(const TlbParams &params, MemLevel *walk_target)
     : _p(params), _walkTarget(walk_target),
       _entries(std::size_t(params.entries)),
-      _stats(params.name)
+      _stats(params.name),
+      _lookups(_stats.counter("lookups")),
+      _misses(_stats.counter("misses"))
 {
     if (_p.pageBytes <= 0 || (_p.pageBytes & (_p.pageBytes - 1)) != 0)
         fatal("%s: page size must be a power of two", _p.name.c_str());
@@ -54,7 +56,7 @@ Tlb::translateProbe(Addr vaddr) const
 TlbResult
 Tlb::translate(Addr vaddr, Cycle now)
 {
-    ++_stats.counter("lookups");
+    ++_lookups;
 
     Addr vpn = vpnOf(vaddr);
     TlbResult res;
@@ -68,7 +70,7 @@ Tlb::translate(Addr vaddr, Cycle now)
         }
     }
 
-    ++_stats.counter("misses");
+    ++_misses;
     res.miss = true;
 
     if (_p.hardwareWalk) {

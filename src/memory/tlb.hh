@@ -61,7 +61,16 @@ class Tlb
     Addr translateProbe(Addr vaddr) const;
 
     stats::Group &statGroup() { return _stats; }
-    std::uint64_t misses() const { return _stats.get("misses"); }
+    std::uint64_t misses() const { return _misses.value(); }
+
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void
+    reset()
+    {
+        _entries.assign(_entries.size(), Entry{});
+        _useTick = 0;
+        _stats.reset();
+    }
 
   private:
     Addr vpnOf(Addr vaddr) const;
@@ -79,6 +88,8 @@ class Tlb
     std::uint64_t _useTick = 0;
     int _pageShift;
     stats::Group _stats;
+    stats::Counter &_lookups;
+    stats::Counter &_misses;
 };
 
 } // namespace simalpha

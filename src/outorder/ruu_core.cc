@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
 
@@ -23,7 +25,17 @@ RuuCoreParams::simOutorder()
 }
 
 RuuCore::RuuCore(const RuuCoreParams &params)
-    : _p(params), _stats(params.name)
+    : _p(params), _stats(params.name), _c(_stats)
+{
+}
+
+RuuCore::BoundCounters::BoundCounters(stats::Group &g)
+    : cycles(g.counter("cycles")),
+      instsCommitted(g.counter("insts_committed")),
+      branchMispredicts(g.counter("branch_mispredicts")),
+      instsIssued(g.counter("insts_issued")),
+      storeForwards(g.counter("store_forwards")),
+      instsDispatched(g.counter("insts_dispatched"))
 {
 }
 
@@ -31,15 +43,25 @@ void
 RuuCore::resetMachine(const Program &program)
 {
     _prog = &program;
+    // The oracle is program state and is rebuilt every run; the other
+    // sub-units have fixed geometry and reset in place on reuse.
     _oracle = std::make_unique<OracleStream>(program);
-    _mem = std::make_unique<MemorySystem>(_p.mem);
-    // The paper gives sim-outorder a 2-level adaptive predictor "with a
-    // similar quantity of state" to the Alpha's tournament; we model
-    // that as the same tournament structure (so prediction quality is
-    // comparable and the remaining differences are microarchitectural).
-    _branchPred = std::make_unique<TournamentPredictor>(true);
-    _btb = std::make_unique<Btb>(512, 4);
-    _ras = std::make_unique<ReturnAddressStack>();
+    if (!_mem) {
+        _mem = std::make_unique<MemorySystem>(_p.mem);
+        // The paper gives sim-outorder a 2-level adaptive predictor
+        // "with a similar quantity of state" to the Alpha's tournament;
+        // we model that as the same tournament structure (so prediction
+        // quality is comparable and the remaining differences are
+        // microarchitectural).
+        _branchPred = std::make_unique<TournamentPredictor>(true);
+        _btb = std::make_unique<Btb>(512, 4);
+        _ras = std::make_unique<ReturnAddressStack>();
+    } else {
+        _mem->reset();
+        _branchPred->reset();
+        _btb->reset();
+        _ras->reset();
+    }
 
     _cycle = 0;
     _seqCounter = 0;
@@ -56,6 +78,14 @@ RuuCore::resetMachine(const Program &program)
     _fuCycle = kNoCycle;
     _lastCommitCycle = 0;
     _stats.reset();
+
+    _lsqUsed = 0;
+    _inflightDst = 0;
+    _issueWakeAt = 0;
+    const char *slow = std::getenv("SIMALPHA_SLOWPATH");
+    _slowpath = slow && std::strcmp(slow, "1") == 0;
+    _ffCheckUntil = 0;
+    _activity = false;
 }
 
 RunResult
@@ -65,11 +95,36 @@ RuuCore::run(const Program &program, std::uint64_t max_insts)
     _maxInsts = max_insts;
 
     while (!_finished && (_maxInsts == 0 || _committed < _maxInsts)) {
+        if (_slowpath) {
+            // Dual-run mode: predict the idle window the fast path
+            // would skip, execute every cycle anyway, and assert each
+            // predicted-idle cycle really was inactive.
+            if (_cycle >= _ffCheckUntil) {
+                Cycle j = fastForwardTarget();
+                if (j)
+                    _ffCheckUntil = j;
+            }
+            _activity = false;
+        } else {
+            Cycle j = fastForwardTarget();
+            if (j) {
+                // Every cycle in [_cycle, j) is provably inactive
+                // (capped at the watchdog horizon so deadlocks fire
+                // at the exact baseline cycle).
+                _cycle = j;
+                if (_p.watchdogCycles &&
+                    _cycle - _lastCommitCycle > _p.watchdogCycles)
+                    throw DeadlockError(deadlockSnapshot(program));
+                continue;
+            }
+        }
         doRecovery();
         doCommit();
         doIssue();
         doDispatch();
         doFetch();
+        if (_slowpath && _cycle < _ffCheckUntil)
+            sim_assert(!_activity);
         _cycle++;
         if (_p.watchdogCycles &&
             _cycle - _lastCommitCycle > _p.watchdogCycles)
@@ -82,8 +137,8 @@ RuuCore::run(const Program &program, std::uint64_t max_insts)
     res.cycles = _cycle;
     res.instsCommitted = _committed;
     res.finished = _finished;
-    _stats.counter("cycles").set(_cycle);
-    _stats.counter("insts_committed").set(_committed);
+    _c.cycles.set(_cycle);
+    _c.instsCommitted.set(_committed);
     return res;
 }
 
@@ -132,13 +187,16 @@ RuuCore::doRecovery()
         _fetchBuf.pop_back();
     while (!_ruu.empty() && _ruu.back().seq > rec.seq) {
         sim_assert(_ruu.back().wrongPath);
+        if (_ruu.back().inst.isMem())
+            _lsqUsed--;
         _ruu.pop_back();
     }
     _fetchPc = rec.resumePc;
     _fetchResumeAt =
         std::max(_fetchResumeAt, _cycle + Cycle(_p.mispredictExtra));
     _wrongPathMode = false;
-    ++_stats.counter("branch_mispredicts");
+    ++_c.branchMispredicts;
+    _activity = true;
 }
 
 void
@@ -170,10 +228,15 @@ RuuCore::doCommit()
         _committed++;
         _lastCommitCycle = _cycle;
         committed++;
+        _activity = true;
         if (head.halt) {
             _finished = true;
             return;
         }
+        if (head.inst.isMem())
+            _lsqUsed--;
+        if (head.dst != kNoReg && !head.wrongPath)
+            _inflightDst--;
         _ruu.pop_front();
     }
 }
@@ -248,9 +311,99 @@ RuuCore::consumeFu(OpClass cls)
     }
 }
 
+Cycle
+RuuCore::issueEntryLB(const RuuInst &inst) const
+{
+    if (!inst.dispatched || inst.issued)
+        return kNoCycle;
+    Cycle lb = inst.dispatchCycle + 1;
+    if (!inst.wrongPath) {
+        Cycle r = srcReady(inst);
+        if (r == kNoCycle)
+            return kNoCycle;    // a producer is not yet scheduled
+        lb = std::max(lb, r);
+    }
+    return lb;
+}
+
+Cycle
+RuuCore::recomputeIssueWake() const
+{
+    Cycle wake = kNoCycle;
+    for (const RuuInst &inst : _ruu) {
+        Cycle lb = issueEntryLB(inst);
+        if (lb <= _cycle) {
+            // Held back only by FU or issue-width arbitration: the
+            // scan must rerun every cycle.
+            return _cycle + 1;
+        }
+        wake = std::min(wake, lb);
+    }
+    return wake;
+}
+
+Cycle
+RuuCore::dispatchEventCycle() const
+{
+    // Mirrors doDispatch's first-iteration gates; conditions cleared
+    // only by another tracked event report kNoCycle.
+    if (_fetchBuf.empty())
+        return kNoCycle;
+    const RuuInst &front = _fetchBuf.front();
+    if (int(_ruu.size()) >= _p.ruuEntries)
+        return kNoCycle;
+    if (front.inst.isMem() && _lsqUsed >= _p.lsqEntries)
+        return kNoCycle;
+    if (_p.physRegs > 0 && front.dst != kNoReg && !front.wrongPath &&
+        _inflightDst >= _p.physRegs)
+        return kNoCycle;
+    return front.readyForDispatch;
+}
+
+Cycle
+RuuCore::fetchEventCycle() const
+{
+    if (_haltFetched && !_wrongPathMode)
+        return kNoCycle;
+    if (int(_fetchBuf.size()) + _p.fetchWidth > 4 * _p.fetchWidth)
+        return kNoCycle;
+    if (!_wrongPathMode && _oracle->exhausted())
+        return kNoCycle;
+    return _fetchResumeAt;
+}
+
+Cycle
+RuuCore::fastForwardTarget() const
+{
+    Cycle ev = kNoCycle;
+    if (_recovery)
+        ev = std::min(ev, _recovery->atCycle);
+    if (!_ruu.empty()) {
+        const RuuInst &head = _ruu.front();
+        if (!head.wrongPath && head.completed &&
+            !(head.mispredicted && _recovery &&
+              _recovery->seq == head.seq))
+            ev = std::min(ev, head.doneCycle);
+    }
+    ev = std::min(ev, _issueWakeAt);
+    ev = std::min(ev, dispatchEventCycle());
+    ev = std::min(ev, fetchEventCycle());
+    if (_p.watchdogCycles) {
+        ev = std::min(ev,
+                      _lastCommitCycle + _p.watchdogCycles + 1);
+    }
+    if (ev == kNoCycle || ev <= _cycle + 1)
+        return 0;
+    return ev;
+}
+
 void
 RuuCore::doIssue()
 {
+    Cycle wake0 = _issueWakeAt;
+    if (!_slowpath && wake0 > _cycle)
+        return;     // no entry can pass the issue gates yet
+
     int issued = 0;
     for (RuuInst &inst : _ruu) {
         if (issued >= _p.issueWidth)
@@ -272,7 +425,10 @@ RuuCore::doIssue()
         inst.issued = true;
         inst.issueCycle = _cycle;
         issued++;
-        ++_stats.counter("insts_issued");
+        ++_c.instsIssued;
+        _activity = true;
+        if (_slowpath)
+            sim_assert(wake0 <= _cycle);
 
         Cycle done;
         if (inst.wrongPath) {
@@ -292,7 +448,7 @@ RuuCore::doIssue()
             }
             if (forwarded) {
                 done = _cycle + Cycle(inst.inst.latency());
-                ++_stats.counter("store_forwards");
+                ++_c.storeForwards;
             } else {
                 MemAccessResult r =
                     _mem->dataAccess(inst.effAddr, false, _cycle + 1);
@@ -323,6 +479,10 @@ RuuCore::doIssue()
             inst.doneCycle = std::max(inst.doneCycle, resolve);
         }
     }
+
+    // An issue schedules new done cycles for consumers: rescan next
+    // cycle. A fruitless scan earns an exact recomputed bound.
+    _issueWakeAt = issued ? _cycle + 1 : recomputeIssueWake();
 }
 
 void
@@ -336,20 +496,26 @@ RuuCore::doDispatch()
         if (int(_ruu.size()) >= _p.ruuEntries)
             break;
         if (front.inst.isMem()) {
-            int lsq = 0;
-            for (const RuuInst &ri : _ruu)
-                if (ri.inst.isMem())
-                    lsq++;
-            if (lsq >= _p.lsqEntries)
+            if (_slowpath) {
+                int lsq = 0;
+                for (const RuuInst &ri : _ruu)
+                    if (ri.inst.isMem())
+                        lsq++;
+                sim_assert(lsq == _lsqUsed);
+            }
+            if (_lsqUsed >= _p.lsqEntries)
                 break;
         }
         if (_p.physRegs > 0 && front.dst != kNoReg &&
             !front.wrongPath) {
-            int inflight = 0;
-            for (const RuuInst &ri : _ruu)
-                if (ri.dst != kNoReg && !ri.wrongPath)
-                    inflight++;
-            if (inflight >= _p.physRegs)
+            if (_slowpath) {
+                int inflight = 0;
+                for (const RuuInst &ri : _ruu)
+                    if (ri.dst != kNoReg && !ri.wrongPath)
+                        inflight++;
+                sim_assert(inflight == _inflightDst);
+            }
+            if (_inflightDst >= _p.physRegs)
                 break;
         }
 
@@ -366,9 +532,18 @@ RuuCore::doDispatch()
             if (inst.dst != kNoReg)
                 _regWriter[inst.dst] = inst.seq;
         }
+        if (inst.inst.isMem())
+            _lsqUsed++;
+        if (inst.dst != kNoReg && !inst.wrongPath)
+            _inflightDst++;
         _ruu.push_back(std::move(inst));
         dispatched++;
-        ++_stats.counter("insts_dispatched");
+        ++_c.instsDispatched;
+    }
+    if (dispatched) {
+        _activity = true;
+        // Newly dispatched entries become issuable next cycle.
+        _issueWakeAt = std::min(_issueWakeAt, _cycle + 1);
     }
 }
 
@@ -384,6 +559,7 @@ RuuCore::doFetch()
     if (!_wrongPathMode && _oracle->exhausted())
         return;
 
+    _activity = true;
     MemAccessResult f = _mem->fetchAccess(_fetchPc, _cycle);
     Cycle fdone = f.done;
 

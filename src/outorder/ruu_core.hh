@@ -128,8 +128,37 @@ class RuuCore : public Machine
     void consumeFu(OpClass cls);
     Cycle srcReady(const RuuInst &inst) const;
 
+    // ---- Event-driven wakeup (perf only; cycle-exact semantics) -----
+    /** Earliest cycle @p inst could pass the issue gates (kNoCycle if
+     *  unissuable: already issued, or a producer not yet scheduled). */
+    Cycle issueEntryLB(const RuuInst &inst) const;
+    /** Exact refresh of the issue wake-up bound; _cycle + 1 when an
+     *  entry is blocked only by FU/width arbitration. */
+    Cycle recomputeIssueWake() const;
+    /** Earliest cycle dispatch could act (kNoCycle while blocked on a
+     *  condition another tracked event must clear). */
+    Cycle dispatchEventCycle() const;
+    Cycle fetchEventCycle() const;
+    /** Target for an idle fast-forward jump; 0 if the coming cycle
+     *  may be active. */
+    Cycle fastForwardTarget() const;
+
     RuuCoreParams _p;
     stats::Group _stats;
+
+    /** Hot-path counters resolved once at construction (the string
+     *  map in _stats is for dumps/snapshots only). */
+    struct BoundCounters
+    {
+        explicit BoundCounters(stats::Group &g);
+        stats::Counter &cycles;
+        stats::Counter &instsCommitted;
+        stats::Counter &branchMispredicts;
+        stats::Counter &instsIssued;
+        stats::Counter &storeForwards;
+        stats::Counter &instsDispatched;
+    };
+    BoundCounters _c;
 
     const Program *_prog = nullptr;
     std::unique_ptr<OracleStream> _oracle;
@@ -174,6 +203,21 @@ class RuuCore : public Machine
     int _memUsed = 0;
 
     Cycle _lastCommitCycle = 0;
+
+    // ---- Event-driven wakeup state (lower bounds only: a stale
+    // value costs a wasted scan, never a changed outcome) -------------
+    /** Memory ops resident in the RUU (incremental replacement for
+     *  the per-dispatch LSQ occupancy scan). */
+    int _lsqUsed = 0;
+    /** Correct-path results in flight (replaces the per-dispatch
+     *  physical-register pressure scan). */
+    int _inflightDst = 0;
+    Cycle _issueWakeAt = 0;     ///< earliest possible issue
+    /** SIMALPHA_SLOWPATH=1: execute every cycle, keep the fast
+     *  bookkeeping alongside, and assert they agree. */
+    bool _slowpath = false;
+    Cycle _ffCheckUntil = 0;    ///< slowpath: predicted-idle window end
+    bool _activity = false;     ///< slowpath: a stage acted this cycle
 };
 
 } // namespace simalpha

@@ -30,6 +30,18 @@ TournamentPredictor::TournamentPredictor(bool speculative_update)
 {
 }
 
+void
+TournamentPredictor::reset()
+{
+    // Mirror the constructor's initial counter values exactly.
+    _localHistory.assign(_localHistory.size(), 0);
+    _localCounters.assign(_localCounters.size(), 3);
+    _globalCounters.assign(_globalCounters.size(), 1);
+    _choiceCounters.assign(_choiceCounters.size(), 1);
+    _globalHistory = 0;
+    _lookups = 0;
+}
+
 std::uint32_t
 TournamentPredictor::localIndexFor(Addr pc) const
 {

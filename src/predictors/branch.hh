@@ -60,6 +60,9 @@ class TournamentPredictor
 
     std::uint64_t lookups() const { return _lookups; }
 
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void reset();
+
   private:
     static constexpr int kLocalEntries = 1024;
     static constexpr int kLocalHistoryBits = 10;
@@ -105,6 +108,14 @@ class ReturnAddressStack
     /** Read the top of stack without popping (non-speculative mode). */
     Addr peek() const;
 
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void
+    reset()
+    {
+        _stack.assign(_stack.size(), 0);
+        _tos = 0;
+    }
+
   private:
     std::vector<Addr> _stack;
     std::uint8_t _tos = 0;      // index of next free slot
@@ -122,6 +133,14 @@ class Btb
     /** @return target PC, or kNoAddr on miss. */
     Addr lookup(Addr pc);
     void update(Addr pc, Addr target);
+
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void
+    reset()
+    {
+        _entries.assign(_entries.size(), Entry{});
+        _useTick = 0;
+    }
 
   private:
     struct Entry
@@ -156,6 +175,14 @@ class TwoLevelPredictor
 
     /** Repair the history after a mispredict (actual outcome known). */
     void recover(std::uint32_t snap, bool actual_taken);
+
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void
+    reset()
+    {
+        _history = 0;
+        _counters.assign(_counters.size(), 1);
+    }
 
   private:
     std::uint32_t indexFor(Addr pc, std::uint32_t history) const;

@@ -49,6 +49,15 @@ class LinePredictor
 
     std::uint64_t mispredicts() const { return _mispredicts; }
 
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void
+    reset()
+    {
+        for (auto &e : _entries)
+            e = Entry{kNoAddr, std::uint8_t(_initHysteresis)};
+        _mispredicts = 0;
+    }
+
   private:
     struct Entry
     {
@@ -74,6 +83,13 @@ class WayPredictor
 
     int predict(Addr line_addr) const;
     void update(Addr line_addr, int actual_way);
+
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void
+    reset()
+    {
+        _ways.assign(_ways.size(), 0);
+    }
 
   private:
     std::size_t indexFor(Addr line_addr) const;
@@ -104,6 +120,9 @@ class LoadUsePredictor
 
     int counter() const { return _counter; }
 
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void reset() { _counter = 15; }
+
   private:
     std::uint8_t _counter = 15;     // cold caches still mostly hit
 };
@@ -125,6 +144,14 @@ class StoreWaitPredictor
 
     /** Mark a load that caused a store replay trap. */
     void markConflict(Addr load_pc);
+
+    /** Restore freshly-constructed state (campaign core reuse). */
+    void
+    reset()
+    {
+        _bits.assign(_bits.size(), false);
+        _lastClear = 0;
+    }
 
   private:
     void maybeClear(Cycle now);

@@ -1,0 +1,601 @@
+#include "runner/perfbench.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/emulator.hh"
+#include "runner/artifacts.hh"
+#include "runner/campaign.hh"
+#include "runner/runner.hh"
+
+#ifndef SIMALPHA_BUILD_TYPE
+#define SIMALPHA_BUILD_TYPE "unknown"
+#endif
+
+namespace simalpha {
+namespace runner {
+
+namespace {
+
+// ---------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void
+finishPath(PerfPath *p)
+{
+    p->ips = p->seconds > 0.0 ? double(p->insts) / p->seconds : 0.0;
+}
+
+/** Time the Table-3 cells of one machine, serially and uncached. */
+bool
+timeMachinePath(const CampaignSpec &t3, const char *machine,
+                PerfPath *out, std::string *error)
+{
+    CampaignSpec s;
+    s.name = std::string("perf-") + machine;
+    for (const Cell &c : t3.cells)
+        if (c.machine == machine)
+            s.cells.push_back(c);
+
+    RunnerOptions ro;
+    ro.jobs = 1;
+    ro.cache = false;
+    ExperimentRunner rnr(ro);
+
+    auto t0 = std::chrono::steady_clock::now();
+    CampaignResult cr = rnr.run(s);
+    auto t1 = std::chrono::steady_clock::now();
+
+    std::uint64_t insts = 0;
+    for (const CellResult &r : cr.cells) {
+        if (!r.ok) {
+            *error = std::string(machine) + "/" + r.cell.workload +
+                     " failed: " + r.error;
+            return false;
+        }
+        insts += r.instsCommitted;
+    }
+    out->insts = insts;
+    out->seconds = elapsedSeconds(t0, t1);
+    finishPath(out);
+    return true;
+}
+
+/** Time the raw functional Emulator over the same workload set. */
+bool
+timeEmulatorPath(const CampaignSpec &t3, std::uint64_t max_insts,
+                 PerfPath *out, std::string *error)
+{
+    std::vector<std::string> names;
+    for (const Cell &c : t3.cells)
+        if (std::find(names.begin(), names.end(), c.workload) ==
+            names.end())
+            names.push_back(c.workload);
+
+    std::vector<Program> progs;
+    for (const std::string &n : names) {
+        Program p;
+        if (!buildWorkload(n, &p, error))
+            return false;
+        progs.push_back(p);
+    }
+
+    std::uint64_t insts = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (const Program &p : progs) {
+        Emulator emu(p);
+        std::uint64_t n = 0;
+        while (!emu.halted() && (max_insts == 0 || n < max_insts)) {
+            emu.step();
+            n++;
+        }
+        insts += n;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    out->insts = insts;
+    out->seconds = elapsedSeconds(t0, t1);
+    finishPath(out);
+    return true;
+}
+
+// ---------------------------------------------------------------
+// JSON rendering
+// ---------------------------------------------------------------
+
+void
+pathToJson(std::ostringstream &o, const char *key, const PerfPath &p)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "\"%s\":{\"insts\":%llu,\"seconds\":%.6f,"
+                  "\"ips\":%.1f}",
+                  key, (unsigned long long)p.insts, p.seconds, p.ips);
+    o << buf;
+}
+
+void
+entryToJson(std::ostringstream &o, const char *key, const PerfEntry &e)
+{
+    o << "  \"" << key << "\": {\"build_type\":\""
+      << jsonEscape(e.buildType) << "\",\"max_insts\":"
+      << (unsigned long long)e.maxInsts << ",";
+    pathToJson(o, "detailed", e.detailed);
+    o << ",";
+    pathToJson(o, "abstract", e.abstracted);
+    o << ",";
+    pathToJson(o, "emulator", e.emulator);
+    o << "}";
+}
+
+// ---------------------------------------------------------------
+// JSON parsing (self-contained; the trajectory file must stay
+// machine-readable across PRs, so drift is a hard parse error)
+// ---------------------------------------------------------------
+
+struct Json
+{
+    enum Kind { Null, Num, Str, Obj };
+    Kind kind = Null;
+    double num = 0.0;
+    std::string str;
+    std::map<std::string, Json> obj;
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const char *p, const char *end) : _p(p), _end(end) {}
+
+    bool
+    parseTop(Json *out)
+    {
+        if (!parseValue(out))
+            return false;
+        ws();
+        if (_p != _end)
+            return fail("trailing content after JSON value");
+        return true;
+    }
+
+    const std::string &error() const { return _err; }
+
+  private:
+    void
+    ws()
+    {
+        while (_p != _end &&
+               std::isspace(static_cast<unsigned char>(*_p)))
+            _p++;
+    }
+
+    bool
+    fail(const char *msg)
+    {
+        if (_err.empty())
+            _err = msg;
+        return false;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (_p == _end || *_p != '"')
+            return fail("expected string");
+        _p++;
+        out->clear();
+        while (_p != _end && *_p != '"') {
+            char c = *_p++;
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (_p == _end)
+                return fail("truncated escape");
+            char e = *_p++;
+            switch (e) {
+              case '"': out->push_back('"'); break;
+              case '\\': out->push_back('\\'); break;
+              case '/': out->push_back('/'); break;
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              case 'n': out->push_back('\n'); break;
+              case 'r': out->push_back('\r'); break;
+              case 't': out->push_back('\t'); break;
+              case 'u': {
+                if (_end - _p < 4)
+                    return fail("truncated \\u escape");
+                unsigned v = 0;
+                for (int i = 0; i < 4; i++) {
+                    char h = *_p++;
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // The writer only \u-escapes control bytes.
+                out->push_back(v < 0x80 ? char(v) : '?');
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        if (_p == _end)
+            return fail("unterminated string");
+        _p++; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(double *out)
+    {
+        char *endp = nullptr;
+        *out = std::strtod(_p, &endp);
+        if (endp == _p)
+            return fail("expected number");
+        _p = endp;
+        return true;
+    }
+
+    bool
+    parseObject(Json *out)
+    {
+        _p++; // '{'
+        out->kind = Json::Obj;
+        ws();
+        if (_p != _end && *_p == '}') {
+            _p++;
+            return true;
+        }
+        for (;;) {
+            ws();
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            ws();
+            if (_p == _end || *_p != ':')
+                return fail("expected ':'");
+            _p++;
+            Json v;
+            if (!parseValue(&v))
+                return false;
+            out->obj[key] = std::move(v);
+            ws();
+            if (_p == _end)
+                return fail("unterminated object");
+            if (*_p == ',') {
+                _p++;
+                continue;
+            }
+            if (*_p == '}') {
+                _p++;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseValue(Json *out)
+    {
+        ws();
+        if (_p == _end)
+            return fail("unexpected end of input");
+        char c = *_p;
+        if (c == '{')
+            return parseObject(out);
+        if (c == '"') {
+            out->kind = Json::Str;
+            return parseString(&out->str);
+        }
+        if (c == '-' || c == '+' ||
+            std::isdigit(static_cast<unsigned char>(c))) {
+            out->kind = Json::Num;
+            return parseNumber(&out->num);
+        }
+        return fail("unexpected token");
+    }
+
+    const char *_p;
+    const char *_end;
+    std::string _err;
+};
+
+const Json *
+getField(const Json &o, const char *key, Json::Kind kind,
+         std::string *error)
+{
+    auto it = o.obj.find(key);
+    if (it == o.obj.end() || it->second.kind != kind) {
+        *error = std::string("missing or ill-typed field \"") + key +
+                 "\"";
+        return nullptr;
+    }
+    return &it->second;
+}
+
+bool
+pathFromJson(const Json &parent, const char *key, PerfPath *p,
+             std::string *error)
+{
+    const Json *j = getField(parent, key, Json::Obj, error);
+    if (!j)
+        return false;
+    const Json *insts = getField(*j, "insts", Json::Num, error);
+    const Json *seconds = getField(*j, "seconds", Json::Num, error);
+    const Json *ips = getField(*j, "ips", Json::Num, error);
+    if (!insts || !seconds || !ips)
+        return false;
+    p->insts = std::uint64_t(insts->num);
+    p->seconds = seconds->num;
+    p->ips = ips->num;
+    return true;
+}
+
+bool
+entryFromJson(const Json &parent, const char *key, PerfEntry *e,
+              std::string *error)
+{
+    const Json *j = getField(parent, key, Json::Obj, error);
+    if (!j)
+        return false;
+    const Json *bt = getField(*j, "build_type", Json::Str, error);
+    const Json *mi = getField(*j, "max_insts", Json::Num, error);
+    if (!bt || !mi)
+        return false;
+    e->buildType = bt->str;
+    e->maxInsts = std::uint64_t(mi->num);
+    if (!pathFromJson(*j, "detailed", &e->detailed, error) ||
+        !pathFromJson(*j, "abstract", &e->abstracted, error) ||
+        !pathFromJson(*j, "emulator", &e->emulator, error))
+        return false;
+    e->valid = true;
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::string *out, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        *error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+void
+printPath(const char *name, const PerfPath &p)
+{
+    std::printf("  %-9s %12llu insts  %8.3f s  %12.0f insts/s\n",
+                name, (unsigned long long)p.insts, p.seconds, p.ips);
+}
+
+} // namespace
+
+bool
+measurePerf(std::uint64_t max_insts, PerfEntry *out, std::string *error)
+{
+    CampaignSpec t3 = table3Campaign();
+    if (max_insts)
+        t3 = t3.withMaxInsts(max_insts);
+
+    PerfEntry e;
+    e.buildType = SIMALPHA_BUILD_TYPE;
+    e.maxInsts = max_insts;
+    if (!timeMachinePath(t3, "sim-alpha", &e.detailed, error))
+        return false;
+    if (!timeMachinePath(t3, "sim-outorder", &e.abstracted, error))
+        return false;
+    if (!timeEmulatorPath(t3, max_insts, &e.emulator, error))
+        return false;
+    e.valid = true;
+    *out = e;
+    return true;
+}
+
+std::string
+perfReportToJson(const PerfReport &report)
+{
+    std::ostringstream o;
+    o << "{\n";
+    o << "  \"schema_version\": " << report.schemaVersion << ",\n";
+    o << "  \"campaign\": \"" << jsonEscape(report.campaign)
+      << "\",\n";
+    entryToJson(o, "baseline", report.baseline);
+    o << ",\n";
+    entryToJson(o, "current", report.current);
+    o << ",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", report.speedupDetailed);
+    o << "  \"speedup_detailed\": " << buf << "\n";
+    o << "}\n";
+    return o.str();
+}
+
+bool
+parsePerfReport(const std::string &text, PerfReport *out,
+                std::string *error)
+{
+    Json root;
+    JsonParser p(text.data(), text.data() + text.size());
+    if (!p.parseTop(&root)) {
+        *error = p.error();
+        return false;
+    }
+    if (root.kind != Json::Obj) {
+        *error = "top-level value is not an object";
+        return false;
+    }
+    const Json *ver = getField(root, "schema_version", Json::Num,
+                               error);
+    if (!ver)
+        return false;
+    if (int(ver->num) != 1) {
+        *error = "unsupported schema_version";
+        return false;
+    }
+    const Json *camp = getField(root, "campaign", Json::Str, error);
+    const Json *spd = getField(root, "speedup_detailed", Json::Num,
+                               error);
+    if (!camp || !spd)
+        return false;
+    PerfReport r;
+    r.schemaVersion = int(ver->num);
+    r.campaign = camp->str;
+    r.speedupDetailed = spd->num;
+    if (!entryFromJson(root, "baseline", &r.baseline, error) ||
+        !entryFromJson(root, "current", &r.current, error))
+        return false;
+    *out = r;
+    return true;
+}
+
+bool
+checkPerfFile(const std::string &path, std::string *error)
+{
+    std::string text;
+    if (!readFile(path, &text, error))
+        return false;
+    PerfReport r;
+    return parsePerfReport(text, &r, error);
+}
+
+int
+runBenchCommand(int argc, char **argv)
+{
+    std::string out_path = "BENCH_perf.json";
+    std::string check_path;
+    std::uint64_t max_insts = kPerfBenchDefaultMaxInsts;
+    bool set_baseline = false;
+
+    for (int i = 1; i < argc; i++) {
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "bench: missing value after %s\n",
+                             argv[i]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--quick") == 0)
+            max_insts = kPerfBenchQuickMaxInsts;
+        else if (std::strcmp(argv[i], "--max-insts") == 0)
+            max_insts = std::strtoull(next(), nullptr, 10);
+        else if (std::strcmp(argv[i], "--out") == 0)
+            out_path = next();
+        else if (std::strcmp(argv[i], "--check") == 0)
+            check_path = next();
+        else if (std::strcmp(argv[i], "--set-baseline") == 0)
+            set_baseline = true;
+        else {
+            std::fprintf(
+                stderr,
+                "usage: simalpha bench [--quick] [--max-insts N] "
+                "[--out FILE] [--check FILE] [--set-baseline]\n");
+            return 2;
+        }
+    }
+
+    if (!check_path.empty()) {
+        std::string error;
+        if (!checkPerfFile(check_path, &error)) {
+            std::fprintf(stderr, "bench: %s: %s\n", check_path.c_str(),
+                         error.c_str());
+            return 1;
+        }
+        std::printf("bench: %s: schema ok\n", check_path.c_str());
+        return 0;
+    }
+
+    setQuiet(true);
+
+    // Preserve the pinned baseline of an existing trajectory file. A
+    // malformed file is an error, not an overwrite — losing the
+    // baseline silently would wreck the trajectory.
+    PerfReport report;
+    bool had_file = false;
+    {
+        std::ifstream probe(out_path);
+        if (probe.good()) {
+            std::string text, error;
+            if (!readFile(out_path, &text, &error) ||
+                !parsePerfReport(text, &report, &error)) {
+                std::fprintf(stderr,
+                             "bench: refusing to overwrite malformed "
+                             "%s: %s\n",
+                             out_path.c_str(), error.c_str());
+                return 1;
+            }
+            had_file = true;
+        }
+    }
+
+    std::printf("bench: measuring capped table3 (max_insts=%llu, "
+                "build=%s)...\n",
+                (unsigned long long)max_insts, SIMALPHA_BUILD_TYPE);
+    std::fflush(stdout);
+
+    PerfEntry e;
+    std::string error;
+    if (!measurePerf(max_insts, &e, &error)) {
+        std::fprintf(stderr, "bench: measurement failed: %s\n",
+                     error.c_str());
+        return 1;
+    }
+
+    report.current = e;
+    if (!had_file || !report.baseline.valid || set_baseline)
+        report.baseline = e;
+    report.speedupDetailed =
+        report.baseline.detailed.ips > 0.0
+            ? e.detailed.ips / report.baseline.detailed.ips
+            : 1.0;
+
+    if (!writeFileAtomic(out_path, perfReportToJson(report), &error)) {
+        std::fprintf(stderr, "bench: %s\n", error.c_str());
+        return 1;
+    }
+
+    std::printf("current (build=%s, max_insts=%llu):\n",
+                e.buildType.c_str(), (unsigned long long)e.maxInsts);
+    printPath("detailed", e.detailed);
+    printPath("abstract", e.abstracted);
+    printPath("emulator", e.emulator);
+    if (report.baseline.maxInsts != e.maxInsts)
+        std::printf("note: baseline was recorded at max_insts=%llu — "
+                    "speedup compares insts/s across caps\n",
+                    (unsigned long long)report.baseline.maxInsts);
+    std::printf("speedup (detailed vs baseline): %.2fx\n",
+                report.speedupDetailed);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}
+
+} // namespace runner
+} // namespace simalpha

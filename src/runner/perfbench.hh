@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Perf-trajectory harness: measure simulated-instructions-per-second
+ * on a fixed capped Table-3 campaign and track the numbers across PRs
+ * in BENCH_perf.json at the repo root.
+ *
+ * Three paths are timed separately so the trajectory distinguishes
+ * detailed-core work from functional-emulation work:
+ *   - detailed:  the sim-alpha cells of Table 3 (cycle-accurate
+ *                AlphaCore, the hot loop this file exists to watch)
+ *   - abstract:  the sim-outorder cells (SimpleScalar-style RuuCore)
+ *   - emulator:  the raw functional Emulator over the same workloads
+ *
+ * The JSON file keeps two entries: `baseline` (recorded once, before
+ * an optimization lands, and preserved by later runs) and `current`
+ * (replaced on every `simalpha bench` run), plus the derived
+ * detailed-path speedup. `simalpha bench --check FILE` validates the
+ * schema without measuring, so CI can fail on drift cheaply.
+ */
+
+#ifndef SIMALPHA_RUNNER_PERFBENCH_HH
+#define SIMALPHA_RUNNER_PERFBENCH_HH
+
+#include <cstdint>
+#include <string>
+
+namespace simalpha {
+namespace runner {
+
+/** Wall-clock measurement of one simulation path. */
+struct PerfPath
+{
+    std::uint64_t insts = 0; ///< total simulated instructions
+    double seconds = 0.0;    ///< wall-clock seconds (steady clock)
+    double ips = 0.0;        ///< insts / seconds
+};
+
+/** One measured snapshot of all three paths. */
+struct PerfEntry
+{
+    std::string buildType; ///< CMAKE_BUILD_TYPE the binary was built as
+    std::uint64_t maxInsts = 0; ///< per-cell committed-instruction cap
+    PerfPath detailed;
+    PerfPath abstracted;
+    PerfPath emulator;
+    bool valid = false;
+};
+
+/** The whole trajectory file: pinned baseline + latest measurement. */
+struct PerfReport
+{
+    int schemaVersion = 1;
+    std::string campaign = "table3";
+    PerfEntry baseline;
+    PerfEntry current;
+    /** current.detailed.ips / baseline.detailed.ips */
+    double speedupDetailed = 1.0;
+};
+
+/** Default committed-instruction cap for a full `simalpha bench`. */
+constexpr std::uint64_t kPerfBenchDefaultMaxInsts = 100000;
+/** Cap used by `simalpha bench --quick` (CI smoke). */
+constexpr std::uint64_t kPerfBenchQuickMaxInsts = 5000;
+
+/**
+ * Run the capped Table-3 campaign serially (jobs=1, cache off) and
+ * time the three paths. Prints nothing; throws nothing — a failed
+ * cell makes the entry invalid with *error filled.
+ */
+bool measurePerf(std::uint64_t max_insts, PerfEntry *out,
+                 std::string *error);
+
+/** Render a report as the canonical BENCH_perf.json text. */
+std::string perfReportToJson(const PerfReport &report);
+
+/**
+ * Parse a BENCH_perf.json text. Returns false with *error filled on
+ * malformed JSON or schema drift (missing/ill-typed fields).
+ */
+bool parsePerfReport(const std::string &text, PerfReport *out,
+                     std::string *error);
+
+/**
+ * Validate that the file at @p path parses as a PerfReport.
+ * Returns false with *error filled on I/O failure or schema drift.
+ */
+bool checkPerfFile(const std::string &path, std::string *error);
+
+/**
+ * The `simalpha bench` verb. argv[0] is "bench". Flags:
+ *   --quick         measure at the small CI cap
+ *   --max-insts N   explicit per-cell cap
+ *   --out FILE      trajectory file (default BENCH_perf.json)
+ *   --check FILE    validate FILE's schema only; no measurement
+ *   --set-baseline  pin this measurement as the new baseline too
+ * Exit codes: 0 ok, 1 measurement/validation failure, 2 usage.
+ */
+int runBenchCommand(int argc, char **argv);
+
+} // namespace runner
+} // namespace simalpha
+
+#endif // SIMALPHA_RUNNER_PERFBENCH_HH

@@ -65,6 +65,25 @@ CampaignResult::errorCount() const
  *  instead of whichever campaign happened to publish them. */
 static constexpr const char *kStorePayloadCampaign = "store";
 
+/** Tag for persisted *deterministic* failures (invariant violations,
+ *  deadlocks): re-running the identical configuration would fail the
+ *  identical way, so reruns serve the failure instead of recomputing
+ *  it. Kept distinct from the success tag so failed entries are
+ *  recognizable in the store and can never be mistaken for results.
+ *  Transient/crash/timeout failures are never published — they must
+ *  re-execute. */
+static constexpr const char *kStoreFailedPayloadCampaign =
+    "store-failed";
+
+/** Failure classes that are deterministic replays of the simulation
+ *  itself (safe to persist); everything else is environmental. */
+static bool
+deterministicFailure(const CellResult &r)
+{
+    return !r.ok &&
+           (r.errorClass == "invariant" || r.errorClass == "deadlock");
+}
+
 ExperimentRunner::ExperimentRunner(RunnerOptions options)
     : _opts(options)
 {
@@ -137,9 +156,59 @@ class StallingMachine : public Machine
 
 } // namespace
 
+/**
+ * A small LRU pool of Machine instances keyed by (machine, opt),
+ * private to one worker thread. run() begins with a full machine
+ * reset, so a pooled core is byte-identical to a freshly built one;
+ * fault-injection stand-ins (StallingMachine) are never pooled.
+ */
+class ExperimentRunner::MachinePool
+{
+  public:
+    /** Fetch-or-build the machine for @p cell; nullptr (with @p error
+     *  set) if the machine name is unknown. The pool keeps ownership. */
+    Machine *
+    acquire(const Cell &cell, std::string *error)
+    {
+        std::string key =
+            cell.machine + "|" + validate::optimizationName(cell.opt);
+        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+            if (it->key == key) {
+                // Move to the back (most recently used).
+                Entry hit = std::move(*it);
+                _entries.erase(it);
+                _entries.push_back(std::move(hit));
+                return _entries.back().machine.get();
+            }
+        }
+        std::unique_ptr<Machine> built =
+            validate::tryMakeMachine(cell.machine, cell.opt, error);
+        if (!built)
+            return nullptr;
+        if (_entries.size() >= kCapacity)
+            _entries.erase(_entries.begin());
+        _entries.push_back(Entry{std::move(key), std::move(built)});
+        return _entries.back().machine.get();
+    }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::unique_ptr<Machine> machine;
+    };
+
+    /** Distinct configurations kept warm per worker; campaigns sweep
+     *  a handful of machines over many workloads, so a few entries
+     *  cover nearly every cell. */
+    static constexpr std::size_t kCapacity = 4;
+
+    std::vector<Entry> _entries;
+};
+
 CellResult
 ExperimentRunner::runCell(const Cell &cell, const FaultInjection *fault,
-                          int attempt)
+                          int attempt, MachinePool &pool)
 {
     CellResult result;
     result.cell = cell;
@@ -166,12 +235,17 @@ ExperimentRunner::runCell(const Cell &cell, const FaultInjection *fault,
             return result;
         }
 
-        std::unique_ptr<Machine> machine;
-        if (fault_active && fault->kind == FaultInjection::Kind::Stall)
-            machine = std::make_unique<StallingMachine>();
-        else
-            machine = validate::tryMakeMachine(cell.machine, cell.opt,
-                                               &error);
+        // Fault stand-ins are built fresh (and discarded); real
+        // machines come from the worker's pool and are reused across
+        // cells — run() resets them to freshly-constructed state.
+        std::unique_ptr<Machine> standIn;
+        Machine *machine = nullptr;
+        if (fault_active && fault->kind == FaultInjection::Kind::Stall) {
+            standIn = std::make_unique<StallingMachine>();
+            machine = standIn.get();
+        } else {
+            machine = pool.acquire(cell, &error);
+        }
         if (!machine) {
             result.error = error;
             result.errorClass = "config";
@@ -302,8 +376,9 @@ ExperimentRunner::run(const CampaignSpec &spec)
     }
 
     // Each task writes exactly one preallocated slot, so completion
-    // order never affects result order (or bytes).
-    auto execute = [&](std::size_t i) {
+    // order never affects result order (or bytes). The pool of
+    // reusable machines belongs to the calling worker alone.
+    auto execute = [&](std::size_t i, MachinePool &pool) {
         const Cell &cell = spec.cells[i];
 
         // Cancelled (Ctrl-C): leave the slot as a default result and
@@ -353,8 +428,10 @@ ExperimentRunner::run(const CampaignSpec &spec)
             CellResult stored;
             std::string stored_key;
             if (_store.lookup(key, &payload) &&
-                parseJournalLine(payload, kStorePayloadCampaign,
-                                 &stored, &stored_key)) {
+                (parseJournalLine(payload, kStorePayloadCampaign,
+                                  &stored, &stored_key) ||
+                 parseJournalLine(payload, kStoreFailedPayloadCampaign,
+                                  &stored, &stored_key))) {
                 stored.cell = cell;     // identity of *this* cell
                 stored.fromJournal = false;
                 stored.fromStore = true;
@@ -378,22 +455,27 @@ ExperimentRunner::run(const CampaignSpec &spec)
         int attempt = 0;
         for (;;) {
             attempt++;
-            r = runCell(cell, fault, attempt);
+            r = runCell(cell, fault, attempt, pool);
             if (r.ok || !r.retryable || attempt > _opts.maxRetries)
                 break;
         }
         r.attempts = attempt;
 
-        if (!key.empty() && r.ok) {
-            if (_opts.cache) {
+        // Deterministic failures are persisted only when no fault was
+        // injected into the cell: an injected deadlock/panic says
+        // nothing about the real configuration and must not be served
+        // to a fault-free rerun.
+        bool persist_failure = deterministicFailure(r) && !fault;
+        if (!key.empty() && (r.ok || persist_failure)) {
+            if (_opts.cache && r.ok) {
                 std::lock_guard<std::mutex> lock(_cacheMutex);
                 _cache.emplace(key, r);
             }
             if (_store.isOpen()) {
                 std::string serror;
-                if (!_store.publish(
-                        key, journalLine(kStorePayloadCampaign, r),
-                        &serror))
+                const char *tag = r.ok ? kStorePayloadCampaign
+                                       : kStoreFailedPayloadCampaign;
+                if (!_store.publish(key, journalLine(tag, r), &serror))
                     warn("%s (result not persisted)", serror.c_str());
             }
         }
@@ -412,8 +494,9 @@ ExperimentRunner::run(const CampaignSpec &spec)
                                          spec.cells.size(), 1)));
 
     if (jobs <= 1) {
+        MachinePool pool;
         for (std::size_t i = 0; i < spec.cells.size(); i++)
-            execute(i);
+            execute(i, pool);
         return result;
     }
 
@@ -423,10 +506,11 @@ ExperimentRunner::run(const CampaignSpec &spec)
         queues[i % std::size_t(jobs)].items.push_back(i);
 
     auto worker = [&](std::size_t self) {
+        MachinePool pool;
         std::size_t task;
         for (;;) {
             if (queues[self].popFront(&task)) {
-                execute(task);
+                execute(task, pool);
                 continue;
             }
             bool stolen = false;
@@ -436,7 +520,7 @@ ExperimentRunner::run(const CampaignSpec &spec)
             }
             if (!stolen)
                 return;     // nothing left anywhere: pool drains
-            execute(task);
+            execute(task, pool);
         }
     };
 

@@ -5,11 +5,15 @@
  *
  * Cells execute on a fixed-size std::thread pool with per-worker
  * work-stealing deques. Determinism comes from isolation, not
- * scheduling: every cell builds its own Machine and its own Program
- * and seeds its own RNG, writes its result into a preallocated slot
- * indexed by spec order, and shares nothing mutable with other cells —
- * so a campaign at --jobs 8 is bit-identical to the same campaign at
- * --jobs 1.
+ * scheduling: every cell builds its own Program and seeds its own RNG,
+ * writes its result into a preallocated slot indexed by spec order,
+ * and shares nothing mutable with other cells — so a campaign at
+ * --jobs 8 is bit-identical to the same campaign at --jobs 1. Machine
+ * instances are reused within a worker (never across workers) through
+ * a small per-worker pool: a machine resets every sub-unit to
+ * freshly-constructed state at the start of each run, so a reused core
+ * produces the same bytes as a rebuilt one without re-allocating the
+ * caches, predictors, and register structures per cell.
  *
  * An in-memory cache keyed by (manifest hash, workload, instruction
  * cap, seed) skips redundant cells across runs of the same runner —
@@ -227,12 +231,19 @@ class ExperimentRunner
     const RunnerOptions &options() const { return _opts; }
 
   private:
+    /** Per-worker LRU pool of reusable Machine instances (defined in
+     *  runner.cc). Machines reset to freshly-constructed state at the
+     *  start of every run, so reuse is byte-identical to rebuilding —
+     *  it just skips the allocation/construction of every sub-unit. */
+    class MachinePool;
+
     /** Execute one cell; @p fault, when non-null, is this cell's
      *  injection and @p attempt the 1-based execution count. Any
      *  exception escaping execution is converted into a failed result
-     *  carrying its taxonomy class — never propagated to the pool. */
+     *  carrying its taxonomy class — never propagated to the pool.
+     *  @p pool is the calling worker's private machine pool. */
     CellResult runCell(const Cell &cell, const FaultInjection *fault,
-                       int attempt);
+                       int attempt, MachinePool &pool);
     /** Cache key, or empty if the cell is not cacheable (bad machine). */
     std::string cacheKey(const Cell &cell) const;
     /** Manifest hash of the cell's machine, empty if unknown. */

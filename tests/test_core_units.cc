@@ -162,8 +162,10 @@ TEST(IssueQueue, CapacityAndCompaction)
     EXPECT_TRUE(q.full());
     pool[0].issued = true;
     pool[0].issueCycle = 10;
+    q.noteIssued(10);           // issue sites must schedule the removal
     q.compact(10);              // removal delay 1: not yet
     EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.nextRemoval(), 11u);
     q.compact(11);
     EXPECT_EQ(q.size(), 3);
 }
@@ -175,9 +177,27 @@ TEST(IssueQueue, DelayedRemovalHoldsLonger)
     q.insert(&d);
     d.issued = true;
     d.issueCycle = 10;
+    q.noteIssued(10);
     q.compact(11);
     EXPECT_EQ(q.size(), 1);     // still resident (sim-alpha approx)
     q.compact(12);
+    EXPECT_EQ(q.size(), 0);
+    EXPECT_EQ(q.nextRemoval(), kNoCycle);
+}
+
+TEST(IssueQueue, CompactIsGatedOnScheduledRemovals)
+{
+    // Without a noteIssued call nothing is due, so compact must skip
+    // the scan entirely (the event-driven fast path's whole point).
+    IssueQueue q(4, 1);
+    DynInst d = makeInst(0);
+    q.insert(&d);
+    d.issued = true;
+    d.issueCycle = 10;
+    EXPECT_FALSE(q.compact(100));
+    EXPECT_EQ(q.size(), 1);
+    q.noteIssued(10);
+    EXPECT_TRUE(q.compact(100));
     EXPECT_EQ(q.size(), 0);
 }
 

@@ -581,6 +581,105 @@ TEST(StoreRunner, InstructionCapIsPartOfTheKeySoNothingStaleIsServed)
 }
 
 // ---------------------------------------------------------------------
+// Deterministic failures in the store
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** The runner's store identity key for @p cell. */
+std::string
+storeKeyFor(const Cell &cell)
+{
+    return cellManifestHash(cell) + "|" + cell.workload + "|" +
+           std::to_string(cell.maxInsts) + "|" +
+           std::to_string(cellSeed(cell));
+}
+
+} // namespace
+
+TEST(StoreFailure, PersistedDeterministicFailureIsServedOnRerun)
+{
+    std::string root = uniqueDir("fail-served");
+    std::string error;
+
+    // Seed the store with a failed entry exactly as the runner
+    // publishes one: the distinct "store-failed" tag, keyed by the
+    // same identity a successful result would use.
+    CampaignSpec spec = smokeCampaign();
+    const Cell &target = spec.cells[0];
+    CellResult failed;
+    failed.cell = target;
+    failed.seed = cellSeed(target);
+    failed.ok = false;
+    failed.error = "machine deadlocked (persisted)";
+    failed.errorClass = "deadlock";
+    failed.manifestHash = cellManifestHash(target);
+
+    ResultStore seeder;
+    ASSERT_TRUE(seeder.open(root, &error)) << error;
+    ASSERT_TRUE(seeder.publish(storeKeyFor(target),
+                               journalLine("store-failed", failed),
+                               &error))
+        << error;
+
+    RunnerOptions ro;
+    ro.jobs = 1;
+    ro.cache = false;
+    ro.storePath = root;
+    ExperimentRunner runner(ro);
+    ASSERT_TRUE(runner.storeOpen());
+    CampaignResult result = runner.run(spec);
+
+    // The persisted failure is served, not recomputed — and with its
+    // error class intact; every other cell computes normally.
+    const CellResult &served = result.cells[0];
+    EXPECT_FALSE(served.ok);
+    EXPECT_TRUE(served.fromStore);
+    EXPECT_EQ(served.errorClass, "deadlock");
+    EXPECT_EQ(served.error, failed.error);
+    for (std::size_t i = 1; i < result.cells.size(); i++)
+        EXPECT_TRUE(result.cells[i].ok) << result.cells[i].error;
+
+    StoreCounters c = runner.storeCounters();
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.publishes, result.cells.size() - 1);
+    fs::remove_all(root);
+}
+
+TEST(StoreFailure, InjectedFailuresAreNeverPublished)
+{
+    std::string root = uniqueDir("fail-injected");
+
+    // An injected stall produces the "deadlock" class, but it says
+    // nothing about the real configuration: it must not be persisted,
+    // and a fault-free rerun must re-execute the cell and succeed.
+    RunnerOptions faulty;
+    faulty.jobs = 1;
+    faulty.cache = false;
+    faulty.storePath = root;
+    faulty.faults.push_back({0, FaultInjection::Kind::Stall, -1});
+    ExperimentRunner first(faulty);
+    CampaignResult withFault = first.run(smokeCampaign());
+    ASSERT_FALSE(withFault.cells[0].ok);
+    EXPECT_EQ(withFault.cells[0].errorClass, "deadlock");
+    EXPECT_EQ(first.storeCounters().publishes,
+              withFault.cells.size() - 1);
+
+    RunnerOptions clean;
+    clean.jobs = 1;
+    clean.cache = false;
+    clean.storePath = root;
+    ExperimentRunner second(clean);
+    CampaignResult recovered = second.run(smokeCampaign());
+    EXPECT_TRUE(recovered.cells[0].ok) << recovered.cells[0].error;
+    EXPECT_FALSE(recovered.cells[0].fromStore);
+    StoreCounters c = second.storeCounters();
+    EXPECT_EQ(c.hits, recovered.cells.size() - 1);
+    EXPECT_EQ(c.publishes, 1u);
+    fs::remove_all(root);
+}
+
+// ---------------------------------------------------------------------
 // Acceptance: sharded Table-5 rerun against one store
 // ---------------------------------------------------------------------
 

@@ -52,6 +52,7 @@
 #include "common/logging.hh"
 #include "runner/artifacts.hh"
 #include "runner/campaign.hh"
+#include "runner/perfbench.hh"
 #include "runner/runner.hh"
 #include "runner/shard.hh"
 #include "runner/supervisor.hh"
@@ -550,6 +551,8 @@ realMain(int argc, char **argv)
     setQuiet(true);
     if (argc >= 2 && std::strcmp(argv[1], "store") == 0)
         return runStoreCommand(argc - 1, argv + 1);
+    if (argc >= 2 && std::strcmp(argv[1], "bench") == 0)
+        return runner::runBenchCommand(argc - 1, argv + 1);
 
     std::string machine_name = "sim-alpha";
     std::optional<std::string> workload_name;
