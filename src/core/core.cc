@@ -168,18 +168,23 @@ AlphaCore::resetMachine(const Program &program)
     _activity = false;
 }
 
-RunResult
-AlphaCore::run(const Program &program, std::uint64_t max_insts)
+void
+AlphaCore::runLoop(const Program &program)
 {
-    resetMachine(program);
-    _maxInsts = max_insts;
-
     while (!_finished && (_maxInsts == 0 || _committed < _maxInsts)) {
         cycleTick();
         if (_p.watchdogCycles &&
             _cycle - _lastCommitCycle > _p.watchdogCycles)
             throw DeadlockError(deadlockSnapshot(program));
     }
+}
+
+RunResult
+AlphaCore::run(const Program &program, std::uint64_t max_insts)
+{
+    resetMachine(program);
+    _maxInsts = max_insts;
+    runLoop(program);
 
     RunResult res;
     res.machine = _p.name;
@@ -189,6 +194,62 @@ AlphaCore::run(const Program &program, std::uint64_t max_insts)
     res.finished = _finished;
     _c.cycles.set(_cycle);
     _c.instsCommitted.set(_committed);
+    return res;
+}
+
+RunResult
+AlphaCore::runWindow(const Program &program, const Checkpoint &start,
+                     std::uint64_t warmup_insts,
+                     std::uint64_t measure_insts,
+                     std::map<std::string, std::uint64_t>
+                         *measured_counters)
+{
+    resetMachine(program);
+    // Swap the reset-state oracle for one resuming at the checkpoint;
+    // fetch starts where the restored architectural state left off.
+    // Everything microarchitectural (caches, predictors, queues)
+    // stays cold — that is what the warm-up phase is for.
+    _oracle = std::make_unique<OracleStream>(program, start);
+    _fetchPc = start.pc;
+    if (start.halted)
+        _finished = true;
+
+    if (warmup_insts && !_finished) {
+        _maxInsts = warmup_insts;
+        runLoop(program);
+    }
+    Cycle warm_cycles = _cycle;
+    std::uint64_t warm_insts = _committed;
+    std::map<std::string, std::uint64_t> before;
+    if (measured_counters) {
+        _c.cycles.set(_cycle);
+        _c.instsCommitted.set(_committed);
+        before = _stats.snapshot();
+    }
+
+    if (!_finished) {
+        // measure_insts == 0 runs the window to program completion.
+        _maxInsts = measure_insts ? warm_insts + measure_insts : 0;
+        runLoop(program);
+    }
+
+    RunResult res;
+    res.machine = _p.name;
+    res.program = program.name;
+    res.cycles = _cycle - warm_cycles;
+    res.instsCommitted = _committed - warm_insts;
+    res.finished = _finished;
+    _c.cycles.set(_cycle);
+    _c.instsCommitted.set(_committed);
+    if (measured_counters) {
+        measured_counters->clear();
+        for (const auto &kv : _stats.snapshot()) {
+            auto it = before.find(kv.first);
+            std::uint64_t prior =
+                it == before.end() ? 0 : it->second;
+            (*measured_counters)[kv.first] = kv.second - prior;
+        }
+    }
     return res;
 }
 

@@ -42,6 +42,12 @@ class AlphaCore : public Machine
     RunResult run(const Program &program,
                   std::uint64_t max_insts = 0) override;
 
+    RunResult runWindow(const Program &program, const Checkpoint &start,
+                        std::uint64_t warmup_insts,
+                        std::uint64_t measure_insts,
+                        std::map<std::string, std::uint64_t>
+                            *measured_counters = nullptr) override;
+
     stats::Group &statGroup() override { return _stats; }
     std::string name() const override { return _p.name; }
 
@@ -75,6 +81,9 @@ class AlphaCore : public Machine
     };
 
     void resetMachine(const Program &program);
+    /** The run loop shared by run() and runWindow(): tick until halt
+     *  or _maxInsts commits, with the forward-progress watchdog. */
+    void runLoop(const Program &program);
     void cycleTick();
     /** Machine-state snapshot for the forward-progress watchdog. */
     DeadlockInfo deadlockSnapshot(const Program &program) const;

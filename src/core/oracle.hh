@@ -23,6 +23,12 @@ class OracleStream
   public:
     explicit OracleStream(const Program &program);
 
+    /** Start the stream from restored architectural state instead of
+     *  reset: the emulator resumes at @p start and delivered records
+     *  carry sequence numbers continuing from start.seq (which is
+     *  also the rewind floor — nothing older is reachable). */
+    OracleStream(const Program &program, const Checkpoint &start);
+
     /** Is another correct-path instruction available? */
     bool exhausted() const;
 

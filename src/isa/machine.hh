@@ -9,13 +9,17 @@
 #define SIMALPHA_ISA_MACHINE_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 
+#include "common/error.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/isa.hh"
 
 namespace simalpha {
+
+struct Checkpoint;      // full architectural state (isa/emulator.hh)
 
 /** Outcome of running one program to completion on a machine. */
 struct RunResult
@@ -52,6 +56,37 @@ class Machine
      */
     virtual RunResult run(const Program &program,
                           std::uint64_t max_insts = 0) = 0;
+
+    /**
+     * Sampled-simulation window: reset, restore architectural state
+     * from @p start (a checkpoint of this program at some retired-
+     * instruction offset), commit @p warmup_insts to warm the
+     * microarchitectural state, then measure @p measure_insts more.
+     *
+     * The returned cycles/instsCommitted cover the *measured* region
+     * only (warm-up excluded); `finished` reports whether the program
+     * halted inside the window. When @p measured_counters is non-null
+     * it receives the measured-region event-counter deltas (counters
+     * at window end minus counters at warm-up end). A checkpoint at
+     * offset 0 with zero warm-up makes runWindow equivalent to run().
+     *
+     * The base class throws ConfigError: only the timing cores
+     * support window restoration (fault-drill stand-ins do not).
+     */
+    virtual RunResult
+    runWindow(const Program &program, const Checkpoint &start,
+              std::uint64_t warmup_insts, std::uint64_t measure_insts,
+              std::map<std::string, std::uint64_t> *measured_counters =
+                  nullptr)
+    {
+        (void)program;
+        (void)start;
+        (void)warmup_insts;
+        (void)measure_insts;
+        (void)measured_counters;
+        throw ConfigError("machine '" + name() +
+                          "' does not support checkpoint windows");
+    }
 
     /** Event counters accumulated during the last run. */
     virtual stats::Group &statGroup() = 0;

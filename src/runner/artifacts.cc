@@ -106,6 +106,23 @@ toJson(const CampaignResult &result)
            << ",\n";
         os << "      \"ipc\": " << fixed6(r.ipc()) << ",\n";
         os << "      \"cpi\": " << fixed6(r.cpi()) << ",\n";
+        // Sampling fields only on sampled cells: unsampled campaigns
+        // (the golden tables) keep their exact historical bytes.
+        if (r.cell.sample.enabled()) {
+            os << "      \"sample\": \""
+               << checkpoint::formatSampleSpec(r.cell.sample)
+               << "\",\n";
+            os << "      \"sample_windows\": " << r.sampleWindows
+               << ",\n";
+            os << "      \"sample_total_insts\": "
+               << r.sampleTotalInsts << ",\n";
+            os << "      \"sample_ipc_mean\": "
+               << fixed6(r.sampleIpcMean) << ",\n";
+            os << "      \"sample_ipc_stddev\": "
+               << fixed6(r.sampleIpcStddev) << ",\n";
+            os << "      \"sample_ipc_ci\": " << fixed6(r.sampleIpcCi)
+               << ",\n";
+        }
         os << "      \"manifest_hash\": \"" << r.manifestHash
            << "\",\n";
         os << "      \"counters\": {";
@@ -129,7 +146,9 @@ toCsv(const CampaignResult &result)
 {
     std::ostringstream os;
     os << "machine,optimization,workload,max_insts,seed,ok,error,"
-          "error_class,cycles,insts,finished,ipc,cpi,manifest_hash\n";
+          "error_class,cycles,insts,finished,ipc,cpi,manifest_hash,"
+          "sample,sample_windows,sample_total_insts,sample_ipc_mean,"
+          "sample_ipc_stddev,sample_ipc_ci\n";
     for (const CellResult &r : result.cells) {
         // Error text may contain commas; quote it.
         std::string err = r.error;
@@ -144,7 +163,14 @@ toCsv(const CampaignResult &result)
            << r.errorClass << ','
            << r.cycles << ',' << r.instsCommitted << ','
            << (r.finished ? 1 : 0) << ',' << fixed6(r.ipc()) << ','
-           << fixed6(r.cpi()) << ',' << r.manifestHash << "\n";
+           << fixed6(r.cpi()) << ',' << r.manifestHash << ','
+           << (r.cell.sample.enabled()
+                   ? checkpoint::formatSampleSpec(r.cell.sample)
+                   : std::string())
+           << ',' << r.sampleWindows << ',' << r.sampleTotalInsts
+           << ',' << fixed6(r.sampleIpcMean) << ','
+           << fixed6(r.sampleIpcStddev) << ','
+           << fixed6(r.sampleIpcCi) << "\n";
     }
     return os.str();
 }
@@ -239,6 +265,13 @@ diffCampaigns(const CampaignResult &a, const CampaignResult &b)
                                      rb.manifestHash));
         if (ra.counters != rb.counters)
             diffs.push_back(describe(ra, "counters",
+                                     "(differ)", "(differ)"));
+        if (ra.sampleWindows != rb.sampleWindows ||
+            ra.sampleTotalInsts != rb.sampleTotalInsts ||
+            fixed6(ra.sampleIpcMean) != fixed6(rb.sampleIpcMean) ||
+            fixed6(ra.sampleIpcStddev) != fixed6(rb.sampleIpcStddev) ||
+            fixed6(ra.sampleIpcCi) != fixed6(rb.sampleIpcCi))
+            diffs.push_back(describe(ra, "sample",
                                      "(differ)", "(differ)"));
     }
     for (const CellResult &rb : b.cells)

@@ -20,6 +20,15 @@ CampaignSpec::withMaxInsts(std::uint64_t max_insts) const
     return out;
 }
 
+CampaignSpec
+CampaignSpec::withSampling(const checkpoint::SampleSpec &spec) const
+{
+    CampaignSpec out = *this;
+    for (Cell &cell : out.cells)
+        cell.sample = spec;
+    return out;
+}
+
 std::uint64_t
 cellSeed(const Cell &cell)
 {
@@ -42,6 +51,11 @@ cellSeed(const Cell &cell)
     for (int i = 0; i < 8; i++) {
         h ^= (cell.maxInsts >> (8 * i)) & 0xFF;
         h *= 0x100000001b3ULL;
+    }
+    // Sampled variants of a cell get their own seed, but a disabled
+    // spec must leave the historical seed untouched (golden tables).
+    if (cell.sample.enabled()) {
+        mix(checkpoint::formatSampleSpec(cell.sample));
     }
     return h ? h : 1;
 }
@@ -163,7 +177,7 @@ table2Campaign(const std::vector<std::string> &machines)
     spec.name = "table2";
     for (const std::string &w : microbenchNames())
         for (const std::string &m : machines)
-            spec.cells.push_back({m, Optimization::None, w, 0, 0});
+            spec.cells.push_back({m, Optimization::None, w, 0, 0, {}});
     return spec;
 }
 
@@ -182,7 +196,7 @@ table3Campaign()
     for (const MacroProfile &p : spec2000Profiles())
         for (const char *m :
              {"ds10l", "sim-alpha", "sim-stripped", "sim-outorder"})
-            spec.cells.push_back({m, Optimization::None, p.name, 0, 0});
+            spec.cells.push_back({m, Optimization::None, p.name, 0, 0, {}});
     return spec;
 }
 
@@ -196,7 +210,7 @@ table4Campaign()
         machines.push_back("sim-alpha-no-" + f);
     for (const MacroProfile &p : spec2000Profiles())
         for (const std::string &m : machines)
-            spec.cells.push_back({m, Optimization::None, p.name, 0, 0});
+            spec.cells.push_back({m, Optimization::None, p.name, 0, 0, {}});
     return spec;
 }
 
@@ -212,7 +226,7 @@ table5Campaign()
     for (const std::string &c : validate::stabilityConfigNames())
         for (Optimization opt : opts)
             for (const MacroProfile &p : spec2000Profiles())
-                spec.cells.push_back({c, opt, p.name, 0, 0});
+                spec.cells.push_back({c, opt, p.name, 0, 0, {}});
     return spec;
 }
 
@@ -225,7 +239,7 @@ smokeCampaign()
                           "C-S3", "C-O", "E-I", "E-D1", "E-D2",
                           "E-D3", "E-D4"})
         spec.cells.push_back(
-            {"sim-outorder", Optimization::None, w, 2000, 0});
+            {"sim-outorder", Optimization::None, w, 2000, 0, {}});
     return spec;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.hh"
 #include "isa/isa.hh"
 #include "validate/machines.hh"
 
@@ -37,6 +38,14 @@ struct Cell
      * same cell sees the same stream.
      */
     std::uint64_t seed = 0;
+    /**
+     * Sampled execution: when enabled, the cell is measured as
+     * checkpoint-restored detailed windows instead of one contiguous
+     * detailed run, and the result carries a sampling-error bar. A
+     * disabled spec (the default) leaves the cell — and its journal
+     * key, cache key, and seed — exactly as before.
+     */
+    checkpoint::SampleSpec sample;
 };
 
 /** A named list of cells, executed together. */
@@ -47,6 +56,9 @@ struct CampaignSpec
 
     /** Apply one instruction cap to every cell (for quick sweeps). */
     CampaignSpec withMaxInsts(std::uint64_t max_insts) const;
+
+    /** Apply one sampling spec to every cell (`--sample ...`). */
+    CampaignSpec withSampling(const checkpoint::SampleSpec &spec) const;
 };
 
 /** Deterministic per-cell seed derived from the cell identity. */

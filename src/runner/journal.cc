@@ -1,8 +1,11 @@
 #include "journal.hh"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
+
+#include "checkpoint/checkpoint.hh"
 
 #include "runner/artifacts.hh"
 #include "runner/campaign.hh"
@@ -24,7 +27,24 @@ journalKey(const Cell &cell)
     key += std::to_string(cell.maxInsts);
     key += '\x1f';
     key += std::to_string(cellSeed(cell));
+    // Sampled and unsampled runs of one identity are different
+    // measurements; unsampled keys keep their historical bytes.
+    if (cell.sample.enabled()) {
+        key += '\x1f';
+        key += checkpoint::formatSampleSpec(cell.sample);
+    }
     return key;
+}
+
+/** Fixed-point text form of the sampling statistics: the journal's
+ *  line parser reads only strings/integers/bools, and a fixed decimal
+ *  representation round-trips byte-identically. */
+static std::string
+fixed6(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
 }
 
 std::string
@@ -44,8 +64,22 @@ journalLine(const std::string &campaign, const CellResult &r)
        << ",\"error_class\":\"" << jsonEscape(r.errorClass) << "\""
        << ",\"cycles\":" << r.cycles
        << ",\"insts\":" << r.instsCommitted
-       << ",\"finished\":" << (r.finished ? "true" : "false")
-       << ",\"counters\":{";
+       << ",\"finished\":" << (r.finished ? "true" : "false");
+    // Sampling fields appear only on sampled cells, so every line an
+    // unsampled campaign writes is byte-identical to the pre-sampling
+    // format (golden artifacts, store payloads, resume keys).
+    if (r.cell.sample.enabled()) {
+        os << ",\"sample\":\""
+           << checkpoint::formatSampleSpec(r.cell.sample) << "\""
+           << ",\"sample_windows\":" << r.sampleWindows
+           << ",\"sample_total_insts\":" << r.sampleTotalInsts
+           << ",\"sample_ipc_mean\":\"" << fixed6(r.sampleIpcMean)
+           << "\""
+           << ",\"sample_ipc_stddev\":\"" << fixed6(r.sampleIpcStddev)
+           << "\""
+           << ",\"sample_ipc_ci\":\"" << fixed6(r.sampleIpcCi) << "\"";
+    }
+    os << ",\"counters\":{";
     bool first = true;
     for (const auto &kv : r.counters) {
         if (!first)
@@ -314,6 +348,20 @@ parseJournalLine(const std::string &line, const std::string &campaign,
     r.cycles = numbers["cycles"];
     r.instsCommitted = numbers["insts"];
     r.finished = bools.count("finished") ? bools["finished"] : false;
+    if (strings.count("sample")) {
+        std::string serror;
+        if (!checkpoint::parseSampleSpec(strings["sample"],
+                                         &r.cell.sample, &serror))
+            return false;
+        r.sampleWindows = numbers["sample_windows"];
+        r.sampleTotalInsts = numbers["sample_total_insts"];
+        r.sampleIpcMean =
+            std::strtod(strings["sample_ipc_mean"].c_str(), nullptr);
+        r.sampleIpcStddev =
+            std::strtod(strings["sample_ipc_stddev"].c_str(), nullptr);
+        r.sampleIpcCi =
+            std::strtod(strings["sample_ipc_ci"].c_str(), nullptr);
+    }
     r.counters = std::move(counters);
     r.fromJournal = true;
 

@@ -78,6 +78,54 @@ timeMachinePath(const CampaignSpec &t3, const char *machine,
     return true;
 }
 
+/**
+ * Time checkpoint-sampled sim-alpha over the Table-3 workloads at 10x
+ * the detailed cap. `insts` counts the instructions the sampled cells
+ * *represent* (their functional fast-forward length), so the resulting
+ * ips is the effective rate of the sampled methodology — fast-forward,
+ * checkpoint generation, and detailed windows included. No store is
+ * attached: every checkpoint is generated in-process, the worst case.
+ */
+bool
+timeSampledPath(const CampaignSpec &t3, std::uint64_t max_insts,
+                PerfPath *out, std::string *error)
+{
+    CampaignSpec s;
+    s.name = "perf-sampled";
+    for (const Cell &c : t3.cells)
+        if (c.machine == "sim-alpha")
+            s.cells.push_back(c);
+
+    checkpoint::SampleSpec spec;
+    spec.windows = 5;
+    spec.len = std::max<std::uint64_t>(max_insts / 10, 500);
+    spec.warmup = spec.len / 2;
+    s = s.withMaxInsts(max_insts * 10).withSampling(spec);
+
+    RunnerOptions ro;
+    ro.jobs = 1;
+    ro.cache = false;
+    ExperimentRunner rnr(ro);
+
+    auto t0 = std::chrono::steady_clock::now();
+    CampaignResult cr = rnr.run(s);
+    auto t1 = std::chrono::steady_clock::now();
+
+    std::uint64_t insts = 0;
+    for (const CellResult &r : cr.cells) {
+        if (!r.ok) {
+            *error = "sampled sim-alpha/" + r.cell.workload +
+                     " failed: " + r.error;
+            return false;
+        }
+        insts += r.sampleTotalInsts;
+    }
+    out->insts = insts;
+    out->seconds = elapsedSeconds(t0, t1);
+    finishPath(out);
+    return true;
+}
+
 /** Time the raw functional Emulator over the same workload set. */
 bool
 timeEmulatorPath(const CampaignSpec &t3, std::uint64_t max_insts,
@@ -141,6 +189,8 @@ entryToJson(std::ostringstream &o, const char *key, const PerfEntry &e)
     pathToJson(o, "abstract", e.abstracted);
     o << ",";
     pathToJson(o, "emulator", e.emulator);
+    o << ",";
+    pathToJson(o, "sampled", e.sampled);
     o << "}";
 }
 
@@ -371,6 +421,11 @@ entryFromJson(const Json &parent, const char *key, PerfEntry *e,
         !pathFromJson(*j, "abstract", &e->abstracted, error) ||
         !pathFromJson(*j, "emulator", &e->emulator, error))
         return false;
+    // Optional: trajectory files written before the sampled path
+    // existed have no "sampled" object; its absence is not drift.
+    if (j->obj.count("sampled") &&
+        !pathFromJson(*j, "sampled", &e->sampled, error))
+        return false;
     e->valid = true;
     return true;
 }
@@ -413,6 +468,8 @@ measurePerf(std::uint64_t max_insts, PerfEntry *out, std::string *error)
     if (!timeMachinePath(t3, "sim-outorder", &e.abstracted, error))
         return false;
     if (!timeEmulatorPath(t3, max_insts, &e.emulator, error))
+        return false;
+    if (!timeSampledPath(t3, max_insts, &e.sampled, error))
         return false;
     e.valid = true;
     *out = e;
@@ -587,6 +644,7 @@ runBenchCommand(int argc, char **argv)
     printPath("detailed", e.detailed);
     printPath("abstract", e.abstracted);
     printPath("emulator", e.emulator);
+    printPath("sampled", e.sampled);
     if (report.baseline.maxInsts != e.maxInsts)
         std::printf("note: baseline was recorded at max_insts=%llu — "
                     "speedup compares insts/s across caps\n",

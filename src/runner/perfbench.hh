@@ -35,7 +35,7 @@ struct PerfPath
     double ips = 0.0;        ///< insts / seconds
 };
 
-/** One measured snapshot of all three paths. */
+/** One measured snapshot of all measured paths. */
 struct PerfEntry
 {
     std::string buildType; ///< CMAKE_BUILD_TYPE the binary was built as
@@ -43,6 +43,15 @@ struct PerfEntry
     PerfPath detailed;
     PerfPath abstracted;
     PerfPath emulator;
+    /**
+     * Checkpoint-sampled sim-alpha over the same workloads at 10x the
+     * detailed cap: `insts` counts the instructions the sampled run
+     * *represents* (the functional fast-forward length), so `ips` is
+     * the effective simulation rate including fast-forward and
+     * checkpoint generation. Absent in trajectory files written
+     * before sampling existed; parse treats it as optional.
+     */
+    PerfPath sampled;
     bool valid = false;
 };
 

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "checkpoint/checkpoint.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
@@ -113,6 +114,14 @@ ExperimentRunner::cacheKey(const Cell &cell) const
     key += std::to_string(cell.maxInsts);
     key += '|';
     key += std::to_string(cellSeed(cell));
+    // Sampled cells measure different things than full runs of the
+    // same identity; keep their keys disjoint. Unsampled keys stay
+    // byte-identical to every store entry published before sampling
+    // existed.
+    if (cell.sample.enabled()) {
+        key += "|sample=";
+        key += checkpoint::formatSampleSpec(cell.sample);
+    }
     return key;
 }
 
@@ -206,6 +215,85 @@ class ExperimentRunner::MachinePool
     std::vector<Entry> _entries;
 };
 
+void
+ExperimentRunner::runSampledCell(const Cell &cell, Machine *machine,
+                                 const Program &program,
+                                 CellResult *result)
+{
+    namespace ck = checkpoint;
+
+    // Workload length under the cap: one cheap functional pass whose
+    // answer is shared through the store across shards and reruns.
+    ck::FastForwardInfo info;
+    std::string mkey = ck::metaKey(program, cell.maxInsts);
+    bool have_meta = false;
+    if (_store.isOpen()) {
+        std::string payload;
+        have_meta = _store.lookup(mkey, &payload) &&
+                    ck::parseMeta(payload, &info);
+    }
+    if (!have_meta) {
+        info = ck::fastForward(program, cell.maxInsts);
+        if (_store.isOpen()) {
+            std::string serror;
+            if (!_store.publish(mkey, ck::serializeMeta(info),
+                                &serror))
+                warn("%s (fast-forward metadata not persisted)",
+                     serror.c_str());
+        }
+    }
+
+    std::vector<ck::WindowPlan> plan =
+        ck::planWindows(info.totalInsts, cell.sample);
+
+    std::vector<std::uint64_t> offsets;
+    offsets.reserve(plan.size());
+    for (const ck::WindowPlan &w : plan)
+        offsets.push_back(w.checkpointAt);
+
+    std::vector<Checkpoint> ckpts;
+    std::string error;
+    if (!ck::collectCheckpoints(program, offsets,
+                                _store.isOpen() ? &_store : nullptr,
+                                &ckpts, &error))
+        throw InvariantError(error);
+
+    // The measured windows. Checkpoints are deterministic functions of
+    // the program, so a window's bytes do not depend on whether its
+    // checkpoint came from the store or a fresh emulator sweep — which
+    // keeps sampled campaigns byte-identical across --jobs, shards,
+    // and warm/cold stores.
+    Cycle total_cycles = 0;
+    std::uint64_t total_insts = 0;
+    std::vector<double> ipcs;
+    std::map<std::string, std::uint64_t> counters;
+    for (std::size_t i = 0; i < plan.size(); i++) {
+        std::map<std::string, std::uint64_t> wc;
+        RunResult wr = machine->runWindow(program, ckpts[i],
+                                          plan[i].warmup,
+                                          plan[i].measure, &wc);
+        total_cycles += wr.cycles;
+        total_insts += wr.instsCommitted;
+        if (wr.cycles)
+            ipcs.push_back(double(wr.instsCommitted) /
+                           double(wr.cycles));
+        for (const auto &kv : wc)
+            counters[kv.first] += kv.second;
+    }
+
+    ck::SampleStats stats = ck::sampleStats(ipcs);
+    result->ok = true;
+    result->cycles = total_cycles;
+    result->instsCommitted = total_insts;
+    result->finished = info.finished;
+    result->counters = std::move(counters);
+    result->sampleWindows = stats.n;
+    result->sampleTotalInsts = info.totalInsts;
+    result->sampleIpcMean = stats.mean;
+    result->sampleIpcStddev = stats.stddev;
+    result->sampleIpcCi = stats.ciHalf;
+}
+
 CellResult
 ExperimentRunner::runCell(const Cell &cell, const FaultInjection *fault,
                           int attempt, MachinePool &pool)
@@ -283,12 +371,16 @@ ExperimentRunner::runCell(const Cell &cell, const FaultInjection *fault,
         Random rng(result.seed);
         (void)rng;
 
-        RunResult r = machine->run(program, cell.maxInsts);
-        result.ok = true;
-        result.cycles = r.cycles;
-        result.instsCommitted = r.instsCommitted;
-        result.finished = r.finished;
-        result.counters = machine->statGroup().snapshot();
+        if (cell.sample.enabled()) {
+            runSampledCell(cell, machine, program, &result);
+        } else {
+            RunResult r = machine->run(program, cell.maxInsts);
+            result.ok = true;
+            result.cycles = r.cycles;
+            result.instsCommitted = r.instsCommitted;
+            result.finished = r.finished;
+            result.counters = machine->statGroup().snapshot();
+        }
     } catch (const SimError &e) {
         result.ok = false;
         result.error = e.what();
@@ -435,6 +527,19 @@ ExperimentRunner::run(const CampaignSpec &spec)
                 stored.cell = cell;     // identity of *this* cell
                 stored.fromJournal = false;
                 stored.fromStore = true;
+                // A warm sampled rerun reads only this result entry,
+                // not the checkpoints behind it — refresh their
+                // last-use sidecars too, or gc would evict exactly
+                // the blobs the next cold window run needs most.
+                if (cell.sample.enabled()) {
+                    Program program;
+                    std::string werror;
+                    if (buildWorkload(cell.workload, &program,
+                                      &werror))
+                        checkpoint::touchPlannedCheckpoints(
+                            program, cell.maxInsts, cell.sample,
+                            &_store);
+                }
                 if (_opts.cache) {
                     std::lock_guard<std::mutex> lock(_cacheMutex);
                     _cache.emplace(key, stored);

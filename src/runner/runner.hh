@@ -74,6 +74,20 @@ struct CellResult
     /** Identity of the exact configuration that produced the numbers. */
     std::string manifestHash;
 
+    // ---- Sampled execution (all zero unless cell.sample.enabled()).
+    // For a sampled cell, cycles/instsCommitted/counters above cover
+    // only the measured windows; these fields carry the sampling
+    // metadata and the per-window IPC statistics. ------------------
+    /** Detailed windows actually measured. */
+    std::uint64_t sampleWindows = 0;
+    /** Functional (full-program) instruction count the windows
+     *  represent — the denominator of the speedup claim. */
+    std::uint64_t sampleTotalInsts = 0;
+    /** Mean / stddev / 95%-CI half-width of the per-window IPCs. */
+    double sampleIpcMean = 0.0;
+    double sampleIpcStddev = 0.0;
+    double sampleIpcCi = 0.0;
+
     /** Served from the result cache (in-memory note; not serialized,
      *  so cached and computed campaigns stay byte-identical). */
     bool fromCache = false;
@@ -244,6 +258,13 @@ class ExperimentRunner
      *  @p pool is the calling worker's private machine pool. */
     CellResult runCell(const Cell &cell, const FaultInjection *fault,
                        int attempt, MachinePool &pool);
+    /** The sampled-execution arm of runCell: fast-forward (or reuse
+     *  stored metadata), plan windows, collect checkpoints through the
+     *  store, run each detailed window, and aggregate window IPCs into
+     *  the result's sampling statistics. Throws SimError subclasses on
+     *  failure, which runCell's containment converts as usual. */
+    void runSampledCell(const Cell &cell, Machine *machine,
+                        const Program &program, CellResult *result);
     /** Cache key, or empty if the cell is not cacheable (bad machine). */
     std::string cacheKey(const Cell &cell) const;
     /** Manifest hash of the cell's machine, empty if unknown. */

@@ -337,6 +337,8 @@ runShardWorker(const ShardWorkerOptions &options)
         return 2;
     if (options.maxInsts)
         spec = spec.withMaxInsts(options.maxInsts);
+    if (options.sample.enabled())
+        spec = spec.withSampling(options.sample);
 
     // The heartbeat stream and the runner's journal share one
     // append-mode file; every line is flushed before the next is

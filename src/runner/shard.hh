@@ -124,6 +124,7 @@ struct ShardWorkerOptions
     std::vector<std::size_t> cells;     ///< campaign cell indices
     std::string journalPath;            ///< this shard's journal
     std::uint64_t maxInsts = 0;         ///< cap forwarded from the CLI
+    checkpoint::SampleSpec sample;      ///< sampling spec, forwarded
     int maxRetries = 0;                 ///< per-cell retry budget
     /** Persistent result store shared with the supervisor and every
      *  sibling shard (empty = none): cells whose identity is already

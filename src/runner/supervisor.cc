@@ -103,6 +103,10 @@ spawnShard(ShardState &shard, const SupervisorOptions &opts,
         args.push_back("--max-insts");
         args.push_back(std::to_string(opts.maxInsts));
     }
+    if (opts.sample.enabled()) {
+        args.push_back("--sample");
+        args.push_back(checkpoint::formatSampleSpec(opts.sample));
+    }
     if (!opts.storePath.empty()) {
         args.push_back("--store");
         args.push_back(opts.storePath);
@@ -226,6 +230,8 @@ superviseCampaign(const SupervisorOptions &opts)
                           "' (table2..table5, smoke)");
     if (opts.maxInsts)
         spec = spec.withMaxInsts(opts.maxInsts);
+    if (opts.sample.enabled())
+        spec = spec.withSampling(opts.sample);
     if (opts.workerBinary.empty() ||
         ::access(opts.workerBinary.c_str(), X_OK) != 0)
         throw ConfigError("worker binary '" + opts.workerBinary +

@@ -54,6 +54,9 @@ struct SupervisorOptions
     std::string campaign;
     /** Committed-instruction cap applied to every cell (0 = none). */
     std::uint64_t maxInsts = 0;
+    /** Sampled-execution spec applied to every cell (disabled by
+     *  default); forwarded to every worker verbatim. */
+    checkpoint::SampleSpec sample;
 
     /** Worker processes; 0 = hardware concurrency. */
     int shards = 0;

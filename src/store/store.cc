@@ -402,6 +402,19 @@ ResultStore::lookup(const std::string &key, std::string *payload)
 }
 
 bool
+ResultStore::touch(const std::string &key)
+{
+    if (!isOpen())
+        return false;
+    std::string path = entryPath(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec) || ec)
+        return false;
+    touchSidecar(path);
+    return true;
+}
+
+bool
 ResultStore::publish(const std::string &key, const std::string &payload,
                      std::string *error)
 {

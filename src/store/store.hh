@@ -115,6 +115,17 @@ class ResultStore
     bool publish(const std::string &key, const std::string &payload,
                  std::string *error);
 
+    /**
+     * Refresh @p key's last-use sidecar without reading the payload,
+     * as if the entry had just been looked up. For callers who decide
+     * from other state that an entry is still needed (e.g. a warm
+     * sampled rerun whose result was served without touching its
+     * checkpoint blobs) — without this, gc's LRU order would evict
+     * exactly the entries the next cold run needs. Returns false if
+     * no entry exists under @p key. Thread-safe.
+     */
+    bool touch(const std::string &key);
+
     /** Snapshot of this handle's traffic counters. */
     StoreCounters counters() const;
 

@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "checkpoint/checkpoint.hh"
 #include "runner/artifacts.hh"
 #include "runner/campaign.hh"
 #include "runner/journal.hh"
@@ -437,6 +438,115 @@ TEST(Store, GcNeverBreaksAReaderHoldingAnOpenEntry)
         bytes.append(buf, std::size_t(n));
     ::close(fd);
     EXPECT_NE(bytes.find("survives unlink"), std::string::npos);
+    fs::remove_all(root);
+}
+
+TEST(Store, TouchRefreshesLastUseWithoutReading)
+{
+    std::string root = uniqueDir("touch");
+    std::string error;
+    ResultStore s;
+    ASSERT_TRUE(s.open(root, &error)) << error;
+    ASSERT_TRUE(s.publish("kept", "payload-kept", &error));
+    ASSERT_TRUE(s.publish("dropped", "payload-dropped", &error));
+
+    // Both entries look cold...
+    auto old = fs::file_time_type::clock::now() -
+               std::chrono::hours(2);
+    fs::last_write_time(entryFile(root, "kept") + ".atime", old);
+    fs::last_write_time(entryFile(root, "dropped") + ".atime", old);
+
+    // ...then one is touched (no lookup, no bytes read).
+    StoreCounters before = s.counters();
+    EXPECT_TRUE(s.touch("kept"));
+    EXPECT_FALSE(s.touch("no-such-key"));
+    EXPECT_EQ(s.counters().bytesRead, before.bytesRead);
+
+    GcOptions g;
+    g.maxAgeSeconds = 3600.0;
+    GcOutcome o = s.gc(g, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(o.removed, 1u);
+
+    std::string payload;
+    EXPECT_TRUE(s.lookup("kept", &payload));
+    EXPECT_EQ(payload, "payload-kept");
+    EXPECT_FALSE(s.lookup("dropped", &payload));
+    fs::remove_all(root);
+}
+
+// The regression the checkpoint subsystem exposed: a warm sampled
+// rerun is served entirely from the result entry, so the checkpoint
+// blobs it depends on see no reads — without the runner's explicit
+// touch of the planned entries, an LRU gc would evict exactly the
+// blobs the next cold window run needs most.
+TEST(StoreGc, WarmSampledRerunKeepsItsCheckpointsAlive)
+{
+    namespace ck = simalpha::checkpoint;
+    std::string root = uniqueDir("gc-ckpt");
+    std::string error;
+
+    checkpoint::SampleSpec sample;
+    sample.windows = 3;
+    sample.len = 300;
+    sample.warmup = 100;
+    CampaignSpec spec;
+    spec.name = "stat";
+    spec.cells.push_back({"sim-outorder", validate::Optimization::None,
+                          "C-Ca", 4000, 0, sample});
+
+    RunnerOptions opts;
+    opts.storePath = root;
+    ExperimentRunner cold(opts);
+    CampaignResult first = cold.run(spec);
+    ASSERT_EQ(first.errorCount(), 0u);
+
+    // The entries a rerun of this cell depends on.
+    Program program;
+    ASSERT_TRUE(buildWorkload("C-Ca", &program, &error)) << error;
+    ck::FastForwardInfo info = ck::fastForward(program, 4000);
+    std::vector<std::string> needed = {ck::metaKey(program, 4000)};
+    for (const ck::WindowPlan &w :
+         ck::planWindows(info.totalInsts, sample))
+        needed.push_back(ck::checkpointKey(program, w.checkpointAt));
+    {
+        ResultStore probe;
+        ASSERT_TRUE(probe.open(root, &error)) << error;
+        std::string payload;
+        for (const std::string &key : needed)
+            ASSERT_TRUE(probe.lookup(key, &payload)) << key;
+        // A bystander entry nothing will touch.
+        ASSERT_TRUE(probe.publish("decoy", "evict me", &error));
+    }
+
+    // Everything in the store goes cold.
+    auto old =
+        fs::file_time_type::clock::now() - std::chrono::hours(2);
+    for (const auto &e : fs::recursive_directory_iterator(root))
+        if (e.is_regular_file())
+            fs::last_write_time(e.path(), old);
+
+    // Warm rerun: the result is served from the store without reading
+    // a single checkpoint blob — the runner must refresh them anyway.
+    ExperimentRunner warm(opts);
+    CampaignResult second = warm.run(spec);
+    ASSERT_EQ(second.errorCount(), 0u);
+    EXPECT_GT(warm.storeCounters().hits, 0u);
+
+    ResultStore s;
+    ASSERT_TRUE(s.open(root, &error)) << error;
+    GcOptions g;
+    g.maxAgeSeconds = 3600.0;
+    GcOutcome o = s.gc(g, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_GE(o.removed, 1u);   // at least the decoy went
+
+    std::string payload;
+    EXPECT_FALSE(s.lookup("decoy", &payload));
+    for (const std::string &key : needed)
+        EXPECT_TRUE(s.lookup(key, &payload))
+            << "gc evicted a checkpoint entry the sampled cell "
+               "still needs: " << key;
     fs::remove_all(root);
 }
 

@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "runner/artifacts.hh"
@@ -159,6 +160,14 @@ usage()
         "                      JSON; '-' = JSON to stdout)\n"
         "  --no-cache          disable the (manifest, workload) result\n"
         "                      cache\n"
+        "  --sample <spec>     sampled execution: windows=N,len=K\n"
+        "                      [,warmup=W]. Each cell fast-forwards\n"
+        "                      functionally, restores N checkpoints,\n"
+        "                      and measures K detailed insts per\n"
+        "                      window (after W warm-up insts); results\n"
+        "                      carry mean IPC +/- a 95%% sampling-error\n"
+        "                      bar. Checkpoints live in --store when\n"
+        "                      one is given\n"
         "  --store <dir>       persistent result store: cells whose\n"
         "                      identity is already stored are served\n"
         "                      from disk, new results are published —\n"
@@ -210,6 +219,7 @@ struct CampaignCli
     bool useCache = true;
     std::string storePath;
     std::uint64_t maxInsts = 0;
+    checkpoint::SampleSpec sample;
     std::string outPath;
     int retries = 0;
     bool resume = false;
@@ -286,6 +296,7 @@ runCampaignProcess(const CampaignCli &cli,
     runner::SupervisorOptions opts;
     opts.campaign = cli.campaign;
     opts.maxInsts = cli.maxInsts;
+    opts.sample = cli.sample;
     opts.shards = cli.shards;
     opts.workerBinary = cli.workerBinary;
     opts.cellTimeout = cli.cellTimeout;
@@ -371,6 +382,8 @@ runCampaign(const CampaignCli &cli)
               cli.campaign.c_str());
     if (cli.maxInsts)
         spec = spec.withMaxInsts(cli.maxInsts);
+    if (cli.sample.enabled())
+        spec = spec.withSampling(cli.sample);
 
     runner::RunnerOptions opts;
     opts.jobs = cli.jobs;
@@ -594,6 +607,11 @@ realMain(int argc, char **argv)
             cli.journal = false;
         } else if (arg == "--max-insts") {
             cli.maxInsts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--sample") {
+            std::string error;
+            if (!checkpoint::parseSampleSpec(next(), &cli.sample,
+                                             &error))
+                fatal("--sample: %s", error.c_str());
         } else if (arg == "--isolate") {
             cli.isolate = next();
         } else if (arg.rfind("--isolate=", 0) == 0) {
@@ -644,6 +662,7 @@ realMain(int argc, char **argv)
             fatal("--shard needs --journal <path>");
         wopts.journalPath = shard_journal;
         wopts.maxInsts = cli.maxInsts;
+        wopts.sample = cli.sample;
         wopts.storePath = cli.storePath;
         wopts.maxRetries = cli.retries;
         wopts.faults = cli.faults;
