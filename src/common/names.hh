@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Static enum⇄name tables for spec grammars.
+ *
+ * Every textual spec that names enum values (fault kinds, injection
+ * targets, outcome labels) defines exactly one table and derives the
+ * formatter, the parser, and the "valid values are ..." list in its
+ * error messages from it — so the three can never drift apart.
+ */
+
+#ifndef SIMALPHA_COMMON_NAMES_HH
+#define SIMALPHA_COMMON_NAMES_HH
+
+#include <cstddef>
+#include <string>
+
+namespace simalpha {
+
+/** One row of a static enum⇄name table. */
+template <typename E>
+struct EnumName
+{
+    E value;
+    const char *name;
+};
+
+/** The canonical name of @p value, or @p fallback if untabled. */
+template <typename E, std::size_t N>
+const char *
+enumName(const EnumName<E> (&table)[N], E value, const char *fallback)
+{
+    for (const EnumName<E> &row : table)
+        if (row.value == value)
+            return row.name;
+    return fallback;
+}
+
+/** Reverse lookup; leaves *out untouched on unknown names. */
+template <typename E, std::size_t N>
+bool
+enumByName(const EnumName<E> (&table)[N], const std::string &name,
+           E *out)
+{
+    for (const EnumName<E> &row : table)
+        if (name == row.name) {
+            *out = row.value;
+            return true;
+        }
+    return false;
+}
+
+/** "a, b, c" — for error messages listing the valid names. */
+template <typename E, std::size_t N>
+std::string
+enumNameList(const EnumName<E> (&table)[N])
+{
+    std::string out;
+    for (const EnumName<E> &row : table) {
+        if (!out.empty())
+            out += ", ";
+        out += row.name;
+    }
+    return out;
+}
+
+} // namespace simalpha
+
+#endif // SIMALPHA_COMMON_NAMES_HH

@@ -166,16 +166,26 @@ AlphaCore::resetMachine(const Program &program)
     _slowpath = slow && std::strcmp(slow, "1") == 0;
     _ffCheckUntil = 0;
     _activity = false;
+
+    // An armed injection re-arms for every run; the strike itself is
+    // per-run state.
+    _injectPending = _inject.enabled();
+    _injectNote.clear();
 }
 
 void
 AlphaCore::runLoop(const Program &program)
 {
+    const Cycle budget = _inject.enabled() ? _injectBudget : 0;
     while (!_finished && (_maxInsts == 0 || _committed < _maxInsts)) {
         cycleTick();
         if (_p.watchdogCycles &&
             _cycle - _lastCommitCycle > _p.watchdogCycles)
             throw DeadlockError(deadlockSnapshot(program));
+        if (budget && _cycle > budget)
+            throw TimeoutError(
+                "injected run exceeded its cycle budget (" +
+                std::to_string(budget) + " cycles)");
     }
 }
 
@@ -315,6 +325,12 @@ AlphaCore::cycleTick()
             return;
         }
     }
+
+    // The armed flip strikes before the stages of its cycle run, on
+    // the slow and fast paths alike (fastForwardTarget never jumps
+    // across a pending strike).
+    if (_injectPending && _cycle >= _inject.cycle)
+        applyInjection();
 
     doVerify();
     doRetire();
@@ -460,6 +476,11 @@ AlphaCore::fastForwardTarget() const
         // deadlocked machine still throws with the baseline cycle
         // number and snapshot.
         j = std::min(j, _lastCommitCycle + _p.watchdogCycles + 1);
+    }
+    if (_injectPending) {
+        // Never jump across a pending strike: the flip must land at
+        // its planned cycle, before that cycle's stages run.
+        j = std::min(j, _inject.cycle);
     }
     if (j == kNoCycle || j <= _cycle + 1)
         return 0;

@@ -23,6 +23,7 @@
 
 #include "common/error.hh"
 #include "core/fu_pool.hh"
+#include "inject/inject.hh"
 #include "core/issue_queue.hh"
 #include "core/oracle.hh"
 #include "core/params.hh"
@@ -50,6 +51,11 @@ class AlphaCore : public Machine
 
     stats::Group &statGroup() override { return _stats; }
     std::string name() const override { return _p.name; }
+
+    bool armInjection(const inject::StateInjection *injection,
+                      Cycle cycle_budget) override;
+    std::string injectionNote() const override { return _injectNote; }
+    bool architecturalState(Checkpoint *out) const override;
 
     const AlphaCoreParams &params() const { return _p; }
 
@@ -85,6 +91,8 @@ class AlphaCore : public Machine
      *  or _maxInsts commits, with the forward-progress watchdog. */
     void runLoop(const Program &program);
     void cycleTick();
+    /** Apply the armed bit flip at its strike cycle (core_inject.cc). */
+    void applyInjection();
     /** Machine-state snapshot for the forward-progress watchdog. */
     DeadlockInfo deadlockSnapshot(const Program &program) const;
 
@@ -259,6 +267,15 @@ class AlphaCore : public Machine
         Cycle done;
     };
     std::vector<OutstandingMiss> _outstandingMisses;
+
+    // ---- State injection (inert unless armed) ------------------------
+    inject::StateInjection _inject;  ///< armed spec (None = disarmed)
+    Cycle _injectBudget = 0;         ///< cycle cap on injected runs
+    /** True while armed and the flip has not struck yet: the single
+     *  flag the per-cycle poll reads, so disarmed runs pay one
+     *  predicted-not-taken branch per tick. */
+    bool _injectPending = false;
+    std::string _injectNote;         ///< what the last strike hit
 };
 
 } // namespace simalpha

@@ -48,6 +48,8 @@ class OracleStream
     std::size_t bufferedRecords() const { return _buffer.size(); }
 
     const Emulator &emulator() const { return _emu; }
+    /** Mutable access for state injection (register/memory flips). */
+    Emulator &emulator() { return _emu; }
 
   private:
     Emulator _emu;

@@ -82,6 +82,25 @@ RenameUnit::release(PhysReg old_phys)
         _freeInt.push_back(old_phys);
 }
 
+void
+RenameUnit::injectMapFlip(std::uint64_t index, std::uint32_t bit,
+                          RegIndex *arch, PhysReg *newPhys)
+{
+    std::size_t a = std::size_t(index % _map.size());
+    PhysReg old = _map[a];
+    int base = isFpPhys(old) ? _totalInt : 0;
+    int count = isFpPhys(old) ? _totalFp : _totalInt;
+    // XOR within 7 bits (the widest legal class is < 128 regs), then
+    // fold back into the class so the corrupted mapping still names a
+    // real physical register of the same kind.
+    int rel = (int(old) - base) ^ (1 << (bit % 7));
+    _map[a] = PhysReg(base + rel % count);
+    if (arch)
+        *arch = RegIndex(a);
+    if (newPhys)
+        *newPhys = _map[a];
+}
+
 Scoreboard::Scoreboard(int phys_regs)
     : _state(std::size_t(phys_regs))
 {

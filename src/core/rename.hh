@@ -46,6 +46,17 @@ class RenameUnit
     int totalInt() const { return _totalInt; }
     int totalFp() const { return _totalFp; }
 
+    /**
+     * Soft-error injection: corrupt one rename-map entry. The flipped
+     * mapping is folded back into the entry's register class, so every
+     * later lookup stays inside the physical register file (a wild
+     * mapping models misrouted operand reads, not out-of-bounds
+     * state). Returns the architectural index struck and the new
+     * mapping via the out-parameters.
+     */
+    void injectMapFlip(std::uint64_t index, std::uint32_t bit,
+                       RegIndex *arch, PhysReg *newPhys);
+
   private:
     bool isFpPhys(PhysReg p) const { return p >= _totalInt; }
 

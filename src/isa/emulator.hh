@@ -107,6 +107,19 @@ class Emulator
     void writeIntReg(int i, RegVal v);
     void writeFpReg(int i, double v);
 
+    /**
+     * XOR one bit of an architectural register (soft-error
+     * injection). Callers should treat the hardwired-zero registers
+     * as masked-by-construction: reads bypass the backing array, but
+     * a flipped backing word would still show up in checkpoint().
+     */
+    void
+    flipRegisterBit(std::uint64_t reg, std::uint32_t bit)
+    {
+        _regs[std::size_t(reg % _regs.size())] ^=
+            RegVal(1) << (bit % 64);
+    }
+
     SparseMemory &memory() { return _mem; }
     const SparseMemory &memory() const { return _mem; }
 

@@ -21,6 +21,10 @@ namespace simalpha {
 
 struct Checkpoint;      // full architectural state (isa/emulator.hh)
 
+namespace inject {
+struct StateInjection;  // one planned bit flip (inject/inject.hh)
+}
+
 /** Outcome of running one program to completion on a machine. */
 struct RunResult
 {
@@ -86,6 +90,46 @@ class Machine
         (void)measured_counters;
         throw ConfigError("machine '" + name() +
                           "' does not support checkpoint windows");
+    }
+
+    /**
+     * Arm a single-bit state injection for subsequent run() calls.
+     * The flip strikes at the planned cycle; @p cycle_budget, when
+     * nonzero, bounds the injected run (exceeding it throws
+     * TimeoutError, so a flip that merely slows the machine down is
+     * classified instead of running forever). Passing nullptr
+     * disarms. The spec stays armed across run() calls until
+     * disarmed — callers lending a pooled machine must disarm it
+     * before returning it.
+     *
+     * The base class only accepts disarming: stand-in machines have
+     * no state to inject into.
+     */
+    virtual bool
+    armInjection(const inject::StateInjection *injection,
+                 Cycle cycle_budget)
+    {
+        (void)cycle_budget;
+        return injection == nullptr;
+    }
+
+    /**
+     * One line describing what the last run's applied injection
+     * actually hit after geometry folding ("rob slot 12 doneCycle bit
+     * 3", ...); empty if nothing was applied (disarmed, or the run
+     * ended before the strike cycle).
+     */
+    virtual std::string injectionNote() const { return {}; }
+
+    /**
+     * Final architectural state of the last completed run, for outcome
+     * classification. Returns false on machines that cannot expose it
+     * (stand-ins) or before any run.
+     */
+    virtual bool architecturalState(Checkpoint *out) const
+    {
+        (void)out;
+        return false;
     }
 
     /** Event counters accumulated during the last run. */

@@ -134,6 +134,22 @@ class Cache : public MemLevel
      *  bound counter references stay valid across the reset. */
     void reset();
 
+    /** Total lines across all sets/ways (injection-index folding). */
+    std::size_t lineCount() const { return _lines.size(); }
+
+    /**
+     * Soft-error injection: XOR one bit of one tag-array entry. Set
+     * lookups mask the tag, so an arbitrarily corrupted tag reads as
+     * a miss (or a false hit within its set) — timing-visible state
+     * only, never out-of-bounds.
+     */
+    void
+    injectTagFlip(std::uint64_t index, std::uint32_t bit)
+    {
+        _lines[std::size_t(index % _lines.size())].tag ^=
+            Addr(1) << (bit % 64);
+    }
+
     std::uint64_t hits() const { return _hits.value(); }
     std::uint64_t misses() const { return _misses.value(); }
     double

@@ -123,4 +123,43 @@ MemorySystem::dcacheProbe(Addr vaddr)
     return _l1d->probe(_dtlb->translateProbe(vaddr));
 }
 
+std::string
+MemorySystem::injectCacheTagFlip(std::uint64_t index,
+                                 std::uint32_t bit)
+{
+    Cache *caches[] = {_l1i.get(), _l1d.get(), _l2.get()};
+    std::size_t total = 0;
+    for (Cache *c : caches)
+        total += c->lineCount();
+    std::size_t i = std::size_t(index % total);
+    for (Cache *c : caches) {
+        if (i < c->lineCount()) {
+            c->injectTagFlip(i, bit);
+            return c->params().name + " line " + std::to_string(i) +
+                   " tag bit " + std::to_string(bit % 64);
+        }
+        i -= c->lineCount();
+    }
+    return "";
+}
+
+std::string
+MemorySystem::injectTlbTagFlip(std::uint64_t index, std::uint32_t bit)
+{
+    Tlb *tlbs[] = {_itlb.get(), _dtlb.get()};
+    std::size_t total = 0;
+    for (Tlb *t : tlbs)
+        total += t->entryCount();
+    std::size_t i = std::size_t(index % total);
+    for (Tlb *t : tlbs) {
+        if (i < t->entryCount()) {
+            t->injectTagFlip(i, bit);
+            return t->params().name + " entry " + std::to_string(i) +
+                   " vpn bit " + std::to_string(bit % 64);
+        }
+        i -= t->entryCount();
+    }
+    return "";
+}
+
 } // namespace simalpha

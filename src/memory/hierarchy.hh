@@ -69,6 +69,19 @@ class MemorySystem
 
     const MemorySystemParams &params() const { return _p; }
 
+    /**
+     * Soft-error injection: flip one tag bit somewhere in the three
+     * cache tag arrays, the index folded over their combined line
+     * count (so bigger arrays absorb proportionally more strikes).
+     * @return one line naming the struck cache and line
+     */
+    std::string injectCacheTagFlip(std::uint64_t index,
+                                   std::uint32_t bit);
+
+    /** Same folding over the two TLBs' vpn tags. */
+    std::string injectTlbTagFlip(std::uint64_t index,
+                                 std::uint32_t bit);
+
     /** Restore every level to freshly-constructed state (campaign
      *  core reuse); geometry is fixed by the construction params. */
     void reset();

@@ -61,7 +61,24 @@ class Tlb
     Addr translateProbe(Addr vaddr) const;
 
     stats::Group &statGroup() { return _stats; }
+    const TlbParams &params() const { return _p; }
     std::uint64_t misses() const { return _misses.value(); }
+
+    /** Total entries (injection-index folding). */
+    std::size_t entryCount() const { return _entries.size(); }
+
+    /**
+     * Soft-error injection: XOR one bit of one entry's virtual page
+     * number. Translation compares the stored vpn and recomputes the
+     * physical page from the *requested* address, so a corrupted tag
+     * perturbs hit/miss timing only — it cannot misdirect a load.
+     */
+    void
+    injectTagFlip(std::uint64_t index, std::uint32_t bit)
+    {
+        _entries[std::size_t(index % _entries.size())].vpn ^=
+            Addr(1) << (bit % 64);
+    }
 
     /** Restore freshly-constructed state (campaign core reuse). */
     void

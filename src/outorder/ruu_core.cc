@@ -86,12 +86,27 @@ RuuCore::resetMachine(const Program &program)
     _slowpath = slow && std::strcmp(slow, "1") == 0;
     _ffCheckUntil = 0;
     _activity = false;
+
+    // An armed injection re-arms for every run; the strike itself is
+    // per-run state.
+    _injectPending = _inject.enabled();
+    _injectNote.clear();
 }
 
 void
 RuuCore::runLoop(const Program &program)
 {
+    const Cycle budget = _inject.enabled() ? _injectBudget : 0;
     while (!_finished && (_maxInsts == 0 || _committed < _maxInsts)) {
+        // The armed flip strikes before the stages of its cycle, on
+        // the slow and fast paths alike (fastForwardTarget never
+        // jumps across a pending strike).
+        if (_injectPending && _cycle >= _inject.cycle)
+            applyInjection();
+        if (budget && _cycle > budget)
+            throw TimeoutError(
+                "injected run exceeded its cycle budget (" +
+                std::to_string(budget) + " cycles)");
         if (_slowpath) {
             // Dual-run mode: predict the idle window the fast path
             // would skip, execute every cycle anyway, and assert each
@@ -452,6 +467,11 @@ RuuCore::fastForwardTarget() const
     if (_p.watchdogCycles) {
         ev = std::min(ev,
                       _lastCommitCycle + _p.watchdogCycles + 1);
+    }
+    if (_injectPending) {
+        // Never jump across a pending strike: the flip must land at
+        // its planned cycle, before that cycle's stages run.
+        ev = std::min(ev, _inject.cycle);
     }
     if (ev == kNoCycle || ev <= _cycle + 1)
         return 0;

@@ -21,6 +21,7 @@
 
 #include "common/error.hh"
 #include "core/oracle.hh"
+#include "inject/inject.hh"
 #include "isa/machine.hh"
 #include "memory/hierarchy.hh"
 #include "predictors/branch.hh"
@@ -88,6 +89,11 @@ class RuuCore : public Machine
     stats::Group &statGroup() override { return _stats; }
     std::string name() const override { return _p.name; }
 
+    bool armInjection(const inject::StateInjection *injection,
+                      Cycle cycle_budget) override;
+    std::string injectionNote() const override { return _injectNote; }
+    bool architecturalState(Checkpoint *out) const override;
+
   private:
     struct RuuInst
     {
@@ -126,6 +132,8 @@ class RuuCore : public Machine
     /** The run loop shared by run() and runWindow(): tick until halt
      *  or _maxInsts commits, with the forward-progress watchdog. */
     void runLoop(const Program &program);
+    /** Apply the armed bit flip at its strike cycle (ruu_inject.cc). */
+    void applyInjection();
     /** Machine-state snapshot for the forward-progress watchdog. */
     DeadlockInfo deadlockSnapshot(const Program &program) const;
     void doCommit();
@@ -227,6 +235,14 @@ class RuuCore : public Machine
     bool _slowpath = false;
     Cycle _ffCheckUntil = 0;    ///< slowpath: predicted-idle window end
     bool _activity = false;     ///< slowpath: a stage acted this cycle
+
+    // ---- State injection (inert unless armed) ------------------------
+    inject::StateInjection _inject;  ///< armed spec (None = disarmed)
+    Cycle _injectBudget = 0;         ///< cycle cap on injected runs
+    /** True while armed and the flip has not struck yet (the single
+     *  per-cycle poll flag; disarmed runs pay one predicted branch). */
+    bool _injectPending = false;
+    std::string _injectNote;         ///< what the last strike hit
 };
 
 } // namespace simalpha

@@ -42,6 +42,38 @@ TournamentPredictor::reset()
     _lookups = 0;
 }
 
+void
+TournamentPredictor::injectBitFlip(std::uint64_t index,
+                                   std::uint32_t bit)
+{
+    // Fold over the concatenated arrays + the global history register;
+    // XOR within each cell's width so counters stay in legal range.
+    std::size_t n = _localHistory.size() + _localCounters.size() +
+                    _globalCounters.size() + _choiceCounters.size() + 1;
+    std::size_t i = std::size_t(index % n);
+    if (i < _localHistory.size()) {
+        _localHistory[i] ^=
+            std::uint16_t(1u << (bit % kLocalHistoryBits));
+        return;
+    }
+    i -= _localHistory.size();
+    if (i < _localCounters.size()) {
+        _localCounters[i] ^= std::uint8_t(1u << (bit % 3));
+        return;
+    }
+    i -= _localCounters.size();
+    if (i < _globalCounters.size()) {
+        _globalCounters[i] ^= std::uint8_t(1u << (bit % 2));
+        return;
+    }
+    i -= _globalCounters.size();
+    if (i < _choiceCounters.size()) {
+        _choiceCounters[i] ^= std::uint8_t(1u << (bit % 2));
+        return;
+    }
+    _globalHistory ^= std::uint16_t(1u << (bit % kGlobalHistoryBits));
+}
+
 std::uint32_t
 TournamentPredictor::localIndexFor(Addr pc) const
 {

@@ -63,6 +63,15 @@ class TournamentPredictor
     /** Restore freshly-constructed state (campaign core reuse). */
     void reset();
 
+    /**
+     * Soft-error injection: XOR one bit of one predictor cell. The
+     * index folds over the concatenation of the local-history, local-
+     * counter, global-counter, and choice-counter arrays plus the
+     * global history register; the bit folds into each cell's width,
+     * so counters and histories stay inside their legal ranges.
+     */
+    void injectBitFlip(std::uint64_t index, std::uint32_t bit);
+
   private:
     static constexpr int kLocalEntries = 1024;
     static constexpr int kLocalHistoryBits = 10;

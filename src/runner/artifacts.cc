@@ -123,6 +123,15 @@ toJson(const CampaignResult &result)
             os << "      \"sample_ipc_ci\": " << fixed6(r.sampleIpcCi)
                << ",\n";
         }
+        // Injection fields likewise: only injected cells carry them.
+        if (r.cell.inject.enabled()) {
+            os << "      \"inject\": \""
+               << inject::formatInjectSpec(r.cell.inject) << "\",\n";
+            os << "      \"inject_outcome\": \""
+               << jsonEscape(r.injectOutcome) << "\",\n";
+            os << "      \"inject_detail\": \""
+               << jsonEscape(r.injectDetail) << "\",\n";
+        }
         os << "      \"manifest_hash\": \"" << r.manifestHash
            << "\",\n";
         os << "      \"counters\": {";
@@ -144,22 +153,35 @@ toJson(const CampaignResult &result)
 std::string
 toCsv(const CampaignResult &result)
 {
+    // Injection columns appear only when some cell injected, so the
+    // CSVs of every pre-injection campaign keep their exact bytes
+    // (the golden-table artifacts are compared byte-for-byte).
+    bool injected = false;
+    for (const CellResult &r : result.cells)
+        injected = injected || r.cell.inject.enabled();
+
     std::ostringstream os;
     os << "machine,optimization,workload,max_insts,seed,ok,error,"
           "error_class,cycles,insts,finished,ipc,cpi,manifest_hash,"
           "sample,sample_windows,sample_total_insts,sample_ipc_mean,"
-          "sample_ipc_stddev,sample_ipc_ci\n";
+          "sample_ipc_stddev,sample_ipc_ci";
+    if (injected)
+        os << ",inject,inject_outcome,inject_detail";
+    os << "\n";
     for (const CellResult &r : result.cells) {
-        // Error text may contain commas; quote it.
-        std::string err = r.error;
-        std::string quoted = "\"";
-        for (char c : err)
-            quoted += (c == '"') ? "\"\"" : std::string(1, c);
-        quoted += "\"";
+        // Free-form text may contain commas; quote it.
+        auto quote = [](const std::string &s) {
+            std::string quoted = "\"";
+            for (char c : s)
+                quoted += (c == '"') ? "\"\"" : std::string(1, c);
+            quoted += "\"";
+            return quoted;
+        };
         os << r.cell.machine << ','
            << validate::optimizationName(r.cell.opt) << ','
            << r.cell.workload << ',' << r.cell.maxInsts << ','
-           << r.seed << ',' << (r.ok ? 1 : 0) << ',' << quoted << ','
+           << r.seed << ',' << (r.ok ? 1 : 0) << ','
+           << quote(r.error) << ','
            << r.errorClass << ','
            << r.cycles << ',' << r.instsCommitted << ','
            << (r.finished ? 1 : 0) << ',' << fixed6(r.ipc()) << ','
@@ -170,7 +192,15 @@ toCsv(const CampaignResult &result)
            << ',' << r.sampleWindows << ',' << r.sampleTotalInsts
            << ',' << fixed6(r.sampleIpcMean) << ','
            << fixed6(r.sampleIpcStddev) << ','
-           << fixed6(r.sampleIpcCi) << "\n";
+           << fixed6(r.sampleIpcCi);
+        if (injected)
+            os << ','
+               << (r.cell.inject.enabled()
+                       ? inject::formatInjectSpec(r.cell.inject)
+                       : std::string())
+               << ',' << r.injectOutcome << ','
+               << quote(r.injectDetail);
+        os << "\n";
     }
     return os.str();
 }
@@ -273,6 +303,10 @@ diffCampaigns(const CampaignResult &a, const CampaignResult &b)
             fixed6(ra.sampleIpcCi) != fixed6(rb.sampleIpcCi))
             diffs.push_back(describe(ra, "sample",
                                      "(differ)", "(differ)"));
+        if (ra.injectOutcome != rb.injectOutcome)
+            diffs.push_back(describe(ra, "inject_outcome",
+                                     ra.injectOutcome,
+                                     rb.injectOutcome));
     }
     for (const CellResult &rb : b.cells)
         if (!seen.count(identityKey(rb)))
@@ -302,7 +336,11 @@ aggregateByMachine(const CampaignResult &result)
         agg.cellsOk++;
         agg.totalCycles += r.cycles;
         agg.totalInsts += r.instsCommitted;
-        runs[m].push_back(r.toRunResult());
+        // Only cells with a measurable IPC feed the harmonic mean:
+        // classified injection outcomes (crash/deadlock/timeout) are
+        // ok results with zeroed numerics.
+        if (r.cycles && r.instsCommitted)
+            runs[m].push_back(r.toRunResult());
     }
 
     for (MachineAggregate &agg : out)

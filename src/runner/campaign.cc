@@ -57,6 +57,11 @@ cellSeed(const Cell &cell)
     if (cell.sample.enabled()) {
         mix(checkpoint::formatSampleSpec(cell.sample));
     }
+    // Same rule for injection: every cell of a vulnerability campaign
+    // gets its own seed, plain cells keep their historical one.
+    if (cell.inject.enabled()) {
+        mix(inject::formatInjectSpec(cell.inject));
+    }
     return h ? h : 1;
 }
 
@@ -243,9 +248,129 @@ smokeCampaign()
     return spec;
 }
 
+std::string
+vulnCampaignName(const VulnSpec &spec)
+{
+    std::string name = "vuln:" + spec.machine + ':' + spec.workload +
+                       ':' + std::to_string(spec.maxInsts) + ':' +
+                       std::to_string(spec.cells) + ':' +
+                       std::to_string(spec.seed) + ':';
+    const std::vector<inject::Target> &targets =
+        spec.targets.empty() ? inject::allTargets() : spec.targets;
+    for (std::size_t i = 0; i < targets.size(); i++) {
+        if (i)
+            name += '+';
+        name += inject::targetName(targets[i]);
+    }
+    return name;
+}
+
+bool
+parseVulnCampaignName(const std::string &name, VulnSpec *out,
+                      std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = "vulnerability campaign '" + name + "' " + why +
+                     " (expected vuln:<machine>:<workload>:<max-insts>"
+                     ":<cells>:<seed>:<target>[+<target>...])";
+        return false;
+    };
+
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (;;) {
+        std::size_t colon = name.find(':', start);
+        if (colon == std::string::npos) {
+            parts.push_back(name.substr(start));
+            break;
+        }
+        parts.push_back(name.substr(start, colon - start));
+        start = colon + 1;
+    }
+    if (parts.size() != 7 || parts[0] != "vuln")
+        return fail("is malformed");
+    if (parts[1].empty() || parts[2].empty())
+        return fail("needs a machine and a workload");
+
+    auto number = [](const std::string &s, std::uint64_t *v) {
+        if (s.empty())
+            return false;
+        *v = 0;
+        for (char c : s) {
+            if (c < '0' || c > '9')
+                return false;
+            *v = *v * 10 + std::uint64_t(c - '0');
+        }
+        return true;
+    };
+
+    VulnSpec spec;
+    spec.machine = parts[1];
+    spec.workload = parts[2];
+    if (!number(parts[3], &spec.maxInsts) || spec.maxInsts == 0)
+        return fail("needs a positive max-insts cap");
+    if (!number(parts[4], &spec.cells) || spec.cells == 0)
+        return fail("needs a positive cell count");
+    if (!number(parts[5], &spec.seed))
+        return fail("has a malformed seed");
+
+    const std::string &tlist = parts[6];
+    std::size_t tstart = 0;
+    for (;;) {
+        std::size_t plus = tlist.find('+', tstart);
+        std::string tname =
+            plus == std::string::npos
+                ? tlist.substr(tstart)
+                : tlist.substr(tstart, plus - tstart);
+        inject::Target target;
+        if (!inject::targetByName(tname, &target))
+            return fail("names unknown target '" + tname +
+                        "' (targets: " + inject::targetNameList() +
+                        ")");
+        spec.targets.push_back(target);
+        if (plus == std::string::npos)
+            break;
+        tstart = plus + 1;
+    }
+
+    *out = spec;
+    return true;
+}
+
+CampaignSpec
+vulnCampaign(const VulnSpec &spec)
+{
+    CampaignSpec out;
+    VulnSpec full = spec;
+    if (full.targets.empty())
+        full.targets = inject::allTargets();
+    out.name = vulnCampaignName(full);
+    // Strike cycles draw from [1, maxInsts]: with IPC ≤ commit width
+    // every plausible strike lands inside the golden run's lifetime,
+    // and late strikes past halt are naturally masked.
+    std::vector<inject::StateInjection> plan = inject::makeInjectionPlan(
+        std::size_t(full.cells), full.seed, full.targets, full.maxInsts);
+    out.cells.reserve(plan.size());
+    for (const inject::StateInjection &injection : plan) {
+        Cell cell{full.machine, Optimization::None, full.workload,
+                  full.maxInsts, 0, {}, injection};
+        out.cells.push_back(std::move(cell));
+    }
+    return out;
+}
+
 bool
 campaignByName(const std::string &name, CampaignSpec *out)
 {
+    if (name.rfind("vuln:", 0) == 0) {
+        VulnSpec spec;
+        std::string error;
+        if (!parseVulnCampaignName(name, &spec, &error))
+            return false;
+        *out = vulnCampaign(spec);
+        return true;
+    }
     if (name == "table2")
         *out = table2Campaign();
     else if (name == "table3")

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "checkpoint/checkpoint.hh"
+#include "inject/inject.hh"
 #include "isa/isa.hh"
 #include "validate/machines.hh"
 
@@ -46,6 +47,14 @@ struct Cell
      * key, cache key, and seed — exactly as before.
      */
     checkpoint::SampleSpec sample;
+    /**
+     * Soft-error injection: when enabled, the cell runs with one
+     * planned bit flip armed and its result carries the outcome
+     * classification against the uninjected golden run. A disabled
+     * spec (the default) leaves the cell — and its journal key,
+     * cache key, and seed — exactly as before.
+     */
+    inject::StateInjection inject;
 };
 
 /** A named list of cells, executed together. */
@@ -104,8 +113,41 @@ CampaignSpec table5Campaign();
  *  tests and fault drills (`simalpha --campaign smoke`). */
 CampaignSpec smokeCampaign();
 
-/** Campaign by name ("table2".."table5", "smoke"); false on unknown
- *  names. */
+/**
+ * A vulnerability campaign: one (machine, workload, cap) identity
+ * fanned out over `cells` single-bit injections planned from `seed`
+ * across `targets`. The campaign name encodes every parameter, so
+ * process shards (which receive only the name) re-derive an identical
+ * plan — the same trick sampled campaigns use for their SampleSpec.
+ */
+struct VulnSpec
+{
+    std::string machine = "sim-outorder";
+    std::string workload;
+    /** Committed-instruction cap of the golden run (must be > 0, and
+     *  large enough that the workload finishes under it). */
+    std::uint64_t maxInsts = 0;
+    /** Number of injection cells. */
+    std::uint64_t cells = 0;
+    /** Plan seed (0 folds to 1 inside the generator). */
+    std::uint64_t seed = 0;
+    /** Structures to strike, round-robin (empty = all targets). */
+    std::vector<inject::Target> targets;
+};
+
+/** "vuln:<machine>:<workload>:<maxInsts>:<cells>:<seed>:<t1+t2+..>". */
+std::string vulnCampaignName(const VulnSpec &spec);
+
+/** Parse vulnCampaignName() output; false with *error filled. */
+bool parseVulnCampaignName(const std::string &name, VulnSpec *out,
+                           std::string *error);
+
+/** Build the campaign: `cells` injection cells (deterministic plan)
+ *  named by vulnCampaignName(spec). */
+CampaignSpec vulnCampaign(const VulnSpec &spec);
+
+/** Campaign by name ("table2".."table5", "smoke", or a "vuln:..."
+ *  spec); false on unknown names. */
 bool campaignByName(const std::string &name, CampaignSpec *out);
 
 } // namespace runner

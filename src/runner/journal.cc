@@ -33,6 +33,12 @@ journalKey(const Cell &cell)
         key += '\x1f';
         key += checkpoint::formatSampleSpec(cell.sample);
     }
+    // Injected cells likewise: the spec joins the identity, plain
+    // cells keep their historical key bytes.
+    if (cell.inject.enabled()) {
+        key += '\x1f';
+        key += inject::formatInjectSpec(cell.inject);
+    }
     return key;
 }
 
@@ -78,6 +84,16 @@ journalLine(const std::string &campaign, const CellResult &r)
            << ",\"sample_ipc_stddev\":\"" << fixed6(r.sampleIpcStddev)
            << "\""
            << ",\"sample_ipc_ci\":\"" << fixed6(r.sampleIpcCi) << "\"";
+    }
+    // Injection fields likewise appear only on injected cells, so
+    // plain campaigns keep writing their historical bytes.
+    if (r.cell.inject.enabled()) {
+        os << ",\"inject\":\""
+           << inject::formatInjectSpec(r.cell.inject) << "\""
+           << ",\"inject_outcome\":\"" << jsonEscape(r.injectOutcome)
+           << "\""
+           << ",\"inject_detail\":\"" << jsonEscape(r.injectDetail)
+           << "\"";
     }
     os << ",\"counters\":{";
     bool first = true;
@@ -361,6 +377,14 @@ parseJournalLine(const std::string &line, const std::string &campaign,
             std::strtod(strings["sample_ipc_stddev"].c_str(), nullptr);
         r.sampleIpcCi =
             std::strtod(strings["sample_ipc_ci"].c_str(), nullptr);
+    }
+    if (strings.count("inject")) {
+        std::string ierror;
+        if (!inject::parseInjectSpec(strings["inject"], &r.cell.inject,
+                                     &ierror))
+            return false;
+        r.injectOutcome = strings["inject_outcome"];
+        r.injectDetail = strings["inject_detail"];
     }
     r.counters = std::move(counters);
     r.fromJournal = true;

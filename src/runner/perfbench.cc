@@ -8,9 +8,11 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "isa/emulator.hh"
 #include "runner/artifacts.hh"
@@ -126,6 +128,53 @@ timeSampledPath(const CampaignSpec &t3, std::uint64_t max_insts,
     return true;
 }
 
+/**
+ * The injection-overhead row: the detailed sim-alpha cells again, on
+ * a core that has explicitly seen armInjection(nullptr) — the
+ * disarmed state every plain campaign runs in. The per-cycle hook is
+ * one predicted-not-taken branch, so this must match the detailed
+ * row within run-to-run noise. Machine construction and workload
+ * generation stay outside the timed region, like the runner's pool.
+ */
+bool
+timeInjectIdlePath(const CampaignSpec &t3, PerfPath *out,
+                   std::string *error)
+{
+    std::vector<Program> progs;
+    std::vector<std::uint64_t> caps;
+    for (const Cell &c : t3.cells) {
+        if (c.machine != "sim-alpha")
+            continue;
+        Program p;
+        if (!buildWorkload(c.workload, &p, error))
+            return false;
+        progs.push_back(std::move(p));
+        caps.push_back(c.maxInsts);
+    }
+    std::unique_ptr<Machine> machine = validate::tryMakeMachine(
+        "sim-alpha", validate::Optimization::None, error);
+    if (!machine)
+        return false;
+
+    std::uint64_t insts = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        for (std::size_t i = 0; i < progs.size(); i++) {
+            machine->armInjection(nullptr, 0);
+            RunResult r = machine->run(progs[i], caps[i]);
+            insts += r.instsCommitted;
+        }
+    } catch (const SimError &e) {
+        *error = std::string("inject-idle run failed: ") + e.what();
+        return false;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    out->insts = insts;
+    out->seconds = elapsedSeconds(t0, t1);
+    finishPath(out);
+    return true;
+}
+
 /** Time the raw functional Emulator over the same workload set. */
 bool
 timeEmulatorPath(const CampaignSpec &t3, std::uint64_t max_insts,
@@ -191,6 +240,8 @@ entryToJson(std::ostringstream &o, const char *key, const PerfEntry &e)
     pathToJson(o, "emulator", e.emulator);
     o << ",";
     pathToJson(o, "sampled", e.sampled);
+    o << ",";
+    pathToJson(o, "inject_idle", e.injectIdle);
     o << "}";
 }
 
@@ -426,6 +477,11 @@ entryFromJson(const Json &parent, const char *key, PerfEntry *e,
     if (j->obj.count("sampled") &&
         !pathFromJson(*j, "sampled", &e->sampled, error))
         return false;
+    // Optional for the same reason: files written before the
+    // injection-overhead row existed.
+    if (j->obj.count("inject_idle") &&
+        !pathFromJson(*j, "inject_idle", &e->injectIdle, error))
+        return false;
     e->valid = true;
     return true;
 }
@@ -470,6 +526,8 @@ measurePerf(std::uint64_t max_insts, PerfEntry *out, std::string *error)
     if (!timeEmulatorPath(t3, max_insts, &e.emulator, error))
         return false;
     if (!timeSampledPath(t3, max_insts, &e.sampled, error))
+        return false;
+    if (!timeInjectIdlePath(t3, &e.injectIdle, error))
         return false;
     e.valid = true;
     *out = e;
@@ -645,6 +703,11 @@ runBenchCommand(int argc, char **argv)
     printPath("abstract", e.abstracted);
     printPath("emulator", e.emulator);
     printPath("sampled", e.sampled);
+    printPath("inj-idle", e.injectIdle);
+    if (e.detailed.ips > 0.0 && e.injectIdle.ips > 0.0)
+        std::printf("inject-idle vs detailed: %.3fx (disarmed "
+                    "injection hooks; ~1.0 expected)\n",
+                    e.injectIdle.ips / e.detailed.ips);
     if (report.baseline.maxInsts != e.maxInsts)
         std::printf("note: baseline was recorded at max_insts=%llu — "
                     "speedup compares insts/s across caps\n",

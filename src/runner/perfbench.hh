@@ -52,6 +52,16 @@ struct PerfEntry
      * before sampling existed; parse treats it as optional.
      */
     PerfPath sampled;
+    /**
+     * The detailed path measured a second time with the soft-error
+     * injection hooks explicitly disarmed — the injection-overhead
+     * row. The hooks cost one predicted-not-taken branch per cycle
+     * when no plan is armed, so this should match `detailed` within
+     * run-to-run noise; a drift here means the disarmed hook grew a
+     * real cost. Absent in trajectory files written before injection
+     * existed; parse treats it as optional.
+     */
+    PerfPath injectIdle;
     bool valid = false;
 };
 

@@ -122,6 +122,12 @@ ExperimentRunner::cacheKey(const Cell &cell) const
         key += "|sample=";
         key += checkpoint::formatSampleSpec(cell.sample);
     }
+    // Injected cells likewise get disjoint keys; plain keys keep
+    // their historical bytes.
+    if (cell.inject.enabled()) {
+        key += "|inject=";
+        key += inject::formatInjectSpec(cell.inject);
+    }
     return key;
 }
 
@@ -294,6 +300,144 @@ ExperimentRunner::runSampledCell(const Cell &cell, Machine *machine,
     result->sampleIpcCi = stats.ciHalf;
 }
 
+inject::GoldenRef
+ExperimentRunner::goldenFor(const Cell &cell, Machine *machine,
+                            const Program &program,
+                            const std::string &manifest_hash)
+{
+    std::string key =
+        inject::goldenKey(manifest_hash, cell.workload, cell.maxInsts);
+    {
+        std::lock_guard<std::mutex> lock(_goldenMutex);
+        auto it = _golden.find(key);
+        if (it != _golden.end())
+            return it->second;
+    }
+
+    inject::GoldenRef golden;
+    bool have = false;
+    if (_store.isOpen()) {
+        std::string payload;
+        have = _store.lookup(key, &payload) &&
+               inject::parseGolden(payload, &golden);
+    }
+    if (!have) {
+        // A concurrent worker may compute the same golden; both runs
+        // produce identical bytes, so the race is benign.
+        machine->armInjection(nullptr, 0);
+        RunResult r = machine->run(program, cell.maxInsts);
+        Checkpoint state;
+        if (!machine->architecturalState(&state))
+            throw ConfigError(
+                "machine '" + cell.machine +
+                "' does not expose architectural state for "
+                "vulnerability classification");
+        golden.digest = inject::archDigest(state);
+        golden.cycles = r.cycles;
+        golden.insts = r.instsCommitted;
+        golden.finished = r.finished;
+        if (_store.isOpen()) {
+            std::string serror;
+            if (!_store.publish(key, inject::serializeGolden(golden),
+                                &serror))
+                warn("%s (golden reference not persisted)",
+                     serror.c_str());
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(_goldenMutex);
+    _golden.emplace(key, golden);
+    return golden;
+}
+
+void
+ExperimentRunner::runInjectedCell(const Cell &cell, Machine *machine,
+                                  const Program &program,
+                                  CellResult *result)
+{
+    // The armed spec persists on the pooled machine across runs:
+    // disarm on every exit path so later cells see a clean core.
+    struct Disarm
+    {
+        Machine *machine;
+        ~Disarm() { machine->armInjection(nullptr, 0); }
+    } disarm{machine};
+
+    inject::GoldenRef golden =
+        goldenFor(cell, machine, program, result->manifestHash);
+    if (!golden.finished)
+        throw ConfigError(
+            "workload '" + cell.workload + "' does not finish within " +
+            std::to_string(cell.maxInsts) +
+            " instructions on '" + cell.machine +
+            "'; vulnerability classification needs the uninjected "
+            "reference run to halt");
+
+    // Budgets derived from the golden run, so a wedged injected run
+    // is detected deterministically: an instruction cap the commit
+    // stage enforces, and a cycle budget for runs that stop
+    // committing in a way the forward-progress watchdog cannot see.
+    std::uint64_t inst_cap = golden.insts * 2 + 1000;
+    Cycle cycle_budget = golden.cycles * 8 + 100000;
+    if (!machine->armInjection(&cell.inject, cycle_budget))
+        throw ConfigError("machine '" + cell.machine +
+                          "' does not support state injection");
+
+    inject::Outcome outcome;
+    std::string detail;
+    auto fill_failure = [&](const char *what) {
+        detail = machine->injectionNote();
+        if (!detail.empty())
+            detail += "; ";
+        detail += what;
+        result->cycles = 0;
+        result->instsCommitted = 0;
+        result->finished = false;
+        result->counters.clear();
+    };
+
+    try {
+        RunResult r = machine->run(program, inst_cap);
+        result->cycles = r.cycles;
+        result->instsCommitted = r.instsCommitted;
+        result->finished = r.finished;
+        result->counters = machine->statGroup().snapshot();
+        detail = machine->injectionNote();
+        if (detail.empty())
+            detail = "(run ended before the strike cycle)";
+        if (!r.finished) {
+            // Hit the instruction cap without halting: the flip sent
+            // execution somewhere it never returns from.
+            outcome = inject::Outcome::Timeout;
+        } else {
+            Checkpoint state;
+            if (!machine->architecturalState(&state))
+                throw ConfigError(
+                    "machine '" + cell.machine +
+                    "' does not expose architectural state");
+            outcome = inject::archDigest(state) == golden.digest
+                          ? inject::Outcome::Masked
+                          : inject::Outcome::Sdc;
+        }
+    } catch (const DeadlockError &e) {
+        outcome = inject::Outcome::Deadlock;
+        fill_failure(e.what());
+    } catch (const TimeoutError &e) {
+        outcome = inject::Outcome::Timeout;
+        fill_failure(e.what());
+    } catch (const SimError &e) {
+        outcome = inject::Outcome::Crash;
+        fill_failure(e.what());
+    } catch (const std::exception &e) {
+        outcome = inject::Outcome::Crash;
+        fill_failure(e.what());
+    }
+
+    result->ok = true;
+    result->injectOutcome = inject::outcomeName(outcome);
+    result->injectDetail = detail;
+}
+
 CellResult
 ExperimentRunner::runCell(const Cell &cell, const FaultInjection *fault,
                           int attempt, MachinePool &pool)
@@ -371,7 +515,12 @@ ExperimentRunner::runCell(const Cell &cell, const FaultInjection *fault,
         Random rng(result.seed);
         (void)rng;
 
-        if (cell.sample.enabled()) {
+        if (cell.sample.enabled() && cell.inject.enabled()) {
+            throw ConfigError(
+                "a cell cannot be both sampled and injected");
+        } else if (cell.inject.enabled()) {
+            runInjectedCell(cell, machine, program, &result);
+        } else if (cell.sample.enabled()) {
             runSampledCell(cell, machine, program, &result);
         } else {
             RunResult r = machine->run(program, cell.maxInsts);

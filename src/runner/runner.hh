@@ -88,6 +88,15 @@ struct CellResult
     double sampleIpcStddev = 0.0;
     double sampleIpcCi = 0.0;
 
+    // ---- Soft-error injection (empty unless cell.inject.enabled()).
+    // A classified cell is ok=true even when the injected run crashed
+    // or deadlocked — the classification itself succeeded, and the
+    // outcome label carries what the flip did. --------------------
+    /** inject::outcomeName() label: masked/sdc/crash/deadlock/timeout. */
+    std::string injectOutcome;
+    /** What the strike hit (core's injection note) plus any error. */
+    std::string injectDetail;
+
     /** Served from the result cache (in-memory note; not serialized,
      *  so cached and computed campaigns stay byte-identical). */
     bool fromCache = false;
@@ -265,6 +274,20 @@ class ExperimentRunner
      *  failure, which runCell's containment converts as usual. */
     void runSampledCell(const Cell &cell, Machine *machine,
                         const Program &program, CellResult *result);
+    /** The injected-execution arm of runCell: fetch (or compute and
+     *  publish) the golden reference, arm the planned flip, run, and
+     *  classify the outcome against the golden digest. Throws SimError
+     *  subclasses only for setup failures (machine cannot inject,
+     *  golden run does not finish); outcomes of the injected run
+     *  itself are classifications, not errors. */
+    void runInjectedCell(const Cell &cell, Machine *machine,
+                         const Program &program, CellResult *result);
+    /** Golden (uninjected) reference for the cell's identity, served
+     *  from the in-memory cache, then the store, then computed on
+     *  @p machine and published. */
+    inject::GoldenRef goldenFor(const Cell &cell, Machine *machine,
+                                const Program &program,
+                                const std::string &manifest_hash);
     /** Cache key, or empty if the cell is not cacheable (bad machine). */
     std::string cacheKey(const Cell &cell) const;
     /** Manifest hash of the cell's machine, empty if unknown. */
@@ -275,6 +298,12 @@ class ExperimentRunner
     mutable std::mutex _cacheMutex;
     std::unordered_map<std::string, CellResult> _cache;
     std::atomic<std::uint64_t> _cacheHits{0};
+
+    /** Golden references already resolved this run, keyed by
+     *  inject::goldenKey() — a vulnerability campaign shares one
+     *  golden run across its thousands of cells. */
+    mutable std::mutex _goldenMutex;
+    std::unordered_map<std::string, inject::GoldenRef> _golden;
 
     /** The disk-backed store (closed unless options.storePath set). */
     store::ResultStore _store;

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <unordered_map>
 
+#include "common/names.hh"
 #include "runner/artifacts.hh"
 #include "runner/journal.hh"
 
@@ -67,38 +68,28 @@ parseCellList(const std::string &text, std::vector<std::size_t> *out,
 
 namespace {
 
+/** The one kind⇄name table: format, parse, and every error message
+ *  listing the valid kinds derive from it (the injection-spec parser
+ *  in src/inject/ builds its target table the same way). */
+constexpr EnumName<FaultInjection::Kind> kFaultKinds[] = {
+    {FaultInjection::Kind::Panic, "panic"},
+    {FaultInjection::Kind::Stall, "stall"},
+    {FaultInjection::Kind::Throw, "throw"},
+    {FaultInjection::Kind::Abort, "abort"},
+    {FaultInjection::Kind::Segfault, "segfault"},
+    {FaultInjection::Kind::Hang, "hang"},
+};
+
 const char *
 faultKindName(FaultInjection::Kind kind)
 {
-    switch (kind) {
-      case FaultInjection::Kind::Panic:
-        return "panic";
-      case FaultInjection::Kind::Stall:
-        return "stall";
-      case FaultInjection::Kind::Throw:
-        return "throw";
-      case FaultInjection::Kind::Abort:
-        return "abort";
-      case FaultInjection::Kind::Segfault:
-        return "segfault";
-      case FaultInjection::Kind::Hang:
-        return "hang";
-    }
-    return "throw";
+    return enumName(kFaultKinds, kind, "throw");
 }
 
 bool
 faultKindByName(const std::string &name, FaultInjection::Kind *out)
 {
-    for (FaultInjection::Kind kind :
-         {FaultInjection::Kind::Panic, FaultInjection::Kind::Stall,
-          FaultInjection::Kind::Throw, FaultInjection::Kind::Abort,
-          FaultInjection::Kind::Segfault, FaultInjection::Kind::Hang})
-        if (name == faultKindName(kind)) {
-            *out = kind;
-            return true;
-        }
-    return false;
+    return enumByName(kFaultKinds, name, out);
 }
 
 } // namespace
@@ -124,7 +115,8 @@ parseFaultSpec(const std::string &text, FaultInjection *out,
     if (c1 == std::string::npos || c1 == 0) {
         if (error)
             *error = "fault spec '" + text +
-                     "' is not <cell>:<kind>[:<times>]";
+                     "' is not <cell>:<kind>[:<times>] (kinds: " +
+                     enumNameList(kFaultKinds) + ")";
         return false;
     }
     std::string index = text.substr(0, c1);
@@ -141,8 +133,8 @@ parseFaultSpec(const std::string &text, FaultInjection *out,
     fault.cellIndex = std::strtoull(index.c_str(), nullptr, 10);
     if (!faultKindByName(kind, &fault.kind)) {
         if (error)
-            *error = "unknown fault kind '" + kind +
-                     "' (panic, stall, throw, abort, segfault, hang)";
+            *error = "unknown fault kind '" + kind + "' (kinds: " +
+                     enumNameList(kFaultKinds) + ")";
         return false;
     }
     if (c2 != std::string::npos) {

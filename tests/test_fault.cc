@@ -23,11 +23,14 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "core/core.hh"
+#include "inject/inject.hh"
 #include "outorder/ruu_core.hh"
 #include "runner/artifacts.hh"
 #include "runner/campaign.hh"
 #include "runner/journal.hh"
 #include "runner/runner.hh"
+#include "runner/shard.hh"
+#include "validate/machines.hh"
 
 using namespace simalpha;
 using namespace simalpha::runner;
@@ -199,10 +202,28 @@ TEST(Watchdog, AlphaCoreThrowsDeadlockErrorWithSnapshot)
         EXPECT_EQ(info.program, "C-Ca");
         EXPECT_GT(info.cycle, 2u);
         EXPECT_EQ(info.committed, 0u);
+        // Nothing committed, so the last-commit marker is still at the
+        // start of time and the stall span equals the firing cycle —
+        // which must exceed the configured watchdog interval.
+        EXPECT_EQ(info.lastCommitCycle, 0u);
+        EXPECT_GE(info.cycle - info.lastCommitCycle,
+                  params.watchdogCycles);
+        // The snapshot carries a real fetch PC; the window is
+        // genuinely empty here — a 2-cycle watchdog fires during the
+        // cold I-cache fill, before anything reaches the ROB — and
+        // the oldest-instruction rendering agrees with the occupancy.
+        // (MidRunDeadlockSnapshotCarriesTheWindow covers the
+        // populated-window case.)
+        EXPECT_NE(info.fetchPc, 0u);
+        EXPECT_EQ(info.windowOccupancy, 0u);
+        EXPECT_TRUE(info.oldestInst.empty()) << info.oldestInst;
         EXPECT_FALSE(info.detail.empty());
         std::string what = e.what();
         EXPECT_NE(what.find("deadlocked"), std::string::npos) << what;
         EXPECT_NE(what.find("C-Ca"), std::string::npos) << what;
+        // summary() renders the snapshot fields, not just the headline.
+        EXPECT_NE(what.find("fetchPc=0x"), std::string::npos) << what;
+        EXPECT_NE(what.find("window="), std::string::npos) << what;
     }
 }
 
@@ -221,8 +242,137 @@ TEST(Watchdog, RuuCoreThrowsDeadlockErrorWithSnapshot)
         EXPECT_EQ(info.program, "C-Ca");
         EXPECT_GT(info.cycle, 2u);
         EXPECT_EQ(info.committed, 0u);
+        EXPECT_EQ(info.lastCommitCycle, 0u);
+        EXPECT_GE(info.cycle - info.lastCommitCycle,
+                  params.watchdogCycles);
+        EXPECT_NE(info.fetchPc, 0u);
+        EXPECT_EQ(info.windowOccupancy, 0u);
+        EXPECT_TRUE(info.oldestInst.empty()) << info.oldestInst;
         EXPECT_FALSE(info.detail.empty());
     }
+}
+
+TEST(Watchdog, MidRunDeadlockSnapshotCarriesTheWindow)
+{
+    // A genuine mid-run deadlock — the head ROB entry's completed
+    // flag flipped off, so commit wedges behind it with a full window
+    // — must snapshot the in-flight state: occupancy, the oldest
+    // instruction's disassembly, the stalled commit point.
+    for (const char *machine : {"sim-alpha", "sim-outorder"}) {
+        auto m = validate::makeMachine(machine);
+        inject::StateInjection flip;
+        flip.target = inject::Target::Rob;
+        flip.index = 0;
+        flip.bit = 1;       // folds to the completed flag
+        flip.cycle = 60000; // mid-run: commit is in steady state
+        ASSERT_TRUE(m->armInjection(&flip, 0)) << machine;
+        try {
+            m->run(program("C-Ca"), 800000);
+            FAIL() << machine << ": flip did not wedge commit";
+        } catch (const DeadlockError &e) {
+            const DeadlockInfo &info = e.info();
+            EXPECT_EQ(info.machine, machine);
+            EXPECT_GT(info.committed, 0u);
+            // Commit stalled right at the strike...
+            EXPECT_LT(info.lastCommitCycle, flip.cycle);
+            EXPECT_GE(info.lastCommitCycle, flip.cycle - 10);
+            // ...and the watchdog fired one full (default) interval
+            // later.
+            EXPECT_GE(info.cycle - info.lastCommitCycle, 100000u)
+                << machine;
+            EXPECT_NE(info.fetchPc, 0u);
+            EXPECT_GT(info.windowOccupancy, 0u) << machine;
+            EXPECT_FALSE(info.oldestInst.empty()) << machine;
+            EXPECT_NE(info.oldestInst.find("pc=0x"),
+                      std::string::npos)
+                << info.oldestInst;
+            EXPECT_FALSE(info.detail.empty());
+            std::string what = e.what();
+            EXPECT_NE(what.find("window="), std::string::npos) << what;
+            EXPECT_NE(what.find("oldest=["), std::string::npos)
+                << what;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-spec grammar: <cell>:<kind>[:<times>]
+// ---------------------------------------------------------------------
+
+TEST(FaultSpec, RoundTripsEveryKind)
+{
+    // Exhaustive over the Kind enum: if a kind is added without a
+    // table entry, the default-name fallback breaks the round-trip
+    // here. Both the every-execution (times = -1, no :times suffix)
+    // and explicit-times renderings are exercised.
+    struct
+    {
+        FaultInjection::Kind kind;
+        const char *name;
+    } kinds[] = {
+        {FaultInjection::Kind::Panic, "panic"},
+        {FaultInjection::Kind::Stall, "stall"},
+        {FaultInjection::Kind::Throw, "throw"},
+        {FaultInjection::Kind::Abort, "abort"},
+        {FaultInjection::Kind::Segfault, "segfault"},
+        {FaultInjection::Kind::Hang, "hang"},
+    };
+    std::size_t index = 0;
+    for (const auto &k : kinds) {
+        for (int times : {-1, 0, 3}) {
+            FaultInjection fault;
+            fault.cellIndex = index++;
+            fault.kind = k.kind;
+            fault.times = times;
+
+            std::string text = formatFaultSpec(fault);
+            std::string expect =
+                std::to_string(fault.cellIndex) + ":" + k.name;
+            if (times >= 0)
+                expect += ":" + std::to_string(times);
+            EXPECT_EQ(text, expect);
+
+            FaultInjection parsed;
+            std::string error;
+            ASSERT_TRUE(parseFaultSpec(text, &parsed, &error))
+                << text << ": " << error;
+            EXPECT_EQ(parsed.cellIndex, fault.cellIndex);
+            EXPECT_EQ(parsed.kind, fault.kind);
+            EXPECT_EQ(parsed.times, fault.times);
+        }
+    }
+}
+
+TEST(FaultSpec, ErrorsListTheValidKinds)
+{
+    // Both rejection paths — malformed spec and unknown kind — must
+    // name every kind so the CLI error is self-documenting.
+    const char *all[] = {"panic",    "stall",    "throw",
+                         "abort",    "segfault", "hang"};
+    FaultInjection fault;
+    std::string error;
+
+    EXPECT_FALSE(parseFaultSpec("bogus", &fault, &error));
+    for (const char *name : all)
+        EXPECT_NE(error.find(name), std::string::npos) << error;
+
+    error.clear();
+    EXPECT_FALSE(parseFaultSpec("3:meltdown", &fault, &error));
+    EXPECT_NE(error.find("meltdown"), std::string::npos) << error;
+    for (const char *name : all)
+        EXPECT_NE(error.find(name), std::string::npos) << error;
+}
+
+TEST(FaultSpec, RejectsMalformedIndexAndTimes)
+{
+    FaultInjection fault;
+    std::string error;
+    EXPECT_FALSE(parseFaultSpec(":panic", &fault, &error));
+    EXPECT_FALSE(parseFaultSpec("x:panic", &fault, &error));
+    EXPECT_NE(error.find("cell index"), std::string::npos) << error;
+    EXPECT_FALSE(parseFaultSpec("1:panic:", &fault, &error));
+    EXPECT_FALSE(parseFaultSpec("1:panic:twice", &fault, &error));
+    EXPECT_NE(error.find("times"), std::string::npos) << error;
 }
 
 TEST(Watchdog, DisabledWatchdogStillCompletesNormally)

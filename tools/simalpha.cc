@@ -51,6 +51,7 @@
 #include "checkpoint/checkpoint.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "inject/inject.hh"
 #include "runner/artifacts.hh"
 #include "runner/campaign.hh"
 #include "runner/perfbench.hh"
@@ -194,6 +195,23 @@ usage()
         "                      k (panic, stall, throw, abort, segfault,\n"
         "                      hang) on its first t executions\n"
         "\n"
+        "vulnerability campaigns (simalpha vuln ...):\n"
+        "  simalpha vuln --workload <name> --max-insts <cap>\n"
+        "                --cells <n> [--machine <name>] [--seed <s>]\n"
+        "                [--targets t1+t2+...] [campaign options]\n"
+        "                      fan n single-bit soft-error injections\n"
+        "                      over the machine's state (regfile,\n"
+        "                      renamemap, rob, lsq, iq, bpred,\n"
+        "                      cachetag, cachedata, tlbtag), classify\n"
+        "                      each against the uninjected golden run\n"
+        "                      (masked, sdc, crash, deadlock, timeout)\n"
+        "                      and print a per-structure vulnerability\n"
+        "                      table; --out also writes\n"
+        "                      <out>.vuln.{json,csv}. The workload\n"
+        "                      must finish under --max-insts. All\n"
+        "                      campaign options (--jobs, --store,\n"
+        "                      --isolate, --resume, ...) apply\n"
+        "\n"
         "store maintenance (simalpha store <verb> --store <dir>):\n"
         "  stats               entry count, bytes, quarantined blobs\n"
         "  verify              integrity-check every entry; corrupt\n"
@@ -289,6 +307,43 @@ writeCampaignArtifact(const runner::CampaignResult &result,
     return result.errorCount() ? 1 : 0;
 }
 
+/**
+ * The per-structure vulnerability table of a "vuln:" campaign: printed
+ * after the campaign summary and written as <out>.vuln.{json,csv}
+ * sidecars. Cells that failed before classification (ok=false) are
+ * excluded — their errors are already reported as cell failures.
+ */
+void
+emitVulnTable(const runner::CampaignResult &result,
+              const std::string &out_path)
+{
+    if (result.campaign.rfind("vuln:", 0) != 0)
+        return;
+    std::vector<inject::OutcomeSample> samples;
+    for (const runner::CellResult &r : result.cells) {
+        if (!r.ok || !r.cell.inject.enabled())
+            continue;
+        samples.push_back(
+            {inject::targetName(r.cell.inject.target),
+             r.injectOutcome});
+    }
+    std::vector<inject::VulnRow> rows =
+        inject::buildVulnTable(samples);
+    std::printf("\n%s", inject::vulnTableText(rows).c_str());
+    if (out_path.empty() || out_path == "-")
+        return;
+    std::string error;
+    if (!runner::writeFileAtomic(out_path + ".vuln.json",
+                                 inject::vulnTableJson(rows),
+                                 &error) ||
+        !runner::writeFileAtomic(out_path + ".vuln.csv",
+                                 inject::vulnTableCsv(rows), &error))
+        warn("%s (vulnerability table not written)", error.c_str());
+    else
+        std::printf("wrote %s.vuln.json and %s.vuln.csv\n",
+                    out_path.c_str(), out_path.c_str());
+}
+
 int
 runCampaignProcess(const CampaignCli &cli,
                    const std::string &journal_path)
@@ -346,6 +401,7 @@ runCampaignProcess(const CampaignCli &cli,
                     "journals)\n",
                     outcome.scratchRetained.c_str());
     printCampaignSummary(result);
+    emitVulnTable(result, cli.outPath);
 
     runner::RunSummary summary;
     summary.campaign = result.campaign;
@@ -378,7 +434,8 @@ runCampaign(const CampaignCli &cli)
 
     runner::CampaignSpec spec;
     if (!runner::campaignByName(cli.campaign, &spec))
-        fatal("unknown campaign '%s' (table2..table5, smoke)",
+        fatal("unknown campaign '%s' (table2..table5, smoke, or a "
+              "vuln:... spec)",
               cli.campaign.c_str());
     if (cli.maxInsts)
         spec = spec.withMaxInsts(cli.maxInsts);
@@ -429,6 +486,7 @@ runCampaign(const CampaignCli &cli)
         std::printf("resumed     %zu cells from %s\n", journaled,
                     journal_path.c_str());
     printCampaignSummary(result);
+    emitVulnTable(result, cli.outPath);
 
     runner::RunSummary summary;
     summary.campaign = result.campaign;
@@ -441,6 +499,103 @@ runCampaign(const CampaignCli &cli)
     summary.store = traffic;
     writeRunSummary(summary, cli.outPath);
     return writeCampaignArtifact(result, cli.outPath);
+}
+
+/**
+ * `simalpha vuln` — build a vulnerability campaign name from its
+ * parameters and run it through the ordinary campaign machinery. The
+ * name encodes the whole plan, so process shards (which receive only
+ * the name) re-derive identical injections.
+ */
+int
+runVulnCommand(int argc, char **argv, const char *argv0)
+{
+    runner::VulnSpec spec;
+    spec.cells = 1000;
+    CampaignCli cli;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--machine") {
+            spec.machine = next();
+        } else if (arg == "--workload") {
+            spec.workload = next();
+        } else if (arg == "--max-insts") {
+            spec.maxInsts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--cells") {
+            spec.cells = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            spec.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--targets") {
+            std::string list = next();
+            std::size_t start = 0;
+            for (;;) {
+                std::size_t plus = list.find('+', start);
+                std::string name =
+                    plus == std::string::npos
+                        ? list.substr(start)
+                        : list.substr(start, plus - start);
+                inject::Target target;
+                if (!inject::targetByName(name, &target))
+                    fatal("--targets: unknown target '%s' "
+                          "(targets: %s)",
+                          name.c_str(),
+                          inject::targetNameList().c_str());
+                spec.targets.push_back(target);
+                if (plus == std::string::npos)
+                    break;
+                start = plus + 1;
+            }
+        } else if (arg == "--jobs") {
+            cli.jobs = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--out") {
+            cli.outPath = next();
+        } else if (arg == "--no-cache") {
+            cli.useCache = false;
+        } else if (arg == "--store") {
+            cli.storePath = next();
+        } else if (arg == "--retries") {
+            cli.retries = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--resume") {
+            cli.resume = true;
+        } else if (arg == "--no-journal") {
+            cli.journal = false;
+        } else if (arg == "--isolate") {
+            cli.isolate = next();
+        } else if (arg.rfind("--isolate=", 0) == 0) {
+            cli.isolate = arg.substr(10);
+        } else if (arg == "--shards") {
+            cli.shards = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--cell-timeout") {
+            cli.cellTimeout = std::strtod(next(), nullptr);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown vuln option '%s'", arg.c_str());
+        }
+    }
+
+    if (spec.workload.empty())
+        fatal("vuln needs --workload <name>");
+    if (!spec.maxInsts)
+        fatal("vuln needs --max-insts <cap>: the cap bounds the "
+              "golden run, which must finish under it");
+    if (!spec.cells)
+        fatal("vuln needs --cells > 0");
+
+    // The cap lives inside the campaign name; cli.maxInsts stays 0 so
+    // no layer re-applies it on top.
+    cli.campaign = runner::vulnCampaignName(spec);
+    cli.workerBinary = selfExePath(argv0);
+    installInterruptHandlers();
+    return runCampaign(cli);
 }
 
 /**
@@ -566,6 +721,8 @@ realMain(int argc, char **argv)
         return runStoreCommand(argc - 1, argv + 1);
     if (argc >= 2 && std::strcmp(argv[1], "bench") == 0)
         return runner::runBenchCommand(argc - 1, argv + 1);
+    if (argc >= 2 && std::strcmp(argv[1], "vuln") == 0)
+        return runVulnCommand(argc - 1, argv + 1, argv[0]);
 
     std::string machine_name = "sim-alpha";
     std::optional<std::string> workload_name;

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 verify: the exact line ROADMAP.md pins, wrapped so CI and
+# humans run the same thing. Any argument is forwarded to ctest
+# (e.g. `tools/tier1.sh -L inject`).
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j "$@"
