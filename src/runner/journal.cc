@@ -1,11 +1,18 @@
 #include "journal.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "checkpoint/checkpoint.hh"
+#include "common/logging.hh"
 
 #include "runner/artifacts.hh"
 #include "runner/campaign.hh"
@@ -404,45 +411,116 @@ loadJournal(const std::string &path, const std::string &campaign,
         // A journal that does not exist yet is an empty journal.
         return true;
     }
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty())
-            continue;
-        CellResult r;
-        std::string key;
-        if (!parseJournalLine(line, campaign, &r, &key))
-            continue;   // other campaign / torn final line of a kill
-        (*out)[key] = std::move(r);
-    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
     if (in.bad()) {
         if (error)
             *error = "error reading journal '" + path + "'";
         return false;
     }
+    std::string data = buf.str();
+
+    // A file not ending in '\n' carries the torn tail of a process
+    // killed mid-write: the fragment can never be a valid entry, so
+    // discard it loudly rather than feeding it to the parser — the
+    // rest of the journal replays as usual.
+    std::size_t usable = data.size();
+    if (usable > 0 && data[usable - 1] != '\n') {
+        std::size_t nl = data.rfind('\n');
+        std::size_t torn =
+            nl == std::string::npos ? usable : usable - (nl + 1);
+        warn("journal '%s' ends in a torn line (%zu bytes, killed "
+             "mid-write?); discarding it and replaying the %s",
+             path.c_str(), torn,
+             nl == std::string::npos ? "empty remainder"
+                                     : "intact entries before it");
+        usable = nl == std::string::npos ? 0 : nl + 1;
+    }
+
+    std::size_t pos = 0;
+    while (pos < usable) {
+        std::size_t nl = data.find('\n', pos);
+        std::string line = data.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.empty())
+            continue;
+        CellResult r;
+        std::string key;
+        if (!parseJournalLine(line, campaign, &r, &key))
+            continue;   // other campaign's (or a heartbeat) line
+        (*out)[key] = std::move(r);
+    }
     return true;
 }
 
 bool
-CampaignJournal::open(const std::string &path, std::string *error)
+journalSyncFromEnv()
 {
-    _out.open(path, std::ios::binary | std::ios::app);
-    if (!_out) {
+    const char *env = std::getenv("SIMALPHA_JOURNAL_SYNC");
+    return env && env[0] == '1' && env[1] == '\0';
+}
+
+CampaignJournal::~CampaignJournal()
+{
+    close();
+}
+
+bool
+CampaignJournal::open(const std::string &path, std::string *error,
+                      bool sync)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_fd >= 0)
+        ::close(_fd);
+    _fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (_fd < 0) {
         if (error)
-            *error = "cannot open journal '" + path + "' for append";
+            *error = "cannot open journal '" + path +
+                     "' for append: " + std::strerror(errno);
         return false;
     }
+    _sync = sync || journalSyncFromEnv();
     return true;
+}
+
+void
+CampaignJournal::close()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_fd >= 0)
+        ::close(_fd);
+    _fd = -1;
 }
 
 void
 CampaignJournal::append(const std::string &campaign,
                         const CellResult &result)
 {
+    appendRaw(journalLine(campaign, result));
+}
+
+void
+CampaignJournal::appendRaw(const std::string &line)
+{
     std::lock_guard<std::mutex> lock(_mutex);
-    if (!_out.is_open())
+    if (_fd < 0)
         return;
-    _out << journalLine(campaign, result) << '\n';
-    _out.flush();
+    // One write(2) per line: O_APPEND writes from a single process
+    // never interleave, so a kill between cells tears nothing.
+    std::string buf = line;
+    buf += '\n';
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        ssize_t n = ::write(_fd, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;     // best effort, like the flush it replaces
+        }
+        off += std::size_t(n);
+    }
+    if (_sync)
+        ::fsync(_fd);
 }
 
 } // namespace runner

@@ -15,12 +15,20 @@
  * manifest hash at replay time: if a machine definition changed since
  * the journal was written, the stale entry is ignored and the cell
  * re-runs.
+ *
+ * Durability: every append is one write(2) on an O_APPEND descriptor,
+ * so a kill between cells never interleaves or tears lines written by
+ * this process. A process killed *mid-write* (or a power cut) can
+ * still leave a torn final line; replay detects the unterminated tail,
+ * discards it with a warning, and serves everything before it. Opt-in
+ * fsync-per-append (the sync flag, or SIMALPHA_JOURNAL_SYNC=1) extends
+ * the guarantee through the OS page cache for campaigns that must
+ * survive machine crashes, at the cost of one fsync per cell.
  */
 
 #ifndef SIMALPHA_RUNNER_JOURNAL_HH
 #define SIMALPHA_RUNNER_JOURNAL_HH
 
-#include <fstream>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -49,30 +57,56 @@ bool parseJournalLine(const std::string &line,
 
 /**
  * Load every well-formed entry of @p path belonging to @p campaign,
- * newest-wins. A missing file is not an error (empty map, true).
- * Returns false only on unreadable-but-existing files.
+ * newest-wins. A missing file is not an error (empty map, true). A
+ * torn final line (no trailing newline — the tail a killed process
+ * leaves) is discarded with a warning, never parsed, so a crashed
+ * campaign always replays cleanly. Returns false only on
+ * unreadable-but-existing files.
  */
 bool loadJournal(const std::string &path, const std::string &campaign,
                  std::unordered_map<std::string, CellResult> *out,
                  std::string *error);
 
+/** True when fsync-per-append was requested via the environment
+ *  (SIMALPHA_JOURNAL_SYNC=1) — the opt-in shard workers and library
+ *  callers inherit without any flag plumbing. */
+bool journalSyncFromEnv();
+
 /** Thread-safe append-only writer; one line per completed cell. */
 class CampaignJournal
 {
   public:
-    /** Open @p path for appending. Returns false with *error filled if
-     *  the file cannot be opened. */
-    bool open(const std::string &path, std::string *error);
+    CampaignJournal() = default;
+    CampaignJournal(const CampaignJournal &) = delete;
+    CampaignJournal &operator=(const CampaignJournal &) = delete;
+    ~CampaignJournal();
 
-    bool isOpen() const { return _out.is_open(); }
+    /** Open @p path for appending. @p sync requests fsync-per-append
+     *  (forced on by SIMALPHA_JOURNAL_SYNC=1 either way). Returns
+     *  false with *error filled if the file cannot be opened. */
+    bool open(const std::string &path, std::string *error,
+              bool sync = false);
 
-    /** Append one completed cell (flushes, so a kill loses at most the
-     *  line being written). */
+    bool isOpen() const { return _fd >= 0; }
+    bool syncing() const { return _sync; }
+
+    /** Append one completed cell (single write(2) of line + newline;
+     *  fsync too when syncing, so a kill loses at most the line being
+     *  written — and with sync, a machine crash loses nothing that was
+     *  appended). */
     void append(const std::string &campaign, const CellResult &result);
+
+    /** Append an already-serialized line verbatim (the supervisor's
+     *  master-journal merge copies worker bytes through this, so
+     *  resumed campaigns replay the worker's exact serialization). */
+    void appendRaw(const std::string &line);
+
+    void close();
 
   private:
     std::mutex _mutex;
-    std::ofstream _out;
+    int _fd = -1;
+    bool _sync = false;
 };
 
 } // namespace runner

@@ -242,6 +242,10 @@ entryToJson(std::ostringstream &o, const char *key, const PerfEntry &e)
     pathToJson(o, "sampled", e.sampled);
     o << ",";
     pathToJson(o, "inject_idle", e.injectIdle);
+    o << ",";
+    pathToJson(o, "serve_cold", e.serveCold);
+    o << ",";
+    pathToJson(o, "serve_warm", e.serveWarm);
     o << "}";
 }
 
@@ -482,6 +486,15 @@ entryFromJson(const Json &parent, const char *key, PerfEntry *e,
     if (j->obj.count("inject_idle") &&
         !pathFromJson(*j, "inject_idle", &e->injectIdle, error))
         return false;
+    // Optional: the campaign-service rows arrived with `simalpha
+    // serve`; their absence (or a build without the hook) is not
+    // drift.
+    if (j->obj.count("serve_cold") &&
+        !pathFromJson(*j, "serve_cold", &e->serveCold, error))
+        return false;
+    if (j->obj.count("serve_warm") &&
+        !pathFromJson(*j, "serve_warm", &e->serveWarm, error))
+        return false;
     e->valid = true;
     return true;
 }
@@ -507,7 +520,15 @@ printPath(const char *name, const PerfPath &p)
                 name, (unsigned long long)p.insts, p.seconds, p.ips);
 }
 
+ServeBenchFn g_serveBench = nullptr;
+
 } // namespace
+
+void
+setServeBenchHook(ServeBenchFn fn)
+{
+    g_serveBench = fn;
+}
 
 bool
 measurePerf(std::uint64_t max_insts, PerfEntry *out, std::string *error)
@@ -528,6 +549,9 @@ measurePerf(std::uint64_t max_insts, PerfEntry *out, std::string *error)
     if (!timeSampledPath(t3, max_insts, &e.sampled, error))
         return false;
     if (!timeInjectIdlePath(t3, &e.injectIdle, error))
+        return false;
+    if (g_serveBench &&
+        !g_serveBench(max_insts, &e.serveCold, &e.serveWarm, error))
         return false;
     e.valid = true;
     *out = e;
@@ -704,6 +728,14 @@ runBenchCommand(int argc, char **argv)
     printPath("emulator", e.emulator);
     printPath("sampled", e.sampled);
     printPath("inj-idle", e.injectIdle);
+    if (e.serveCold.seconds > 0.0 || e.serveWarm.seconds > 0.0) {
+        printPath("srv-cold", e.serveCold);
+        printPath("srv-warm", e.serveWarm);
+        if (e.serveCold.ips > 0.0 && e.serveWarm.ips > 0.0)
+            std::printf("serve warm vs cold: %.1fx (store-served "
+                        "cells through the socket)\n",
+                        e.serveWarm.ips / e.serveCold.ips);
+    }
     if (e.detailed.ips > 0.0 && e.injectIdle.ips > 0.0)
         std::printf("inject-idle vs detailed: %.3fx (disarmed "
                     "injection hooks; ~1.0 expected)\n",

@@ -62,6 +62,17 @@ struct PerfEntry
      * existed; parse treats it as optional.
      */
     PerfPath injectIdle;
+    /**
+     * The campaign service measured end-to-end: a private daemon on a
+     * temp store, the same capped Table-3 campaign submitted through
+     * the socket, wall clock from submit to done line. `serveCold`
+     * computes every cell; `serveWarm` reruns against the populated
+     * store (job journal cleared), so the delta is the store's win
+     * through the whole service path. Absent before the service
+     * existed and in builds that don't wire the hook; optional.
+     */
+    PerfPath serveCold;
+    PerfPath serveWarm;
     bool valid = false;
 };
 
@@ -88,6 +99,16 @@ constexpr std::uint64_t kPerfBenchQuickMaxInsts = 5000;
  */
 bool measurePerf(std::uint64_t max_insts, PerfEntry *out,
                  std::string *error);
+
+/**
+ * The serve-row measurement is provided by the sim_serve library (the
+ * runner cannot link it — serve sits above the runner), injected by
+ * the driver before runBenchCommand. When unset, the serve rows stay
+ * zero and the trajectory file simply omits measured values for them.
+ */
+using ServeBenchFn = bool (*)(std::uint64_t maxInsts, PerfPath *cold,
+                              PerfPath *warm, std::string *error);
+void setServeBenchHook(ServeBenchFn fn);
 
 /** Render a report as the canonical BENCH_perf.json text. */
 std::string perfReportToJson(const PerfReport &report);

@@ -611,10 +611,28 @@ ExperimentRunner::run(const CampaignSpec &spec)
             !loadJournal(_opts.journalPath, spec.name, &replay,
                          &jerror))
             warn("%s (resuming nothing)", jerror.c_str());
-        if (!journal.open(_opts.journalPath, &jerror))
+        if (!journal.open(_opts.journalPath, &jerror,
+                          _opts.journalSync))
             warn("%s (campaign will not be resumable)",
                  jerror.c_str());
     }
+
+    // Every settled cell flows through here: fire the streaming hook
+    // (serialized — the consumer never sees concurrent calls) and
+    // store the result in its preallocated slot.
+    auto settle = [&](std::size_t i, CellResult &&r) {
+        if (_opts.onCell) {
+            std::lock_guard<std::mutex> lock(_hookMutex);
+            _opts.onCell(r);
+        }
+        result.cells[i] = std::move(r);
+    };
+
+    auto cancelled = [&]() {
+        return (_opts.cancel && *_opts.cancel) ||
+               (_opts.cancelAtomic &&
+                _opts.cancelAtomic->load(std::memory_order_relaxed));
+    };
 
     // Each task writes exactly one preallocated slot, so completion
     // order never affects result order (or bytes). The pool of
@@ -622,9 +640,10 @@ ExperimentRunner::run(const CampaignSpec &spec)
     auto execute = [&](std::size_t i, MachinePool &pool) {
         const Cell &cell = spec.cells[i];
 
-        // Cancelled (Ctrl-C): leave the slot as a default result and
-        // journal nothing, so a later --resume re-runs the cell.
-        if (_opts.cancel && *_opts.cancel)
+        // Cancelled (Ctrl-C / service cancel): leave the slot as a
+        // default result and journal nothing, so a later --resume
+        // re-runs the cell.
+        if (cancelled())
             return;
 
         if (!replay.empty()) {
@@ -635,7 +654,7 @@ ExperimentRunner::run(const CampaignSpec &spec)
                 it->second.manifestHash == currentManifestHash(cell)) {
                 CellResult journaled = it->second;
                 journaled.cell = cell;  // identity of *this* cell
-                result.cells[i] = std::move(journaled);
+                settle(i, std::move(journaled));
                 return;
             }
         }
@@ -645,16 +664,23 @@ ExperimentRunner::run(const CampaignSpec &spec)
                               : std::string();
 
         if (!key.empty() && _opts.cache) {
-            std::lock_guard<std::mutex> lock(_cacheMutex);
-            auto it = _cache.find(key);
-            if (it != _cache.end()) {
-                CellResult cached = it->second;
+            bool hit = false;
+            CellResult cached;
+            {
+                std::lock_guard<std::mutex> lock(_cacheMutex);
+                auto it = _cache.find(key);
+                if (it != _cache.end()) {
+                    cached = it->second;
+                    hit = true;
+                }
+            }
+            if (hit) {
                 cached.cell = cell;     // identity of *this* cell
                 cached.fromCache = true;
                 if (journal.isOpen())
                     journal.append(spec.name, cached);
-                result.cells[i] = std::move(cached);
                 _cacheHits.fetch_add(1);
+                settle(i, std::move(cached));
                 return;
             }
         }
@@ -695,7 +721,7 @@ ExperimentRunner::run(const CampaignSpec &spec)
                 }
                 if (journal.isOpen())
                     journal.append(spec.name, stored);
-                result.cells[i] = std::move(stored);
+                settle(i, std::move(stored));
                 return;
             }
         }
@@ -735,7 +761,7 @@ ExperimentRunner::run(const CampaignSpec &spec)
         }
         if (journal.isOpen())
             journal.append(spec.name, r);
-        result.cells[i] = std::move(r);
+        settle(i, std::move(r));
     };
 
     int jobs = _opts.jobs;

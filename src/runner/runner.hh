@@ -38,6 +38,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -217,6 +218,11 @@ struct RunnerOptions
     std::string journalPath;
     bool resume = false;
 
+    /** fsync the journal after every appended cell (also forced on by
+     *  SIMALPHA_JOURNAL_SYNC=1): the journal survives not just a
+     *  killed process but a crashed machine. */
+    bool journalSync = false;
+
     /**
      * Cooperative cancellation (the Ctrl-C path): when non-null and
      * set, no further cell starts executing — already-running cells
@@ -224,6 +230,23 @@ struct RunnerOptions
      * The flag is a sig_atomic_t so a signal handler can set it.
      */
     const volatile std::sig_atomic_t *cancel = nullptr;
+
+    /** Second cancellation source for in-process callers on another
+     *  thread (the campaign service): same semantics as `cancel`, but
+     *  an atomic, so cross-thread cancellation is race-free under
+     *  TSan. Either flag cancels. */
+    const std::atomic<bool> *cancelAtomic = nullptr;
+
+    /**
+     * Result-streaming hook: called once for every cell that settles —
+     * computed, cache/store hit, or journal replay alike — with the
+     * final CellResult, as soon as it is known (not at campaign end).
+     * Calls are serialized by the runner (never concurrent), but may
+     * come from any worker thread. Cells skipped by cancellation do
+     * not fire. The campaign service streams per-cell result lines to
+     * its clients through this.
+     */
+    std::function<void(const CellResult &)> onCell;
 };
 
 class ExperimentRunner
@@ -294,6 +317,9 @@ class ExperimentRunner
     static std::string currentManifestHash(const Cell &cell);
 
     RunnerOptions _opts;
+
+    /** Serializes RunnerOptions::onCell calls across worker threads. */
+    std::mutex _hookMutex;
 
     mutable std::mutex _cacheMutex;
     std::unordered_map<std::string, CellResult> _cache;

@@ -249,6 +249,29 @@ parseStoreSummaryLine(const std::string &line,
     return true;
 }
 
+double
+respawnBackoffSeconds(double baseSeconds, int respawnsUsed,
+                      std::uint64_t shardId)
+{
+    if (respawnsUsed < 0)
+        respawnsUsed = 0;
+    if (respawnsUsed > 30)
+        respawnsUsed = 30;      // 2^30 * base already means "give up"
+    double delay =
+        baseSeconds * double(std::uint64_t(1) << respawnsUsed);
+    // SplitMix64 over (shardId, respawnsUsed) → a uniform factor in
+    // [0.75, 1.25): pure, so every supervisor computes the same delay
+    // for the same (shard, attempt), but no two shards share one.
+    std::uint64_t z =
+        shardId * 0x9E3779B97F4A7C15ULL + std::uint64_t(respawnsUsed);
+    z += 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    double unit = double(z >> 11) * (1.0 / 9007199254740992.0);
+    return delay * (0.75 + 0.5 * unit);
+}
+
 bool
 describeWaitStatus(int waitStatus, std::string *errorClass,
                    std::string *message)
@@ -376,6 +399,7 @@ runShardWorker(const ShardWorkerOptions &options)
         ro.storePath = options.storePath;
         ro.maxRetries = options.maxRetries;
         ro.journalPath = options.journalPath;
+        ro.journalSync = options.journalSync;
         for (const FaultInjection &f : options.faults)
             if (f.cellIndex == index) {
                 FaultInjection local = f;

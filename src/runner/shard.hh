@@ -90,6 +90,18 @@ bool parseStoreSummaryLine(const std::string &line,
                            StoreTraffic *out);
 
 /**
+ * Respawn delay after a worker death: exponential in the respawns
+ * already used (base * 2^respawnsUsed), scaled by a deterministic
+ * jitter factor in [0.75, 1.25) derived from (shardId, respawnsUsed).
+ * The jitter desynchronizes shards that die simultaneously (a shared
+ * poison input, an OOM sweep) so their respawns — and likely next
+ * crashes — don't land in lockstep; determinism keeps supervisor runs
+ * reproducible.
+ */
+double respawnBackoffSeconds(double baseSeconds, int respawnsUsed,
+                             std::uint64_t shardId);
+
+/**
  * Map a waitpid(2) status to the error taxonomy:
  *
  *   exited 0          → ok: *errorClass cleared, returns true
@@ -133,6 +145,9 @@ struct ShardWorkerOptions
     std::string storePath;
     /** Fault plan in campaign cell indices (worker filters + remaps). */
     std::vector<FaultInjection> faults;
+    /** fsync the shard journal after every result line (forwarded by
+     *  the supervisor's --journal-sync). */
+    bool journalSync = false;
     /** Set by a signal handler: stop before the next cell, exit 3. */
     const volatile std::sig_atomic_t *interrupted = nullptr;
 };

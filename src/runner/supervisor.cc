@@ -119,6 +119,8 @@ spawnShard(ShardState &shard, const SupervisorOptions &opts,
         args.push_back("--inject");
         args.push_back(formatFaultSpec(fault));
     }
+    if (opts.journalSync)
+        args.push_back("--journal-sync");
 
     std::vector<char *> argv;
     for (std::string &a : args)
@@ -150,11 +152,13 @@ spawnShard(ShardState &shard, const SupervisorOptions &opts,
  * Consume newly-appended complete lines of the shard's journal:
  * heartbeats move the in-flight marker, result lines settle the
  * in-flight cell and are copied verbatim into the master journal
- * (verbatim, so resumed campaigns replay the worker's exact bytes).
+ * (verbatim, so resumed campaigns replay the worker's exact bytes)
+ * and handed to @p onLine for live streaming.
  */
 void
 drainJournal(ShardState &shard, const CampaignSpec &spec,
-             std::ofstream &master)
+             CampaignJournal &master,
+             const std::function<void(const std::string &)> &onLine)
 {
     std::ifstream in(shard.journalPath, std::ios::binary);
     if (!in)
@@ -195,10 +199,9 @@ drainJournal(ShardState &shard, const CampaignSpec &spec,
         std::string key;
         if (!parseJournalLine(line, spec.name, &result, &key))
             continue;
-        if (master.is_open()) {
-            master << line << '\n';
-            master.flush();
-        }
+        master.appendRaw(line);
+        if (onLine)
+            onLine(line);
         long settled = shard.inFlight;
         if (settled < 0) {
             // No heartbeat seen (shouldn't happen): match by identity.
@@ -262,15 +265,21 @@ superviseCampaign(const SupervisorOptions &opts)
         }
     }
 
-    std::ofstream master;
+    CampaignJournal master;
     if (!opts.masterJournalPath.empty()) {
-        master.open(opts.masterJournalPath,
-                    std::ios::binary | std::ios::app);
-        if (!master)
-            warn("cannot open journal '%s' for append (campaign will "
-                 "not be resumable)",
-                 opts.masterJournalPath.c_str());
+        std::string jerror;
+        if (!master.open(opts.masterJournalPath, &jerror,
+                         opts.journalSync))
+            warn("%s (campaign will not be resumable)",
+                 jerror.c_str());
     }
+
+    // Stream replayed cells immediately: a live consumer sees the
+    // same lines an uninterrupted run would have produced, in spec
+    // order, without waiting for any worker to spawn.
+    if (opts.onLine)
+        for (const auto &kv : replayed)
+            opts.onLine(journalLine(spec.name, kv.second));
 
     // Scratch directory for shard journals and worker logs.
     std::string scratch = opts.scratchDir;
@@ -329,10 +338,10 @@ superviseCampaign(const SupervisorOptions &opts)
         r.ok = false;
         r.errorClass = errorClass;
         r.error = message;
-        if (master.is_open()) {
-            master << journalLine(spec.name, r) << '\n';
-            master.flush();
-        }
+        std::string line = journalLine(spec.name, r);
+        master.appendRaw(line);
+        if (opts.onLine)
+            opts.onLine(line);
         if (errorClass == "timeout")
             out.timedOutCells++;
         else
@@ -356,8 +365,8 @@ superviseCampaign(const SupervisorOptions &opts)
             shard.done = true;
             return;
         }
-        double delay =
-            opts.backoffSeconds * double(1 << respawnsUsed);
+        double delay = respawnBackoffSeconds(
+            opts.backoffSeconds, respawnsUsed, shard.id);
         shard.spawnAt =
             Clock::now() +
             std::chrono::microseconds(long(delay * 1e6));
@@ -424,8 +433,16 @@ superviseCampaign(const SupervisorOptions &opts)
             scheduleOrGiveUp(shard, "posix_spawn failed");
 
     bool interruptIssued = false;
+    bool killEscalated = false;
     Clock::time_point interruptAt;
-    constexpr auto kGrace = std::chrono::seconds(2);
+    const auto grace = std::chrono::microseconds(
+        long(std::max(opts.termGraceSeconds, 0.0) * 1e6));
+    auto interruptRequested = [&]() {
+        return (opts.interrupted && *opts.interrupted) ||
+               (opts.interruptedAtomic &&
+                opts.interruptedAtomic->load(
+                    std::memory_order_relaxed));
+    };
 
     for (;;) {
         bool allDone = true;
@@ -436,8 +453,7 @@ superviseCampaign(const SupervisorOptions &opts)
             break;
 
         auto now = Clock::now();
-        if (opts.interrupted && *opts.interrupted &&
-            !interruptIssued) {
+        if (interruptRequested() && !interruptIssued) {
             interruptIssued = true;
             out.interrupted = true;
             interruptAt = now;
@@ -448,10 +464,16 @@ superviseCampaign(const SupervisorOptions &opts)
                     shard.done = true;  // cancel scheduled respawns
             }
         }
-        if (interruptIssued && now - interruptAt > kGrace)
+        // A worker stuck past the drain grace (wedged in a cell, or a
+        // fault-injected hang) is escalated to SIGKILL exactly once;
+        // waitpid below reaps it like any other death.
+        if (interruptIssued && !killEscalated &&
+            now - interruptAt > grace) {
+            killEscalated = true;
             for (ShardState &shard : shards)
                 if (shard.live)
                     ::kill(shard.pid, SIGKILL);
+        }
 
         for (ShardState &shard : shards) {
             if (shard.done)
@@ -469,7 +491,7 @@ superviseCampaign(const SupervisorOptions &opts)
                 continue;
             }
 
-            drainJournal(shard, spec, master);
+            drainJournal(shard, spec, master, opts.onLine);
 
             if (opts.cellTimeout > 0 && shard.inFlight >= 0 &&
                 !shard.timeoutKilled &&
@@ -484,7 +506,7 @@ superviseCampaign(const SupervisorOptions &opts)
             pid_t reaped = ::waitpid(shard.pid, &status, WNOHANG);
             if (reaped == shard.pid) {
                 shard.live = false;
-                drainJournal(shard, spec, master);
+                drainJournal(shard, spec, master, opts.onLine);
                 handleExit(shard, status, interruptIssued);
             }
         }

@@ -37,8 +37,10 @@
 #ifndef SIMALPHA_RUNNER_SUPERVISOR_HH
 #define SIMALPHA_RUNNER_SUPERVISOR_HH
 
+#include <atomic>
 #include <csignal>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -70,8 +72,13 @@ struct SupervisorOptions
     double cellTimeout = 0.0;
     /** Worker respawns allowed per shard after a death. */
     int maxRespawns = 2;
-    /** First respawn delay in seconds; doubles per respawn. */
+    /** First respawn delay in seconds; doubles per respawn, with
+     *  deterministic per-shard jitter (respawnBackoffSeconds). */
     double backoffSeconds = 0.05;
+    /** How long a SIGTERMed worker gets to drain before the
+     *  supervisor escalates to SIGKILL. Applies both to interrupt
+     *  (Ctrl-C) teardown and to any future cancellation path. */
+    double termGraceSeconds = 2.0;
 
     /** Persistent result store root forwarded to workers (--store);
      *  empty = none. Every shard (and any other campaign pointed at
@@ -88,9 +95,23 @@ struct SupervisorOptions
      *  cells are replayed from it instead of re-sharded. */
     std::string masterJournalPath;
     bool resume = false;
+    /** fsync the master journal after every line and forward
+     *  --journal-sync to every worker (see CampaignJournal). */
+    bool journalSync = false;
+
+    /** Called (from the supervising thread) with every result line as
+     *  it enters the master journal — worker lines verbatim, declared
+     *  failures as freshly rendered journalLine() bytes, and replayed
+     *  cells re-rendered at startup — so a caller (the serve daemon)
+     *  can stream results without tailing the journal file. */
+    std::function<void(const std::string &line)> onLine;
 
     /** Set by a signal handler: terminate workers and return early. */
     const volatile std::sig_atomic_t *interrupted = nullptr;
+    /** Same contract for a cross-thread canceller (a volatile
+     *  sig_atomic_t read is not a synchronized load; threads must use
+     *  this instead). Either flag interrupts the run. */
+    const std::atomic<bool> *interruptedAtomic = nullptr;
 };
 
 struct SupervisorOutcome

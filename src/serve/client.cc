@@ -1,0 +1,394 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "checkpoint/checkpoint.hh"
+#include "runner/artifacts.hh"
+#include "runner/campaign.hh"
+#include "runner/journal.hh"
+#include "serve/proto.hh"
+
+namespace simalpha {
+namespace serve {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+remainingSeconds(Clock::time_point deadline, bool hasDeadline)
+{
+    if (!hasDeadline)
+        return -1.0;    // poll() "forever"
+    return std::chrono::duration<double>(deadline - Clock::now())
+        .count();
+}
+
+int
+connectTo(const std::string &where, Clock::time_point deadline,
+          bool hasDeadline, std::string *error)
+{
+    int fd = -1;
+    if (where.rfind("tcp:", 0) == 0) {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+            *error = "cannot create TCP socket";
+            return -1;
+        }
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(std::uint16_t(std::atoi(where.c_str() + 4)));
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            *error = "cannot connect to " + where + ": " +
+                     std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+    } else {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            *error = "cannot create Unix socket";
+            return -1;
+        }
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (where.size() >= sizeof(addr.sun_path)) {
+            *error = "socket path too long";
+            ::close(fd);
+            return -1;
+        }
+        std::strncpy(addr.sun_path, where.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            *error = "cannot connect to " + where + ": " +
+                     std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+    }
+    (void)deadline;
+    (void)hasDeadline;
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data, std::string *error)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            *error = std::string("send failed: ") +
+                     std::strerror(errno);
+            return false;
+        }
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+/** Read one '\n'-terminated line (buffered in *carry). Returns 1 on
+ *  a line, 0 on orderly EOF with nothing buffered, -1 on error or
+ *  timeout (with *error filled). */
+int
+readLine(int fd, std::string *carry, std::string *line,
+         Clock::time_point deadline, bool hasDeadline,
+         std::string *error)
+{
+    for (;;) {
+        std::size_t pos = carry->find('\n');
+        if (pos != std::string::npos) {
+            *line = carry->substr(0, pos);
+            carry->erase(0, pos + 1);
+            return 1;
+        }
+        if (carry->size() > kMaxLineBytes) {
+            *error = "reply line exceeds the per-line byte cap";
+            return -1;
+        }
+        double remain = remainingSeconds(deadline, hasDeadline);
+        if (hasDeadline && remain <= 0.0) {
+            *error = "timed out waiting for the daemon";
+            return -1;
+        }
+        pollfd pfd{fd, POLLIN, 0};
+        int timeoutMs =
+            hasDeadline ? int(remain * 1000.0) + 1 : -1;
+        int rc = ::poll(&pfd, 1, timeoutMs);
+        if (rc == 0) {
+            *error = "timed out waiting for the daemon";
+            return -1;
+        }
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            *error = std::string("poll failed: ") +
+                     std::strerror(errno);
+            return -1;
+        }
+        char buf[4096];
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+            carry->append(buf, std::size_t(n));
+            continue;
+        }
+        if (n == 0) {
+            if (carry->empty())
+                return 0;
+            *error = "connection closed mid-line";
+            return -1;
+        }
+        if (errno == EINTR)
+            continue;
+        *error = std::string("read failed: ") + std::strerror(errno);
+        return -1;
+    }
+}
+
+std::string
+submitLine(const std::string &op, const std::string &campaign,
+           std::uint64_t maxInsts, const std::string &sample)
+{
+    std::ostringstream os;
+    os << "{\"op\":\"" << op << "\",\"campaign\":\""
+       << runner::jsonEscape(campaign) << "\"";
+    if (maxInsts)
+        os << ",\"max_insts\":" << maxInsts;
+    if (!sample.empty())
+        os << ",\"sample\":\"" << runner::jsonEscape(sample) << "\"";
+    os << "}";
+    return os.str();
+}
+
+} // namespace
+
+double
+retryBackoffSeconds(double baseSeconds, int attempt,
+                    std::uint64_t seed)
+{
+    if (attempt < 0)
+        attempt = 0;
+    if (attempt > 30)
+        attempt = 30;
+    double delay =
+        baseSeconds * double(std::uint64_t(1) << attempt);
+    std::uint64_t z =
+        seed * 0x9E3779B97F4A7C15ULL + std::uint64_t(attempt);
+    z += 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    double unit = double(z >> 11) * (1.0 / 9007199254740992.0);
+    return delay * (0.75 + 0.5 * unit);
+}
+
+SubmitOutcome
+submitCampaign(const ClientOptions &options,
+               const std::string &campaign, std::uint64_t maxInsts,
+               const std::string &sample, bool resultsOnly,
+               const std::function<void(const std::string &)> &onLine)
+{
+    SubmitOutcome out;
+    const std::string request =
+        submitLine(resultsOnly ? "results" : "submit", campaign,
+                   maxInsts, sample) +
+        "\n";
+
+    for (int attempt = 0;; attempt++) {
+        bool retryable = false;
+        std::string aerror;
+
+        if (attempt > 0) {
+            double delay = retryBackoffSeconds(
+                options.backoffSeconds, attempt - 1, options.seed);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(long(delay * 1e6)));
+        }
+
+        const bool hasDeadline = options.timeoutSeconds > 0.0;
+        Clock::time_point deadline =
+            Clock::now() + std::chrono::microseconds(
+                               long(options.timeoutSeconds * 1e6));
+
+        out.attempts++;
+        out.lines.clear();
+        out.doneStrings.clear();
+        out.doneNumbers.clear();
+        out.errorCode.clear();
+
+        int fd =
+            connectTo(options.connect, deadline, hasDeadline, &aerror);
+        if (fd < 0) {
+            retryable = true;   // daemon restarting, stale socket
+        } else if (!sendAll(fd, request, &aerror)) {
+            retryable = true;
+            ::close(fd);
+            fd = -1;
+        }
+
+        bool finished = false;
+        std::string carry, line;
+        while (fd >= 0 && !finished) {
+            int rc = readLine(fd, &carry, &line, deadline,
+                              hasDeadline, &aerror);
+            if (rc <= 0) {
+                // EOF or timeout mid-stream: the daemon died or
+                // drained under us. The journal has everything that
+                // settled; resubmission replays it byte-identically.
+                if (rc == 0)
+                    aerror = "connection closed mid-stream";
+                retryable = true;
+                break;
+            }
+            if (!isServeLine(line)) {
+                out.lines.push_back(line);
+                if (onLine)
+                    onLine(line);
+                continue;
+            }
+            std::map<std::string, std::string> strings;
+            std::map<std::string, std::uint64_t> numbers;
+            if (!parseServeLine(line, &strings, &numbers)) {
+                aerror = "unparseable control line from the daemon";
+                retryable = true;
+                break;
+            }
+            const std::string &event = strings["event"];
+            if (event == "accepted")
+                continue;
+            if (event == "done") {
+                out.doneStrings = std::move(strings);
+                out.doneNumbers = std::move(numbers);
+                out.ok = true;
+                finished = true;
+                continue;
+            }
+            if (event == "error") {
+                out.errorCode = strings["code"];
+                aerror = strings["message"];
+                // busy is the only protocol-level retryable error:
+                // backoff is exactly what the daemon asked for.
+                retryable = out.errorCode == "busy";
+                break;
+            }
+            if (event == "draining") {
+                out.errorCode = "draining";
+                aerror = "daemon is draining";
+                retryable = false;
+                break;
+            }
+            // Unknown control events are ignorable (forward compat).
+        }
+        if (fd >= 0)
+            ::close(fd);
+
+        if (finished)
+            return out;
+        if (!retryable || attempt >= options.maxRetries) {
+            out.ok = false;
+            out.error = aerror.empty() ? "submission failed" : aerror;
+            return out;
+        }
+    }
+}
+
+bool
+requestOnce(const ClientOptions &options,
+            const std::string &requestLine, std::string *reply,
+            std::string *error)
+{
+    const bool hasDeadline = options.timeoutSeconds > 0.0;
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::microseconds(
+                           long(options.timeoutSeconds * 1e6));
+    int fd = connectTo(options.connect, deadline, hasDeadline, error);
+    if (fd < 0)
+        return false;
+    if (!sendAll(fd, requestLine + "\n", error)) {
+        ::close(fd);
+        return false;
+    }
+    std::string carry;
+    int rc =
+        readLine(fd, &carry, reply, deadline, hasDeadline, error);
+    ::close(fd);
+    if (rc == 1)
+        return true;
+    if (rc == 0 && error)
+        *error = "daemon closed the connection without replying";
+    return false;
+}
+
+bool
+linesToResult(const std::string &campaign, std::uint64_t maxInsts,
+              const std::string &sample,
+              const std::vector<std::string> &lines,
+              runner::CampaignResult *out, std::string *error)
+{
+    runner::CampaignSpec spec;
+    if (!runner::campaignByName(campaign, &spec)) {
+        if (error)
+            *error = "unknown campaign '" + campaign + "'";
+        return false;
+    }
+    if (maxInsts)
+        spec = spec.withMaxInsts(maxInsts);
+    if (!sample.empty()) {
+        checkpoint::SampleSpec s;
+        std::string serror;
+        if (!checkpoint::parseSampleSpec(sample, &s, &serror)) {
+            if (error)
+                *error = "sample: " + serror;
+            return false;
+        }
+        spec = spec.withSampling(s);
+    }
+
+    std::unordered_map<std::string, runner::CellResult> byKey;
+    for (const std::string &line : lines) {
+        runner::CellResult r;
+        std::string key;
+        if (runner::parseJournalLine(line, spec.name, &r, &key))
+            byKey[key] = std::move(r);
+    }
+
+    out->campaign = spec.name;
+    out->cells.assign(spec.cells.size(), runner::CellResult());
+    for (std::size_t i = 0; i < spec.cells.size(); i++) {
+        auto it = byKey.find(runner::journalKey(spec.cells[i]));
+        if (it == byKey.end()) {
+            if (error)
+                *error = "stream has no result for cell '" +
+                         spec.cells[i].workload + "' on '" +
+                         spec.cells[i].machine + "'";
+            return false;
+        }
+        runner::CellResult r = it->second;
+        r.cell = spec.cells[i];
+        out->cells[i] = std::move(r);
+    }
+    return true;
+}
+
+} // namespace serve
+} // namespace simalpha

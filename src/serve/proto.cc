@@ -1,0 +1,299 @@
+#include "serve/proto.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "runner/artifacts.hh"   // jsonEscape
+
+namespace simalpha {
+namespace serve {
+
+using runner::jsonEscape;
+
+namespace {
+
+/**
+ * Flat-object scanner shared by request and control-line parsing:
+ * strings and unsigned integers only, no nesting, no trailing bytes.
+ * Mirrors the journal's LineParser but is independent of it — the
+ * wire protocol must stay parseable even if the journal grows richer
+ * value kinds.
+ */
+class FlatParser
+{
+  public:
+    explicit FlatParser(const std::string &text) : _s(text) {}
+
+    bool
+    object(std::map<std::string, std::string> *strings,
+           std::map<std::string, std::uint64_t> *numbers)
+    {
+        skipWs();
+        if (!eat('{'))
+            return false;
+        skipWs();
+        if (eat('}'))
+            return done();
+        for (;;) {
+            std::string key;
+            if (!stringLit(&key))
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return false;
+            skipWs();
+            if (peek() == '"') {
+                std::string v;
+                if (!stringLit(&v))
+                    return false;
+                (*strings)[key] = v;
+            } else if (std::isdigit(
+                           static_cast<unsigned char>(peek()))) {
+                std::uint64_t v;
+                if (!numberLit(&v))
+                    return false;
+                (*numbers)[key] = v;
+            } else {
+                return false;
+            }
+            skipWs();
+            if (eat(',')) {
+                skipWs();
+                continue;
+            }
+            if (eat('}'))
+                return done();
+            return false;
+        }
+    }
+
+  private:
+    bool
+    done()
+    {
+        skipWs();
+        return _pos >= _s.size();
+    }
+
+    char
+    peek() const
+    {
+        return _pos < _s.size() ? _s[_pos] : '\0';
+    }
+
+    bool
+    eat(char c)
+    {
+        if (peek() != c)
+            return false;
+        _pos++;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _s.size() &&
+               std::isspace(static_cast<unsigned char>(_s[_pos])))
+            _pos++;
+    }
+
+    bool
+    stringLit(std::string *out)
+    {
+        if (!eat('"'))
+            return false;
+        out->clear();
+        while (_pos < _s.size()) {
+            char c = _s[_pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (_pos >= _s.size())
+                return false;
+            char esc = _s[_pos++];
+            switch (esc) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'n': *out += '\n'; break;
+              case 't': *out += '\t'; break;
+              default: return false;
+            }
+        }
+        return false;
+    }
+
+    bool
+    numberLit(std::uint64_t *out)
+    {
+        std::size_t start = _pos;
+        while (_pos < _s.size() &&
+               std::isdigit(static_cast<unsigned char>(_s[_pos])))
+            _pos++;
+        if (_pos == start || _pos - start > 20)
+            return false;
+        *out = std::strtoull(_s.substr(start, _pos - start).c_str(),
+                             nullptr, 10);
+        return true;
+    }
+
+    const std::string &_s;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+bool
+parseRequest(const std::string &line, Request *out, std::string *error)
+{
+    if (line.size() > kMaxLineBytes) {
+        if (error)
+            *error = "request line exceeds the per-line byte cap";
+        return false;
+    }
+    std::map<std::string, std::string> strings;
+    std::map<std::string, std::uint64_t> numbers;
+    FlatParser parser(line);
+    if (!parser.object(&strings, &numbers)) {
+        if (error)
+            *error = "request is not a flat JSON object of "
+                     "string/integer fields";
+        return false;
+    }
+    if (!strings.count("op")) {
+        if (error)
+            *error = "request has no \"op\" field";
+        return false;
+    }
+    Request r;
+    r.op = strings["op"];
+    if (strings.count("campaign"))
+        r.campaign = strings["campaign"];
+    if (numbers.count("max_insts"))
+        r.maxInsts = numbers["max_insts"];
+    if (strings.count("sample"))
+        r.sample = strings["sample"];
+    if (strings.count("client"))
+        r.client = strings["client"];
+    *out = std::move(r);
+    return true;
+}
+
+bool
+isServeLine(const std::string &line)
+{
+    return line.rfind("{\"serve\":1,", 0) == 0 ||
+           line == "{\"serve\":1}";
+}
+
+bool
+parseServeLine(const std::string &line,
+               std::map<std::string, std::string> *strings,
+               std::map<std::string, std::uint64_t> *numbers)
+{
+    FlatParser parser(line);
+    return parser.object(strings, numbers);
+}
+
+std::string
+helloLine(const std::string &storePath, std::size_t maxPending,
+          std::size_t maxClients)
+{
+    std::ostringstream os;
+    os << "{\"serve\":1,\"event\":\"hello\",\"version\":"
+       << kProtoVersion << ",\"store\":\"" << jsonEscape(storePath)
+       << "\",\"max_pending\":" << maxPending
+       << ",\"max_clients\":" << maxClients << "}";
+    return os.str();
+}
+
+std::string
+errorLine(const std::string &code, const std::string &message)
+{
+    std::ostringstream os;
+    os << "{\"serve\":1,\"event\":\"error\",\"code\":\""
+       << jsonEscape(code) << "\",\"message\":\""
+       << jsonEscape(message) << "\"}";
+    return os.str();
+}
+
+std::string
+acceptedLine(const std::string &campaign, const std::string &jobId,
+             std::size_t cells, std::size_t pendingAhead)
+{
+    std::ostringstream os;
+    os << "{\"serve\":1,\"event\":\"accepted\",\"campaign\":\""
+       << jsonEscape(campaign) << "\",\"job\":\"" << jsonEscape(jobId)
+       << "\",\"cells\":" << cells
+       << ",\"pending_ahead\":" << pendingAhead << "}";
+    return os.str();
+}
+
+std::string
+doneLine(const std::string &campaign, const std::string &jobId,
+         std::size_t cells, std::size_t okCells,
+         std::size_t failedCells, const std::string &outcome)
+{
+    std::ostringstream os;
+    os << "{\"serve\":1,\"event\":\"done\",\"campaign\":\""
+       << jsonEscape(campaign) << "\",\"job\":\"" << jsonEscape(jobId)
+       << "\",\"cells\":" << cells << ",\"ok\":" << okCells
+       << ",\"failed\":" << failedCells << ",\"outcome\":\""
+       << jsonEscape(outcome) << "\"}";
+    return os.str();
+}
+
+std::string
+statusLine(const std::string &campaign, const std::string &jobId,
+           const std::string &state, std::size_t settled,
+           std::size_t cells)
+{
+    std::ostringstream os;
+    os << "{\"serve\":1,\"event\":\"status\",\"campaign\":\""
+       << jsonEscape(campaign) << "\",\"job\":\"" << jsonEscape(jobId)
+       << "\",\"state\":\"" << jsonEscape(state)
+       << "\",\"settled\":" << settled << ",\"cells\":" << cells
+       << "}";
+    return os.str();
+}
+
+std::string
+healthLine(const HealthSnapshot &s)
+{
+    std::ostringstream os;
+    os << "{\"serve\":1,\"event\":\"health\",\"status\":\""
+       << (s.draining ? "draining" : "ok")
+       << "\",\"store\":\"" << (s.storeDegraded ? "degraded" : "ok")
+       << "\",\"clients\":" << s.clients
+       << ",\"jobs_pending\":" << s.jobsPending
+       << ",\"jobs_running\":" << (s.jobRunning ? 1 : 0)
+       << ",\"jobs_done\":" << s.jobsDone
+       << ",\"cells_computed\":" << s.cellsComputed
+       << ",\"cells_served\":" << s.cellsServed
+       << ",\"busy_rejections\":" << s.busyRejections << "}";
+    return os.str();
+}
+
+std::string
+drainingLine()
+{
+    return "{\"serve\":1,\"event\":\"draining\"}";
+}
+
+std::string
+cancellingLine(const std::string &campaign, const std::string &jobId)
+{
+    std::ostringstream os;
+    os << "{\"serve\":1,\"event\":\"cancelling\",\"campaign\":\""
+       << jsonEscape(campaign) << "\",\"job\":\"" << jsonEscape(jobId)
+       << "\"}";
+    return os.str();
+}
+
+} // namespace serve
+} // namespace simalpha

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The wire protocol of the campaign service: newline-delimited JSON
+ * over a byte stream (Unix-domain socket by default, TCP optionally).
+ *
+ * Requests are single flat JSON objects, one per line:
+ *
+ *   {"op":"hello","client":"bench-rig"}
+ *   {"op":"submit","campaign":"table3","max_insts":100000}
+ *   {"op":"submit","campaign":"table3","sample":"windows=5,len=1000"}
+ *   {"op":"results","campaign":"table3","max_insts":100000}
+ *   {"op":"status","campaign":"table3","max_insts":100000}
+ *   {"op":"cancel","campaign":"table3","max_insts":100000}
+ *   {"op":"health"}
+ *   {"op":"shutdown"}
+ *
+ * Responses are lines of two kinds, distinguished by prefix:
+ *
+ *   - control lines start with {"serve":1, — hello/accepted/status/
+ *     health/done/error events produced by the service itself, and
+ *   - result lines start with {"campaign": — the *verbatim bytes* of
+ *     campaign-journal lines (runner/journal.hh), streamed as cells
+ *     settle. The service never re-encodes a result, so a client
+ *     collecting the stream holds exactly the journal an uninterrupted
+ *     local run would have written.
+ *
+ * The parser here is deliberately tiny and hostile-input-safe: flat
+ * objects of string/integer values only, bounded by the server's line
+ * cap, returning false (never throwing, never reading out of bounds)
+ * for anything else. Fuzzable garbage costs one "error" reply line.
+ */
+
+#ifndef SIMALPHA_SERVE_PROTO_HH
+#define SIMALPHA_SERVE_PROTO_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace simalpha {
+namespace serve {
+
+/** Protocol version spoken by this build (in hello lines). */
+constexpr int kProtoVersion = 1;
+
+/** Longest request or control line either side will accept. Result
+ *  lines are journal lines and stay far below this. */
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+/** A parsed client request. Unknown ops parse fine (op carries the
+ *  text) and are rejected by the server with an "error" reply. */
+struct Request
+{
+    std::string op;        ///< "hello", "submit", "status", ...
+    std::string campaign;  ///< named campaign ("table3", "smoke", ...)
+    std::uint64_t maxInsts = 0;
+    std::string sample;    ///< formatted SampleSpec, empty = unsampled
+    std::string client;    ///< optional self-identification (hello)
+};
+
+/** Parse one request line. Returns false with *error filled for
+ *  anything that is not a flat JSON object with the expected field
+ *  types; never throws. */
+bool parseRequest(const std::string &line, Request *out,
+                  std::string *error);
+
+/** True iff @p line is a service control line (vs a verbatim result
+ *  line or garbage). */
+bool isServeLine(const std::string &line);
+
+/**
+ * Parse a control line into its string and integer fields ("serve"
+ * itself included, as an integer). Returns false for anything that is
+ * not a flat object. Used by the client and the tests; the server
+ * only ever writes these.
+ */
+bool parseServeLine(const std::string &line,
+                    std::map<std::string, std::string> *strings,
+                    std::map<std::string, std::uint64_t> *numbers);
+
+// ---------------------------------------------------------------
+// Control-line builders (no trailing newline; the transport adds it).
+// ---------------------------------------------------------------
+
+std::string helloLine(const std::string &storePath,
+                      std::size_t maxPending, std::size_t maxClients);
+
+/** code: bad_request, busy, budget, unknown_campaign, draining,
+ *  not_found. `busy` and connect failures are the retryable ones. */
+std::string errorLine(const std::string &code,
+                      const std::string &message);
+
+std::string acceptedLine(const std::string &campaign,
+                         const std::string &jobId, std::size_t cells,
+                         std::size_t pendingAhead);
+
+/** outcome: "complete", "cancelled", "failed". */
+std::string doneLine(const std::string &campaign,
+                     const std::string &jobId, std::size_t cells,
+                     std::size_t okCells, std::size_t failedCells,
+                     const std::string &outcome);
+
+/** state: "pending", "running", "done", "cancelled", "failed",
+ *  "journal" (settled lines on disk, no live job), "absent". */
+std::string statusLine(const std::string &campaign,
+                       const std::string &jobId,
+                       const std::string &state, std::size_t settled,
+                       std::size_t cells);
+
+struct HealthSnapshot
+{
+    bool draining = false;
+    bool storeDegraded = false;
+    std::size_t clients = 0;
+    std::size_t jobsPending = 0;
+    bool jobRunning = false;
+    std::uint64_t jobsDone = 0;
+    std::uint64_t cellsComputed = 0;
+    std::uint64_t cellsServed = 0;  ///< journal/cache/store, not computed
+    std::uint64_t busyRejections = 0;
+};
+
+std::string healthLine(const HealthSnapshot &snapshot);
+
+std::string drainingLine();
+
+std::string cancellingLine(const std::string &campaign,
+                           const std::string &jobId);
+
+} // namespace serve
+} // namespace simalpha
+
+#endif // SIMALPHA_SERVE_PROTO_HH

@@ -1,0 +1,138 @@
+#include "serve/servebench.hh"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <chrono>
+#include <thread>
+
+#include "runner/journal.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+namespace simalpha {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** One timed submit of capped table3 through a running daemon.
+ *  insts = committed instructions the returned lines carry, so the
+ *  resulting ips is comparable with the other bench rows. */
+bool
+timedSubmit(const std::string &address, std::uint64_t maxInsts,
+            runner::PerfPath *out, std::string *error)
+{
+    ClientOptions copts;
+    copts.connect = address;
+    copts.maxRetries = 0;
+
+    auto t0 = Clock::now();
+    SubmitOutcome o = submitCampaign(copts, "table3", maxInsts);
+    auto t1 = Clock::now();
+    if (!o.ok) {
+        *error = "serve bench submit failed: " + o.error;
+        return false;
+    }
+    std::uint64_t insts = 0;
+    for (const std::string &line : o.lines) {
+        runner::CellResult r;
+        std::string key;
+        if (!runner::parseJournalLine(line, "table3", &r, &key))
+            continue;
+        if (!r.ok) {
+            *error = "serve bench cell failed: " + r.error;
+            return false;
+        }
+        insts += r.instsCommitted;
+    }
+    out->insts = insts;
+    out->seconds = std::chrono::duration<double>(t1 - t0).count();
+    out->ips =
+        out->seconds > 0.0 ? double(out->insts) / out->seconds : 0.0;
+    return true;
+}
+
+struct DaemonHandle
+{
+    Server *server = nullptr;
+    std::thread thread;
+
+    ~DaemonHandle()
+    {
+        if (server)
+            server->requestShutdown();
+        if (thread.joinable())
+            thread.join();
+    }
+};
+
+bool
+startDaemon(Server &server, DaemonHandle *handle, std::string *error)
+{
+    if (!server.start(error))
+        return false;
+    handle->server = &server;
+    handle->thread = std::thread([&server] { server.run(); });
+    return true;
+}
+
+} // namespace
+
+bool
+measureServeBench(std::uint64_t maxInsts, runner::PerfPath *cold,
+                  runner::PerfPath *warm, std::string *error)
+{
+    char tmpl[] = "/tmp/simalpha-servebench-XXXXXX";
+    if (!::mkdtemp(tmpl)) {
+        *error = "serve bench: cannot create a temp directory";
+        return false;
+    }
+    const std::string dir = tmpl;
+    const std::string storePath = dir + "/store";
+
+    ServeOptions sopts;
+    sopts.storePath = storePath;
+    sopts.listen = dir + "/bench.sock";
+    sopts.jobs = 1;     // serial, like every other bench row
+
+    bool ok = false;
+    {
+        // Cold: empty store, empty journal — every cell computes.
+        Server server(sopts);
+        DaemonHandle daemon;
+        ok = startDaemon(server, &daemon, error) &&
+             timedSubmit(server.boundAddress(), maxInsts, cold,
+                         error);
+    }
+    if (ok) {
+        // Warm: same store, but the job journal is removed so the
+        // rerun exercises the store-hit path (not journal replay) —
+        // the service's steady-state answer for a repeated table.
+        const std::string journal = jobJournalPath(
+            storePath,
+            jobIdFromKey(jobKey("table3", maxInsts,
+                                checkpoint::SampleSpec())));
+        std::remove(journal.c_str());
+        Server server(sopts);
+        DaemonHandle daemon;
+        ok = startDaemon(server, &daemon, error) &&
+             timedSubmit(server.boundAddress(), maxInsts, warm,
+                         error);
+    }
+
+    // Best-effort scrub of the private temp tree.
+    if (dir.rfind("/tmp/simalpha-servebench-", 0) == 0) {
+        std::string cmd = "rm -rf '" + dir + "'";
+        int rc = std::system(cmd.c_str());
+        (void)rc;
+    }
+    return ok;
+}
+
+} // namespace serve
+} // namespace simalpha

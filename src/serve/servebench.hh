@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The `serve` rows of `simalpha bench`: the capped Table-3 campaign
+ * measured end-to-end through the service — daemon on a private temp
+ * store, client submit over a Unix socket, wall clock from submit to
+ * done line — first cold (every cell computes), then warm (the job
+ * journal is cleared so every cell is served from the now-populated
+ * store, still through the whole socket round trip).
+ *
+ * Lives in sim_serve (above the runner); the runner's bench harness
+ * reaches it through runner::setServeBenchHook, wired by the driver.
+ */
+
+#ifndef SIMALPHA_SERVE_SERVEBENCH_HH
+#define SIMALPHA_SERVE_SERVEBENCH_HH
+
+#include <cstdint>
+#include <string>
+
+#include "runner/perfbench.hh"
+
+namespace simalpha {
+namespace serve {
+
+/** runner::ServeBenchFn implementation. False with *error filled if
+ *  the daemon cannot start or a cell fails. */
+bool measureServeBench(std::uint64_t maxInsts,
+                       runner::PerfPath *cold, runner::PerfPath *warm,
+                       std::string *error);
+
+} // namespace serve
+} // namespace simalpha
+
+#endif // SIMALPHA_SERVE_SERVEBENCH_HH

@@ -16,9 +16,11 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 
 #include "common/error.hh"
 #include "common/logging.hh"
@@ -695,5 +697,95 @@ TEST(Journal, MissingJournalFileResumesNothing)
         EXPECT_TRUE(r.ok);
         EXPECT_FALSE(r.fromJournal);
     }
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Journal durability: torn tails and fsync-per-append
+// ---------------------------------------------------------------------
+
+TEST(Journal, TornTailIsDiscardedAndThatCellReExecutes)
+{
+    // The tail a SIGKILLed (or power-cut) process leaves: the final
+    // line cut mid-byte, no terminating newline. Resume must discard
+    // exactly that entry, replay everything before it, and re-execute
+    // the torn cell — never parse garbage into a "settled" result.
+    std::string path = uniquePath("torn");
+    std::remove(path.c_str());
+    CampaignSpec spec = cheapSpec(4);
+
+    RunnerOptions journaling;
+    journaling.jobs = 1;
+    journaling.cache = false;
+    journaling.journalPath = path;
+    std::string clean =
+        toJson(ExperimentRunner(journaling).run(spec));
+
+    std::istringstream lines(readFile(path));
+    std::string kept, line;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) {
+        if (n < 3)
+            kept += line + "\n";
+        else
+            kept += line.substr(0, line.size() / 2);    // torn
+        n++;
+    }
+    ASSERT_EQ(n, 4u);
+    writeFile(path, kept);
+
+    std::unordered_map<std::string, CellResult> replay;
+    std::string error;
+    ASSERT_TRUE(loadJournal(path, spec.name, &replay, &error))
+        << error;
+    EXPECT_EQ(replay.size(), 3u);   // the torn entry is gone
+
+    RunnerOptions resuming = journaling;
+    resuming.resume = true;
+    CampaignResult result = ExperimentRunner(resuming).run(spec);
+    std::size_t fromJournal = 0;
+    for (const CellResult &r : result.cells)
+        fromJournal += r.fromJournal;
+    EXPECT_EQ(fromJournal, 3u);
+    EXPECT_FALSE(result.cells[3].fromJournal);  // re-executed
+    EXPECT_EQ(toJson(result), clean);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, SyncFlagAndEnvironmentEnableFsyncPerAppend)
+{
+    std::string path = uniquePath("sync");
+    std::remove(path.c_str());
+    CellResult r;
+    r.cell = {"sim-alpha", Optimization::None, "C-R", 1000, 0};
+    r.seed = cellSeed(r.cell);
+    r.ok = true;
+    r.manifestHash = "0123456789abcdef";
+
+    {
+        CampaignJournal j;
+        std::string error;
+        ASSERT_TRUE(j.open(path, &error, true)) << error;
+        EXPECT_TRUE(j.syncing());
+        j.append("camp", r);
+        j.appendRaw(journalLine("camp", r));
+    }
+    std::unordered_map<std::string, CellResult> replay;
+    std::string error;
+    ASSERT_TRUE(loadJournal(path, "camp", &replay, &error)) << error;
+    EXPECT_EQ(replay.size(), 1u);   // same cell, newest wins
+    std::remove(path.c_str());
+
+    // SIMALPHA_JOURNAL_SYNC=1 forces syncing on without any flag.
+    EXPECT_FALSE(journalSyncFromEnv());
+    ::setenv("SIMALPHA_JOURNAL_SYNC", "1", 1);
+    EXPECT_TRUE(journalSyncFromEnv());
+    {
+        CampaignJournal j;
+        ASSERT_TRUE(j.open(path, &error, false)) << error;
+        EXPECT_TRUE(j.syncing());
+    }
+    ::unsetenv("SIMALPHA_JOURNAL_SYNC");
+    EXPECT_FALSE(journalSyncFromEnv());
     std::remove(path.c_str());
 }

@@ -412,3 +412,31 @@ TEST(ShardWorker, InterruptedFlagStopsBeforeNextCell)
     EXPECT_TRUE(readFile(path).empty());
     std::remove(path.c_str());
 }
+
+// ---------------------------------------------------------------------
+// Respawn backoff: deterministic, bounded, desynchronized per shard
+// ---------------------------------------------------------------------
+
+TEST(ShardProtocol, RespawnBackoffIsDeterministicBoundedAndJittered)
+{
+    for (int respawn = 0; respawn < 8; respawn++) {
+        double d1 = respawnBackoffSeconds(0.5, respawn, 3);
+        double d2 = respawnBackoffSeconds(0.5, respawn, 3);
+        EXPECT_EQ(d1, d2);      // reproducible schedule
+        double nominal = 0.5 * double(1u << respawn);
+        EXPECT_GE(d1, nominal * 0.75);
+        EXPECT_LT(d1, nominal * 1.25);
+    }
+    // Two crashed shards never hammer the respawn path in lockstep.
+    bool differs = false;
+    for (int respawn = 0; respawn < 8; respawn++)
+        if (respawnBackoffSeconds(0.5, respawn, 0) !=
+            respawnBackoffSeconds(0.5, respawn, 1))
+            differs = true;
+    EXPECT_TRUE(differs);
+    // The exponent is clamped: a pathological respawn count stays a
+    // finite delay, not an overflowed shift.
+    double huge = respawnBackoffSeconds(0.5, 1000, 0);
+    EXPECT_GT(huge, 0.0);
+    EXPECT_EQ(huge, respawnBackoffSeconds(0.5, 31, 0));
+}

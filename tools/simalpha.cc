@@ -45,6 +45,7 @@
 #include <cstring>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -54,10 +55,15 @@
 #include "inject/inject.hh"
 #include "runner/artifacts.hh"
 #include "runner/campaign.hh"
+#include "runner/journal.hh"
 #include "runner/perfbench.hh"
 #include "runner/runner.hh"
 #include "runner/shard.hh"
 #include "runner/supervisor.hh"
+#include "serve/client.hh"
+#include "serve/proto.hh"
+#include "serve/server.hh"
+#include "serve/servebench.hh"
 #include "store/store.hh"
 #include "validate/machines.hh"
 #include "validate/manifest.hh"
@@ -180,6 +186,9 @@ usage()
         "                      (from an interrupted run of the same\n"
         "                      campaign)\n"
         "  --no-journal        do not keep a journal next to --out\n"
+        "  --journal-sync      fsync the journal after every line, so\n"
+        "                      even a machine crash loses no settled\n"
+        "                      cell (also: SIMALPHA_JOURNAL_SYNC=1)\n"
         "  --max-insts also caps every campaign cell.\n"
         "\n"
         "process isolation (crash-proof campaigns):\n"
@@ -212,6 +221,35 @@ usage()
         "                      campaign options (--jobs, --store,\n"
         "                      --isolate, --resume, ...) apply\n"
         "\n"
+        "campaign service (simalpha serve / simalpha submit):\n"
+        "  simalpha serve --store <dir> [--listen <addr>]\n"
+        "                 [--jobs N] [--isolate thread|process]\n"
+        "                 [--shards N] [--max-pending N]\n"
+        "                 [--max-clients N] [--max-cells N]\n"
+        "                 [--max-client-cells N] [--drain-timeout s]\n"
+        "                 [--journal-sync]\n"
+        "                      long-running daemon on <addr> (default\n"
+        "                      <store>/serve.sock; tcp:PORT for\n"
+        "                      127.0.0.1 TCP). Streams result lines as\n"
+        "                      cells settle, serves warm cells from\n"
+        "                      the store, journals every job under\n"
+        "                      <store>/serve.d/ so a killed daemon\n"
+        "                      resumes on restart. Full queues reply\n"
+        "                      `busy`; SIGTERM drains then exits\n"
+        "  simalpha submit --connect <addr> | --store <dir>\n"
+        "                  --campaign <name> [--max-insts n]\n"
+        "                  [--sample spec] [--out file] [--quiet]\n"
+        "                  [--op submit|results|status|cancel|health|\n"
+        "                   shutdown|hello] [--timeout s] [--retries n]\n"
+        "                  [--backoff s] [--seed n] [--client name]\n"
+        "                      submit a campaign and stream its result\n"
+        "                      lines to stdout; retries connect\n"
+        "                      failures, busy rejections, and torn\n"
+        "                      streams with jittered exponential\n"
+        "                      backoff. Resubmitting the same identity\n"
+        "                      attaches to the in-flight job or\n"
+        "                      replays its journal byte-identically\n"
+        "\n"
         "store maintenance (simalpha store <verb> --store <dir>):\n"
         "  stats               entry count, bytes, quarantined blobs\n"
         "  verify              integrity-check every entry; corrupt\n"
@@ -242,6 +280,7 @@ struct CampaignCli
     int retries = 0;
     bool resume = false;
     bool journal = true;
+    bool journalSync = runner::journalSyncFromEnv();
     std::vector<runner::FaultInjection> faults;
     std::string workerBinary;           ///< for --isolate=process
 };
@@ -360,6 +399,7 @@ runCampaignProcess(const CampaignCli &cli,
     opts.faults = cli.faults;
     opts.masterJournalPath = journal_path;
     opts.resume = cli.resume;
+    opts.journalSync = cli.journalSync;
     opts.interrupted = &g_interrupted;
 
     runner::SupervisorOutcome outcome =
@@ -450,6 +490,7 @@ runCampaign(const CampaignCli &cli)
     opts.faults = cli.faults;
     opts.journalPath = journal_path;
     opts.resume = cli.resume && !journal_path.empty();
+    opts.journalSync = cli.journalSync;
     opts.cancel = &g_interrupted;
 
     runner::ExperimentRunner rnr(opts);
@@ -565,6 +606,8 @@ runVulnCommand(int argc, char **argv, const char *argv0)
             cli.resume = true;
         } else if (arg == "--no-journal") {
             cli.journal = false;
+        } else if (arg == "--journal-sync") {
+            cli.journalSync = true;
         } else if (arg == "--isolate") {
             cli.isolate = next();
         } else if (arg.rfind("--isolate=", 0) == 0) {
@@ -713,16 +756,261 @@ runStoreCommand(int argc, char **argv)
           verb.c_str());
 }
 
+/**
+ * `simalpha serve` — run the campaign service in the foreground until
+ * SIGTERM/SIGINT (drain-then-exit) or a client's shutdown request.
+ * Exit 0 on a clean drain, 1 if the I/O loop failed, 2 for usage
+ * errors.
+ */
+int
+runServeCommand(int argc, char **argv, const char *argv0)
+{
+    serve::ServeOptions sopts;
+    sopts.journalSync = runner::journalSyncFromEnv();
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--store") {
+            sopts.storePath = next();
+        } else if (arg == "--listen") {
+            sopts.listen = next();
+        } else if (arg == "--jobs") {
+            sopts.jobs = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--isolate") {
+            sopts.isolate = next();
+        } else if (arg.rfind("--isolate=", 0) == 0) {
+            sopts.isolate = arg.substr(10);
+        } else if (arg == "--shards") {
+            sopts.shards = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--max-pending") {
+            sopts.maxPending = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--max-clients") {
+            sopts.maxClients = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--max-cells") {
+            sopts.maxCellsPerCampaign =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--max-client-cells") {
+            sopts.maxClientCells = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--drain-timeout") {
+            sopts.drainTimeoutSeconds = std::strtod(next(), nullptr);
+        } else if (arg == "--journal-sync") {
+            sopts.journalSync = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            fatal("unknown serve option '%s'", arg.c_str());
+        }
+    }
+    if (sopts.storePath.empty())
+        fatal("serve needs --store <dir> (results, checkpoints, and "
+              "job journals live there)");
+    if (sopts.isolate != "thread" && sopts.isolate != "process")
+        fatal("unknown isolation mode '%s' (thread, process)",
+              sopts.isolate.c_str());
+
+    sopts.workerBinary = selfExePath(argv0);
+    sopts.interrupted = &g_interrupted;
+    installInterruptHandlers();
+
+    serve::Server server(sopts);
+    std::string error;
+    if (!server.start(&error))
+        fatal("%s", error.c_str());
+    std::printf("serving     %s\n", server.boundAddress().c_str());
+    std::printf("store       %s\n", sopts.storePath.c_str());
+    std::printf("isolation   %s%s\n", sopts.isolate.c_str(),
+                sopts.journalSync ? ", fsync per journal line" : "");
+    std::fflush(stdout);
+
+    int code = server.run();
+    serve::ServeStats st = server.stats();
+    std::printf("drained     %llu job(s) done, %llu cell(s) computed, "
+                "%llu served, %llu busy rejection(s)\n",
+                (unsigned long long)st.jobsDone,
+                (unsigned long long)st.cellsComputed,
+                (unsigned long long)st.cellsServed,
+                (unsigned long long)st.busyRejections);
+    return code;
+}
+
+/**
+ * `simalpha submit` — the service client. `--op submit` (default)
+ * streams result lines to stdout as cells settle and exits with the
+ * campaign's code (0 ok, 1 failed cells, 3 cancelled); the other ops
+ * print the daemon's one reply line. Exit 1 when the daemon rejects
+ * or cannot be reached after the retry budget.
+ */
+int
+runSubmitCommand(int argc, char **argv)
+{
+    serve::ClientOptions copts;
+    copts.seed = std::uint64_t(::getpid());
+    std::string storePath, campaign, op = "submit", outPath,
+        sampleStr, clientName;
+    std::uint64_t maxInsts = 0;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--connect") {
+            copts.connect = next();
+        } else if (arg == "--store") {
+            storePath = next();
+        } else if (arg == "--campaign") {
+            campaign = next();
+        } else if (arg == "--max-insts") {
+            maxInsts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--sample") {
+            sampleStr = next();
+        } else if (arg == "--op") {
+            op = next();
+        } else if (arg == "--client") {
+            clientName = next();
+        } else if (arg == "--timeout") {
+            copts.timeoutSeconds = std::strtod(next(), nullptr);
+        } else if (arg == "--retries") {
+            copts.maxRetries = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--backoff") {
+            copts.backoffSeconds = std::strtod(next(), nullptr);
+        } else if (arg == "--seed") {
+            copts.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--out") {
+            outPath = next();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            fatal("unknown submit option '%s'", arg.c_str());
+        }
+    }
+    if (copts.connect.empty()) {
+        if (storePath.empty())
+            fatal("submit needs --connect <addr> or --store <dir> "
+                  "(the daemon's default socket lives at "
+                  "<store>/serve.sock)");
+        copts.connect = storePath + "/serve.sock";
+    }
+    if (!sampleStr.empty()) {
+        // Validate client-side so a typo is exit 2 here, not a
+        // round-trip to the daemon.
+        checkpoint::SampleSpec s;
+        std::string serror;
+        if (!checkpoint::parseSampleSpec(sampleStr, &s, &serror))
+            fatal("--sample: %s", serror.c_str());
+    }
+
+    if (op == "submit" || op == "results") {
+        if (campaign.empty())
+            fatal("submit needs --campaign <name>");
+        serve::SubmitOutcome o = serve::submitCampaign(
+            copts, campaign, maxInsts, sampleStr, op == "results",
+            [&](const std::string &line) {
+                if (!quiet) {
+                    std::fputs(line.c_str(), stdout);
+                    std::fputc('\n', stdout);
+                    std::fflush(stdout);
+                }
+            });
+        if (!o.ok) {
+            std::string code_tag =
+                o.errorCode.empty() ? "" : " [" + o.errorCode + "]";
+            std::fprintf(stderr,
+                         "simalpha: submit failed after %d "
+                         "attempt(s)%s: %s\n",
+                         o.attempts, code_tag.c_str(),
+                         o.error.c_str());
+            return 1;
+        }
+        auto num = [&](const char *key) -> unsigned long long {
+            auto it = o.doneNumbers.find(key);
+            return it == o.doneNumbers.end() ? 0 : it->second;
+        };
+        std::string outcome;
+        {
+            auto it = o.doneStrings.find("outcome");
+            if (it != o.doneStrings.end())
+                outcome = it->second;
+        }
+        std::fprintf(stderr,
+                     "submit      %s: %llu cell(s), %llu ok, %llu "
+                     "failed (%s, %d attempt(s))\n",
+                     campaign.c_str(), num("cells"), num("ok"),
+                     num("failed"),
+                     outcome.empty() ? "?" : outcome.c_str(),
+                     o.attempts);
+        if (!outPath.empty()) {
+            runner::CampaignResult result;
+            std::string error;
+            if (!serve::linesToResult(campaign, maxInsts, sampleStr,
+                                      o.lines, &result, &error))
+                fatal("%s", error.c_str());
+            int code = writeCampaignArtifact(result, outPath);
+            if (outcome == "cancelled")
+                return 3;
+            return code;
+        }
+        if (outcome == "cancelled")
+            return 3;
+        return (outcome == "complete" && num("failed") == 0) ? 0 : 1;
+    }
+
+    // One-line ops: hello, status, cancel, health, shutdown.
+    std::ostringstream os;
+    os << "{\"op\":\"" << runner::jsonEscape(op) << "\"";
+    if (!campaign.empty())
+        os << ",\"campaign\":\"" << runner::jsonEscape(campaign)
+           << "\"";
+    if (maxInsts)
+        os << ",\"max_insts\":" << maxInsts;
+    if (!sampleStr.empty())
+        os << ",\"sample\":\"" << runner::jsonEscape(sampleStr)
+           << "\"";
+    if (!clientName.empty())
+        os << ",\"client\":\"" << runner::jsonEscape(clientName)
+           << "\"";
+    os << "}";
+
+    std::string reply, error;
+    if (!serve::requestOnce(copts, os.str(), &reply, &error))
+        fatal("%s", error.c_str());
+    std::printf("%s\n", reply.c_str());
+    std::map<std::string, std::string> strings;
+    std::map<std::string, std::uint64_t> numbers;
+    if (serve::parseServeLine(reply, &strings, &numbers) &&
+        strings["event"] == "error")
+        return 1;
+    return 0;
+}
+
 int
 realMain(int argc, char **argv)
 {
     setQuiet(true);
     if (argc >= 2 && std::strcmp(argv[1], "store") == 0)
         return runStoreCommand(argc - 1, argv + 1);
-    if (argc >= 2 && std::strcmp(argv[1], "bench") == 0)
+    if (argc >= 2 && std::strcmp(argv[1], "bench") == 0) {
+        runner::setServeBenchHook(&serve::measureServeBench);
         return runner::runBenchCommand(argc - 1, argv + 1);
+    }
     if (argc >= 2 && std::strcmp(argv[1], "vuln") == 0)
         return runVulnCommand(argc - 1, argv + 1, argv[0]);
+    if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
+        return runServeCommand(argc - 1, argv + 1, argv[0]);
+    if (argc >= 2 && std::strcmp(argv[1], "submit") == 0)
+        return runSubmitCommand(argc - 1, argv + 1);
 
     std::string machine_name = "sim-alpha";
     std::optional<std::string> workload_name;
@@ -762,6 +1050,8 @@ realMain(int argc, char **argv)
             cli.resume = true;
         } else if (arg == "--no-journal") {
             cli.journal = false;
+        } else if (arg == "--journal-sync") {
+            cli.journalSync = true;
         } else if (arg == "--max-insts") {
             cli.maxInsts = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--sample") {
@@ -823,6 +1113,7 @@ realMain(int argc, char **argv)
         wopts.storePath = cli.storePath;
         wopts.maxRetries = cli.retries;
         wopts.faults = cli.faults;
+        wopts.journalSync = cli.journalSync;
         wopts.interrupted = &g_interrupted;
         installInterruptHandlers();
         int code = runShardWorker(wopts);

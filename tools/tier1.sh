@@ -8,3 +8,18 @@ cmake -B build -S .
 cmake --build build -j
 cd build
 ctest --output-on-failure -j "$@"
+
+# Serve smoke: daemon up, one capped campaign through the socket,
+# clean shutdown — the CLI path the ctest suite exercises in-process.
+SERVE_DIR=$(mktemp -d /tmp/simalpha-tier1-serve-XXXXXX)
+trap 'rm -rf "$SERVE_DIR"' EXIT
+./tools/simalpha serve --store "$SERVE_DIR/store" --jobs 2 \
+    > "$SERVE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+sleep 1
+./tools/simalpha submit --store "$SERVE_DIR/store" \
+    --campaign smoke --max-insts 20000 --quiet --timeout 120
+./tools/simalpha submit --store "$SERVE_DIR/store" --op shutdown \
+    > /dev/null
+wait "$SERVE_PID"
+echo "serve smoke: OK"
