@@ -1,0 +1,161 @@
+#include "fleet/fleetbench.hh"
+
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "fleet/dispatcher.hh"
+#include "runner/journal.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+namespace simalpha {
+namespace fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct DaemonHandle
+{
+    serve::Server *server = nullptr;
+    std::thread thread;
+
+    ~DaemonHandle()
+    {
+        if (server)
+            server->requestShutdown();
+        if (thread.joinable())
+            thread.join();
+    }
+};
+
+bool
+startDaemon(serve::Server &server, DaemonHandle *handle,
+            std::string *error)
+{
+    if (!server.start(error))
+        return false;
+    handle->server = &server;
+    handle->thread = std::thread([&server] { server.run(); });
+    return true;
+}
+
+/** One timed submit of capped table3 through the fleet front-end. */
+bool
+timedSubmit(const std::string &address, std::uint64_t maxInsts,
+            runner::PerfPath *out, std::string *error)
+{
+    serve::ClientOptions copts;
+    copts.connect = address;
+    copts.maxRetries = 0;
+
+    auto t0 = Clock::now();
+    serve::SubmitOutcome o =
+        serve::submitCampaign(copts, "table3", maxInsts);
+    auto t1 = Clock::now();
+    if (!o.ok) {
+        *error = "fleet bench submit failed: " + o.error;
+        return false;
+    }
+    std::uint64_t insts = 0;
+    for (const std::string &line : o.lines) {
+        runner::CellResult r;
+        std::string key;
+        if (!runner::parseJournalLine(line, "table3", &r, &key))
+            continue;
+        if (!r.ok) {
+            *error = "fleet bench cell failed: " + r.error;
+            return false;
+        }
+        insts += r.instsCommitted;
+    }
+    out->insts = insts;
+    out->seconds = std::chrono::duration<double>(t1 - t0).count();
+    out->ips =
+        out->seconds > 0.0 ? double(out->insts) / out->seconds : 0.0;
+    return true;
+}
+
+/** Bring up two workers + a dispatcher front-end in @p dir and time
+ *  one capped table3 submit through the front. */
+bool
+runFleetOnce(const std::string &dir, std::uint64_t maxInsts,
+             runner::PerfPath *out, std::string *error)
+{
+    serve::ServeOptions w0, w1;
+    w0.storePath = dir + "/w0store";
+    w0.listen = dir + "/w0.sock";
+    w0.jobs = 1;
+    w1.storePath = dir + "/w1store";
+    w1.listen = dir + "/w1.sock";
+    w1.jobs = 1;
+
+    serve::Server worker0(w0), worker1(w1);
+    DaemonHandle d0, d1;
+    if (!startDaemon(worker0, &d0, error) ||
+        !startDaemon(worker1, &d1, error))
+        return false;
+
+    FleetOptions fopts;
+    fopts.workers = {WorkerConfig{worker0.boundAddress()},
+                     WorkerConfig{worker1.boundAddress()}};
+    fopts.seed = 1;
+    Dispatcher dispatcher(fopts);
+    if (!dispatcher.start(error))
+        return false;
+
+    serve::ServeOptions front;
+    front.storePath = dir + "/front";
+    front.listen = dir + "/front.sock";
+    front.executor = dispatcher.executor();
+    serve::Server frontServer(front);
+    DaemonHandle df;
+    if (!startDaemon(frontServer, &df, error))
+        return false;
+
+    return timedSubmit(frontServer.boundAddress(), maxInsts, out,
+                       error);
+}
+
+} // namespace
+
+bool
+measureFleetBench(std::uint64_t maxInsts, runner::PerfPath *cold,
+                  runner::PerfPath *warm, std::string *error)
+{
+    char tmpl[] = "/tmp/simalpha-fleetbench-XXXXXX";
+    if (!::mkdtemp(tmpl)) {
+        *error = "fleet bench: cannot create a temp directory";
+        return false;
+    }
+    const std::string dir = tmpl;
+
+    // Cold: empty stores everywhere — every cell computes on a worker.
+    bool ok = runFleetOnce(dir, maxInsts, cold, error);
+    if (ok) {
+        // Warm: clear every job journal (front and workers) but keep
+        // the worker stores, so the rerun times the store-hit path
+        // through both socket hops — the fleet's steady-state answer
+        // for a repeated table.
+        std::error_code ec;
+        for (const char *sub : {"/front", "/w0store", "/w1store"})
+            std::filesystem::remove_all(dir + sub + "/serve.d", ec);
+        ok = runFleetOnce(dir, maxInsts, warm, error);
+    }
+
+    // Best-effort scrub of the private temp tree.
+    if (dir.rfind("/tmp/simalpha-fleetbench-", 0) == 0) {
+        std::string cmd = "rm -rf '" + dir + "'";
+        int rc = std::system(cmd.c_str());
+        (void)rc;
+    }
+    return ok;
+}
+
+} // namespace fleet
+} // namespace simalpha

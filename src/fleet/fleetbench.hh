@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The `fleet` rows of `simalpha bench`: the capped Table-3 campaign
+ * measured end-to-end through a two-worker loopback fleet — two
+ * worker daemons and a dispatcher front-end on private temp stores,
+ * client submit to the front-end over a Unix socket, wall clock from
+ * submit to done line — first cold (every cell computes on a worker),
+ * then warm (job journals cleared, every cell served from the
+ * workers' populated stores through two socket hops).
+ *
+ * Lives in sim_fleet (above serve); the runner's bench harness
+ * reaches it through runner::setFleetBenchHook, wired by the driver.
+ */
+
+#ifndef SIMALPHA_FLEET_FLEETBENCH_HH
+#define SIMALPHA_FLEET_FLEETBENCH_HH
+
+#include <cstdint>
+#include <string>
+
+#include "runner/perfbench.hh"
+
+namespace simalpha {
+namespace fleet {
+
+/** runner::FleetBenchFn implementation. False with *error filled if
+ *  a daemon cannot start or a cell fails. */
+bool measureFleetBench(std::uint64_t maxInsts,
+                       runner::PerfPath *cold, runner::PerfPath *warm,
+                       std::string *error);
+
+} // namespace fleet
+} // namespace simalpha
+
+#endif // SIMALPHA_FLEET_FLEETBENCH_HH

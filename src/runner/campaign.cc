@@ -360,9 +360,81 @@ vulnCampaign(const VulnSpec &spec)
     return out;
 }
 
+std::string
+shardCampaignName(const std::string &base, std::size_t index,
+                  std::size_t count)
+{
+    return "shard:" + std::to_string(index) + "/" +
+           std::to_string(count) + ":" + base;
+}
+
+bool
+parseShardCampaignName(const std::string &name, std::size_t *index,
+                       std::size_t *count, std::string *base,
+                       std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = "bad shard campaign '" + name + "': " + why;
+        return false;
+    };
+    if (name.rfind("shard:", 0) != 0)
+        return fail("missing shard: prefix");
+    std::size_t slash = name.find('/', 6);
+    if (slash == std::string::npos)
+        return fail("expected shard:<i>/<n>:<base>");
+    // The base name may contain colons (vuln: specs do), so the
+    // index/count fields are delimited by the *first* colon after the
+    // slash and everything beyond it is the base, verbatim.
+    std::size_t colon = name.find(':', slash + 1);
+    if (colon == std::string::npos)
+        return fail("expected shard:<i>/<n>:<base>");
+    std::string indexText = name.substr(6, slash - 6);
+    std::string countText = name.substr(slash + 1, colon - slash - 1);
+    if (indexText.empty() ||
+        indexText.find_first_not_of("0123456789") != std::string::npos)
+        return fail("shard index '" + indexText + "' is not a number");
+    if (countText.empty() ||
+        countText.find_first_not_of("0123456789") != std::string::npos)
+        return fail("shard count '" + countText + "' is not a number");
+    std::size_t i = std::strtoull(indexText.c_str(), nullptr, 10);
+    std::size_t n = std::strtoull(countText.c_str(), nullptr, 10);
+    if (n == 0)
+        return fail("shard count must be > 0");
+    if (i >= n)
+        return fail("shard index " + indexText + " out of range for " +
+                    countText + " shards");
+    std::string rest = name.substr(colon + 1);
+    if (rest.empty())
+        return fail("empty base campaign name");
+    *index = i;
+    *count = n;
+    *base = rest;
+    return true;
+}
+
 bool
 campaignByName(const std::string &name, CampaignSpec *out)
 {
+    if (name.rfind("shard:", 0) == 0) {
+        std::size_t index = 0;
+        std::size_t count = 0;
+        std::string base;
+        std::string error;
+        if (!parseShardCampaignName(name, &index, &count, &base, &error))
+            return false;
+        CampaignSpec whole;
+        if (!campaignByName(base, &whole))
+            return false;
+        CampaignSpec sliced;
+        // Keep the base name: shard journal lines must be the bytes
+        // the single-host run writes (see shardCampaignName()).
+        sliced.name = whole.name;
+        for (std::size_t c = index; c < whole.cells.size(); c += count)
+            sliced.cells.push_back(whole.cells[c]);
+        *out = std::move(sliced);
+        return true;
+    }
     if (name.rfind("vuln:", 0) == 0) {
         VulnSpec spec;
         std::string error;

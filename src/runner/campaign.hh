@@ -146,8 +146,26 @@ bool parseVulnCampaignName(const std::string &name, VulnSpec *out,
  *  named by vulnCampaignName(spec). */
 CampaignSpec vulnCampaign(const VulnSpec &spec);
 
-/** Campaign by name ("table2".."table5", "smoke", or a "vuln:..."
- *  spec); false on unknown names. */
+/**
+ * "shard:<i>/<n>:<base>" — deterministic slice i of base campaign
+ * <base> partitioned round-robin over n shards (the same assignment
+ * shardCells() gives the process-isolation workers). The returned
+ * spec keeps the *base* campaign name, so journal lines produced by a
+ * shard are byte-identical to the lines the single-host run writes
+ * for those cells — which is what lets a fleet dispatcher merge
+ * per-worker shard journals into a master journal indistinguishable
+ * from a local run. <base> may itself contain colons (vuln: specs).
+ */
+std::string shardCampaignName(const std::string &base, std::size_t index,
+                              std::size_t count);
+
+/** Parse shardCampaignName() output; false with *error filled. */
+bool parseShardCampaignName(const std::string &name, std::size_t *index,
+                            std::size_t *count, std::string *base,
+                            std::string *error);
+
+/** Campaign by name ("table2".."table5", "smoke", a "vuln:..." spec,
+ *  or a "shard:<i>/<n>:<base>" slice); false on unknown names. */
 bool campaignByName(const std::string &name, CampaignSpec *out);
 
 } // namespace runner

@@ -246,6 +246,10 @@ entryToJson(std::ostringstream &o, const char *key, const PerfEntry &e)
     pathToJson(o, "serve_cold", e.serveCold);
     o << ",";
     pathToJson(o, "serve_warm", e.serveWarm);
+    o << ",";
+    pathToJson(o, "fleet_cold", e.fleetCold);
+    o << ",";
+    pathToJson(o, "fleet_warm", e.fleetWarm);
     o << "}";
 }
 
@@ -495,6 +499,13 @@ entryFromJson(const Json &parent, const char *key, PerfEntry *e,
     if (j->obj.count("serve_warm") &&
         !pathFromJson(*j, "serve_warm", &e->serveWarm, error))
         return false;
+    // Optional likewise: the fleet rows arrived with the dispatcher.
+    if (j->obj.count("fleet_cold") &&
+        !pathFromJson(*j, "fleet_cold", &e->fleetCold, error))
+        return false;
+    if (j->obj.count("fleet_warm") &&
+        !pathFromJson(*j, "fleet_warm", &e->fleetWarm, error))
+        return false;
     e->valid = true;
     return true;
 }
@@ -521,6 +532,7 @@ printPath(const char *name, const PerfPath &p)
 }
 
 ServeBenchFn g_serveBench = nullptr;
+FleetBenchFn g_fleetBench = nullptr;
 
 } // namespace
 
@@ -528,6 +540,12 @@ void
 setServeBenchHook(ServeBenchFn fn)
 {
     g_serveBench = fn;
+}
+
+void
+setFleetBenchHook(FleetBenchFn fn)
+{
+    g_fleetBench = fn;
 }
 
 bool
@@ -552,6 +570,9 @@ measurePerf(std::uint64_t max_insts, PerfEntry *out, std::string *error)
         return false;
     if (g_serveBench &&
         !g_serveBench(max_insts, &e.serveCold, &e.serveWarm, error))
+        return false;
+    if (g_fleetBench &&
+        !g_fleetBench(max_insts, &e.fleetCold, &e.fleetWarm, error))
         return false;
     e.valid = true;
     *out = e;
@@ -735,6 +756,14 @@ runBenchCommand(int argc, char **argv)
             std::printf("serve warm vs cold: %.1fx (store-served "
                         "cells through the socket)\n",
                         e.serveWarm.ips / e.serveCold.ips);
+    }
+    if (e.fleetCold.seconds > 0.0 || e.fleetWarm.seconds > 0.0) {
+        printPath("flt-cold", e.fleetCold);
+        printPath("flt-warm", e.fleetWarm);
+        if (e.fleetCold.ips > 0.0 && e.fleetWarm.ips > 0.0)
+            std::printf("fleet warm vs cold: %.1fx (store-served "
+                        "cells through two socket hops)\n",
+                        e.fleetWarm.ips / e.fleetCold.ips);
     }
     if (e.detailed.ips > 0.0 && e.injectIdle.ips > 0.0)
         std::printf("inject-idle vs detailed: %.3fx (disarmed "

@@ -73,6 +73,18 @@ struct PerfEntry
      */
     PerfPath serveCold;
     PerfPath serveWarm;
+    /**
+     * The two-worker loopback fleet measured end-to-end: two worker
+     * daemons plus a dispatcher front-end on private temp stores, the
+     * same capped Table-3 campaign submitted to the front-end, wall
+     * clock from submit to done line. `fleetCold` computes every cell
+     * on a worker; `fleetWarm` reruns against the workers' populated
+     * stores (job journals cleared), so the delta is the store's win
+     * through two socket hops. Absent before the fleet tier existed
+     * and in builds that don't wire the hook; optional.
+     */
+    PerfPath fleetCold;
+    PerfPath fleetWarm;
     bool valid = false;
 };
 
@@ -109,6 +121,13 @@ bool measurePerf(std::uint64_t max_insts, PerfEntry *out,
 using ServeBenchFn = bool (*)(std::uint64_t maxInsts, PerfPath *cold,
                               PerfPath *warm, std::string *error);
 void setServeBenchHook(ServeBenchFn fn);
+
+/** Same injection pattern for the fleet rows (sim_fleet sits above
+ *  serve): when unset, the fleet rows stay zero and the trajectory
+ *  file omits measured values for them. */
+using FleetBenchFn = bool (*)(std::uint64_t maxInsts, PerfPath *cold,
+                              PerfPath *warm, std::string *error);
+void setFleetBenchHook(FleetBenchFn fn);
 
 /** Render a report as the canonical BENCH_perf.json text. */
 std::string perfReportToJson(const PerfReport &report);

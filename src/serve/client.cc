@@ -38,54 +38,119 @@ remainingSeconds(Clock::time_point deadline, bool hasDeadline)
         .count();
 }
 
+/**
+ * Connect to a Unix-socket path or a tcp:[HOST:]PORT address, bounded
+ * by the earlier of the per-attempt deadline and the connect timeout.
+ * The connect itself runs non-blocking so an unreachable (black-holed)
+ * host reports "timed out connecting" instead of hanging; the returned
+ * descriptor is switched back to blocking for the request exchange.
+ */
 int
 connectTo(const std::string &where, Clock::time_point deadline,
-          bool hasDeadline, std::string *error)
+          bool hasDeadline, double connectTimeoutSeconds,
+          std::string *error)
 {
-    int fd = -1;
+    sockaddr_storage ss{};
+    socklen_t slen = 0;
+    int family = AF_UNIX;
     if (where.rfind("tcp:", 0) == 0) {
-        fd = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (fd < 0) {
-            *error = "cannot create TCP socket";
+        std::string host;
+        std::uint16_t port = 0;
+        if (!parseTcpAddress(where, &host, &port, error))
             return -1;
-        }
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
-        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-        addr.sin_port =
-            htons(std::uint16_t(std::atoi(where.c_str() + 4)));
-        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                      sizeof(addr)) != 0) {
-            *error = "cannot connect to " + where + ": " +
-                     std::strerror(errno);
-            ::close(fd);
+        if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+            *error = "cannot connect to " + where + ": '" + host +
+                     "' is not an IPv4 address";
             return -1;
         }
+        addr.sin_port = htons(port);
+        std::memcpy(&ss, &addr, sizeof(addr));
+        slen = sizeof(addr);
+        family = AF_INET;
     } else {
-        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-        if (fd < 0) {
-            *error = "cannot create Unix socket";
-            return -1;
-        }
         sockaddr_un addr{};
         addr.sun_family = AF_UNIX;
         if (where.size() >= sizeof(addr.sun_path)) {
-            *error = "socket path too long";
-            ::close(fd);
+            *error = "cannot connect to '" + where +
+                     "': socket path exceeds the sockaddr_un limit";
             return -1;
         }
         std::strncpy(addr.sun_path, where.c_str(),
                      sizeof(addr.sun_path) - 1);
-        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                      sizeof(addr)) != 0) {
+        std::memcpy(&ss, &addr, sizeof(addr));
+        slen = sizeof(addr);
+    }
+
+    int fd = ::socket(family, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *error = std::string("cannot create socket: ") +
+                 std::strerror(errno);
+        return -1;
+    }
+
+    Clock::time_point connectDeadline = deadline;
+    bool hasConnectDeadline = hasDeadline;
+    if (connectTimeoutSeconds > 0.0) {
+        Clock::time_point t =
+            Clock::now() + std::chrono::microseconds(
+                               long(connectTimeoutSeconds * 1e6));
+        if (!hasConnectDeadline || t < connectDeadline)
+            connectDeadline = t;
+        hasConnectDeadline = true;
+    }
+
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr *>(&ss), slen);
+    if (rc != 0 && errno != EINPROGRESS && errno != EAGAIN) {
+        *error = "cannot connect to " + where + ": " +
+                 std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (rc != 0) {
+        for (;;) {
+            int timeoutMs = -1;
+            if (hasConnectDeadline) {
+                double remain = std::chrono::duration<double>(
+                                    connectDeadline - Clock::now())
+                                    .count();
+                if (remain <= 0.0) {
+                    *error = "timed out connecting to " + where;
+                    ::close(fd);
+                    return -1;
+                }
+                timeoutMs = int(remain * 1000.0) + 1;
+            }
+            pollfd pfd{fd, POLLOUT, 0};
+            int prc = ::poll(&pfd, 1, timeoutMs);
+            if (prc > 0)
+                break;
+            if (prc == 0) {
+                *error = "timed out connecting to " + where;
+                ::close(fd);
+                return -1;
+            }
+            if (errno != EINTR) {
+                *error = std::string("poll failed: ") +
+                         std::strerror(errno);
+                ::close(fd);
+                return -1;
+            }
+        }
+        int soError = 0;
+        socklen_t elen = sizeof(soError);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &elen);
+        if (soError != 0) {
             *error = "cannot connect to " + where + ": " +
-                     std::strerror(errno);
+                     std::strerror(soError);
             ::close(fd);
             return -1;
         }
     }
-    (void)deadline;
-    (void)hasDeadline;
+    ::fcntl(fd, F_SETFL, flags);
     return fd;
 }
 
@@ -113,7 +178,7 @@ sendAll(int fd, const std::string &data, std::string *error)
 int
 readLine(int fd, std::string *carry, std::string *line,
          Clock::time_point deadline, bool hasDeadline,
-         std::string *error)
+         std::string *error, std::size_t maxLineBytes = kMaxLineBytes)
 {
     for (;;) {
         std::size_t pos = carry->find('\n');
@@ -122,7 +187,7 @@ readLine(int fd, std::string *carry, std::string *line,
             carry->erase(0, pos + 1);
             return 1;
         }
-        if (carry->size() > kMaxLineBytes) {
+        if (carry->size() > maxLineBytes) {
             *error = "reply line exceeds the per-line byte cap";
             return -1;
         }
@@ -236,8 +301,8 @@ submitCampaign(const ClientOptions &options,
         out.doneNumbers.clear();
         out.errorCode.clear();
 
-        int fd =
-            connectTo(options.connect, deadline, hasDeadline, &aerror);
+        int fd = connectTo(options.connect, deadline, hasDeadline,
+                           options.connectTimeoutSeconds, &aerror);
         if (fd < 0) {
             retryable = true;   // daemon restarting, stale socket
         } else if (!sendAll(fd, request, &aerror)) {
@@ -321,7 +386,8 @@ requestOnce(const ClientOptions &options,
     Clock::time_point deadline =
         Clock::now() + std::chrono::microseconds(
                            long(options.timeoutSeconds * 1e6));
-    int fd = connectTo(options.connect, deadline, hasDeadline, error);
+    int fd = connectTo(options.connect, deadline, hasDeadline,
+                       options.connectTimeoutSeconds, error);
     if (fd < 0)
         return false;
     if (!sendAll(fd, requestLine + "\n", error)) {
@@ -388,6 +454,140 @@ linesToResult(const std::string &campaign, std::uint64_t maxInsts,
         out->cells[i] = std::move(r);
     }
     return true;
+}
+
+namespace {
+
+/** Shared tail of the sync ops: read until the daemon's `synced`
+ *  control line, handing every non-control line to @p onDump. */
+bool
+readUntilSynced(int fd, Clock::time_point deadline, bool hasDeadline,
+                const std::function<void(const std::string &)> &onDump,
+                std::uint64_t *reported, std::string *error)
+{
+    std::string carry, line;
+    for (;;) {
+        int rc = readLine(fd, &carry, &line, deadline, hasDeadline,
+                          error, kMaxSyncLineBytes);
+        if (rc == 0) {
+            if (error)
+                *error = "connection closed before the synced line";
+            return false;
+        }
+        if (rc < 0)
+            return false;
+        if (!isServeLine(line)) {
+            if (onDump)
+                onDump(line);
+            continue;
+        }
+        std::map<std::string, std::string> strings;
+        std::map<std::string, std::uint64_t> numbers;
+        if (!parseServeLine(line, &strings, &numbers)) {
+            if (error)
+                *error = "unparseable control line from the daemon";
+            return false;
+        }
+        const std::string &event = strings["event"];
+        if (event == "synced") {
+            if (reported)
+                *reported = numbers["entries"];
+            return true;
+        }
+        if (event == "error") {
+            if (error)
+                *error = strings["message"];
+            return false;
+        }
+        // Other control events are ignorable (forward compat).
+    }
+}
+
+} // namespace
+
+bool
+syncPull(const ClientOptions &options, store::ResultStore *into,
+         std::uint64_t newerThanSeconds, std::uint64_t *pulled,
+         std::string *error)
+{
+    if (!into || !into->isOpen()) {
+        if (error)
+            *error = "sync pull needs an open local store";
+        return false;
+    }
+    const bool hasDeadline = options.timeoutSeconds > 0.0;
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::microseconds(
+                           long(options.timeoutSeconds * 1e6));
+    int fd = connectTo(options.connect, deadline, hasDeadline,
+                       options.connectTimeoutSeconds, error);
+    if (fd < 0)
+        return false;
+    std::ostringstream req;
+    req << "{\"op\":\"sync\",\"mode\":\"pull\"";
+    if (newerThanSeconds)
+        req << ",\"newer_than\":" << newerThanSeconds;
+    req << "}\n";
+    if (!sendAll(fd, req.str(), error)) {
+        ::close(fd);
+        return false;
+    }
+    std::uint64_t published = 0;
+    bool ok = readUntilSynced(
+        fd, deadline, hasDeadline,
+        [&](const std::string &dump) {
+            std::string key, payload;
+            if (store::ResultStore::parseExportLine(dump, &key,
+                                                    &payload) &&
+                into->publish(key, payload, nullptr))
+                published++;
+        },
+        nullptr, error);
+    ::close(fd);
+    if (ok && pulled)
+        *pulled = published;
+    return ok;
+}
+
+bool
+syncPush(const ClientOptions &options, const store::ResultStore &from,
+         const store::ExportFilter &filter, std::uint64_t *pushed,
+         std::string *error)
+{
+    // The push request announces the entry count up front, so the
+    // walk collects first (a racing publisher changing the store
+    // between a counting pass and a sending pass would desync the
+    // framing otherwise).
+    std::vector<std::string> dumps;
+    if (!from.exportLines(
+            filter,
+            [&](const std::string &line) {
+                dumps.push_back(line);
+                return true;
+            },
+            nullptr, error))
+        return false;
+
+    const bool hasDeadline = options.timeoutSeconds > 0.0;
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::microseconds(
+                           long(options.timeoutSeconds * 1e6));
+    int fd = connectTo(options.connect, deadline, hasDeadline,
+                       options.connectTimeoutSeconds, error);
+    if (fd < 0)
+        return false;
+    std::string payload = "{\"op\":\"sync\",\"mode\":\"push\","
+                          "\"entries\":" +
+                          std::to_string(dumps.size()) + "}\n";
+    for (const std::string &dump : dumps) {
+        payload += dump;
+        payload += '\n';
+    }
+    bool ok = sendAll(fd, payload, error) &&
+              readUntilSynced(fd, deadline, hasDeadline, nullptr,
+                              pushed, error);
+    ::close(fd);
+    return ok;
 }
 
 } // namespace serve

@@ -27,19 +27,26 @@
 #include <vector>
 
 #include "runner/runner.hh"
+#include "store/store.hh"
 
 namespace simalpha {
 namespace serve {
 
 struct ClientOptions
 {
-    /** "tcp:PORT" or a Unix-socket path (as the daemon's --listen /
-     *  bound address). */
+    /** "tcp:PORT", "tcp:HOST:PORT", or a Unix-socket path (as the
+     *  daemon's --listen / bound address). */
     std::string connect;
 
     /** Per-attempt wall-clock budget in seconds: connect + request +
      *  the whole stream. 0 = no timeout. */
     double timeoutSeconds = 0.0;
+
+    /** Bound on connect(2) alone, so a black-holed host fails fast
+     *  with a clear message even when timeoutSeconds is 0 (streams
+     *  may legitimately run for hours; connects may not). 0 = bounded
+     *  only by timeoutSeconds. */
+    double connectTimeoutSeconds = 10.0;
 
     /** Extra attempts after the first (connect failures, `busy`
      *  replies, and torn streams retry; terminal errors do not). */
@@ -107,6 +114,28 @@ bool linesToResult(const std::string &campaign, std::uint64_t maxInsts,
                    const std::string &sample,
                    const std::vector<std::string> &lines,
                    runner::CampaignResult *out, std::string *error);
+
+/**
+ * Pull the daemon's store into @p into (op "sync" mode "pull"):
+ * every entry — or only ones published in the last
+ * @p newerThanSeconds seconds when nonzero — is streamed down as
+ * store dump lines and published locally, last-writer-wins. *pulled
+ * (may be null) receives the locally-published count. No retries.
+ */
+bool syncPull(const ClientOptions &options, store::ResultStore *into,
+              std::uint64_t newerThanSeconds, std::uint64_t *pulled,
+              std::string *error);
+
+/**
+ * Push @p from's entries passing @p filter into the daemon's store
+ * (op "sync" mode "push") — the pre-seed a fleet dispatcher gives a
+ * cold worker. *pushed (may be null) receives the count the daemon
+ * reports imported. No retries.
+ */
+bool syncPush(const ClientOptions &options,
+              const store::ResultStore &from,
+              const store::ExportFilter &filter, std::uint64_t *pushed,
+              std::string *error);
 
 } // namespace serve
 } // namespace simalpha

@@ -149,6 +149,38 @@ class FlatParser
 } // namespace
 
 bool
+parseTcpAddress(const std::string &address, std::string *host,
+                std::uint16_t *port, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = "bad TCP address '" + address + "': " + why;
+        return false;
+    };
+    if (address.rfind("tcp:", 0) != 0)
+        return fail("expected tcp:PORT or tcp:HOST:PORT");
+    std::string rest = address.substr(4);
+    std::string hostText = "127.0.0.1";
+    std::string portText = rest;
+    std::size_t colon = rest.rfind(':');
+    if (colon != std::string::npos) {
+        hostText = rest.substr(0, colon);
+        portText = rest.substr(colon + 1);
+        if (hostText.empty())
+            return fail("empty host");
+    }
+    if (portText.empty() ||
+        portText.find_first_not_of("0123456789") != std::string::npos)
+        return fail("port '" + portText + "' is not a number");
+    unsigned long value = std::strtoul(portText.c_str(), nullptr, 10);
+    if (value > 65535)
+        return fail("port " + portText + " is out of range (0-65535)");
+    *host = hostText;
+    *port = std::uint16_t(value);
+    return true;
+}
+
+bool
 parseRequest(const std::string &line, Request *out, std::string *error)
 {
     if (line.size() > kMaxLineBytes) {
@@ -180,6 +212,12 @@ parseRequest(const std::string &line, Request *out, std::string *error)
         r.sample = strings["sample"];
     if (strings.count("client"))
         r.client = strings["client"];
+    if (strings.count("mode"))
+        r.mode = strings["mode"];
+    if (numbers.count("entries"))
+        r.entries = numbers["entries"];
+    if (numbers.count("newer_than"))
+        r.newerThan = numbers["newer_than"];
     *out = std::move(r);
     return true;
 }
@@ -275,7 +313,39 @@ healthLine(const HealthSnapshot &s)
        << ",\"jobs_done\":" << s.jobsDone
        << ",\"cells_computed\":" << s.cellsComputed
        << ",\"cells_served\":" << s.cellsServed
-       << ",\"busy_rejections\":" << s.busyRejections << "}";
+       << ",\"busy_rejections\":" << s.busyRejections
+       << ",\"pid\":" << s.pid
+       << ",\"uptime_s\":" << s.uptimeSeconds
+       << ",\"store_path\":\"" << jsonEscape(s.storePath) << "\"}";
+    return os.str();
+}
+
+std::string
+capabilitiesLine(const Capabilities &caps)
+{
+    std::ostringstream os;
+    os << "{\"serve\":1,\"event\":\"capabilities\",\"version\":"
+       << kProtoVersion
+       << ",\"ops\":\"hello,submit,status,results,cancel,health,"
+          "capabilities,sync,shutdown\""
+       << ",\"store_path\":\"" << jsonEscape(caps.storePath)
+       << "\",\"isolate\":\"" << jsonEscape(caps.isolate)
+       << "\",\"max_line_bytes\":" << kMaxLineBytes
+       << ",\"max_sync_line_bytes\":" << kMaxSyncLineBytes
+       << ",\"max_pending\":" << caps.maxPending
+       << ",\"max_clients\":" << caps.maxClients
+       << ",\"max_cells\":" << caps.maxCellsPerCampaign
+       << ",\"max_client_cells\":" << caps.maxClientCells << "}";
+    return os.str();
+}
+
+std::string
+syncedLine(const std::string &direction, std::uint64_t entries)
+{
+    std::ostringstream os;
+    os << "{\"serve\":1,\"event\":\"synced\",\"direction\":\""
+       << jsonEscape(direction) << "\",\"entries\":" << entries
+       << "}";
     return os.str();
 }
 

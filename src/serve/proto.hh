@@ -12,6 +12,9 @@
  *   {"op":"status","campaign":"table3","max_insts":100000}
  *   {"op":"cancel","campaign":"table3","max_insts":100000}
  *   {"op":"health"}
+ *   {"op":"capabilities"}
+ *   {"op":"sync","mode":"pull","newer_than":3600}
+ *   {"op":"sync","mode":"push","entries":12}
  *   {"op":"shutdown"}
  *
  * Responses are lines of two kinds, distinguished by prefix:
@@ -23,6 +26,16 @@
  *     settle. The service never re-encodes a result, so a client
  *     collecting the stream holds exactly the journal an uninterrupted
  *     local run would have written.
+ *
+ * The `sync` op (protocol 2, the fleet tier's store transport) adds a
+ * third line kind: store dump lines {"key":"...","payload":"..."} in
+ * the store's exportTo() JSONL format. A pull streams the daemon's
+ * store (optionally only entries published in the last `newer_than`
+ * seconds) as dump lines followed by a `synced` control line; a push
+ * announces `entries` and then sends exactly that many dump lines,
+ * which the daemon imports last-writer-wins before replying `synced`.
+ * Dump lines may carry checkpoint blobs, so sync mode raises the line
+ * cap to kMaxSyncLineBytes.
  *
  * The parser here is deliberately tiny and hostile-input-safe: flat
  * objects of string/integer values only, bounded by the server's line
@@ -40,12 +53,20 @@
 namespace simalpha {
 namespace serve {
 
-/** Protocol version spoken by this build (in hello lines). */
-constexpr int kProtoVersion = 1;
+/** Protocol version spoken by this build (in hello and capabilities
+ *  lines). Version 2 added the `sync` and `capabilities` ops and the
+ *  enriched health line; a version-2 peer still understands every
+ *  version-1 exchange. */
+constexpr int kProtoVersion = 2;
 
 /** Longest request or control line either side will accept. Result
  *  lines are journal lines and stay far below this. */
 constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+/** Line cap while a connection is in sync mode: store dump lines
+ *  carry whole payloads (checkpoint blobs included), which dwarf any
+ *  control line. */
+constexpr std::size_t kMaxSyncLineBytes = 8 * 1024 * 1024;
 
 /** A parsed client request. Unknown ops parse fine (op carries the
  *  text) and are rejected by the server with an "error" reply. */
@@ -56,7 +77,20 @@ struct Request
     std::uint64_t maxInsts = 0;
     std::string sample;    ///< formatted SampleSpec, empty = unsampled
     std::string client;    ///< optional self-identification (hello)
+    std::string mode;      ///< sync direction: "pull" or "push"
+    std::uint64_t entries = 0;   ///< sync push: dump lines to follow
+    std::uint64_t newerThan = 0; ///< sync pull: mtime filter, seconds
+                                 ///< (0 = whole store)
 };
+
+/**
+ * Parse a "tcp:PORT" or "tcp:HOST:PORT" address (HOST an IPv4
+ * dotted quad; omitted = 127.0.0.1). Shared by the server's bind and
+ * the client's connect so both sides accept the same spellings.
+ * Returns false with *error filled on anything else.
+ */
+bool parseTcpAddress(const std::string &address, std::string *host,
+                     std::uint16_t *port, std::string *error);
 
 /** Parse one request line. Returns false with *error filled for
  *  anything that is not a flat JSON object with the expected field
@@ -118,9 +152,31 @@ struct HealthSnapshot
     std::uint64_t cellsComputed = 0;
     std::uint64_t cellsServed = 0;  ///< journal/cache/store, not computed
     std::uint64_t busyRejections = 0;
+    std::uint64_t pid = 0;          ///< daemon process id
+    std::uint64_t uptimeSeconds = 0;
+    std::string storePath;          ///< store root the daemon serves
 };
 
 std::string healthLine(const HealthSnapshot &snapshot);
+
+/** What this daemon can do: protocol version, op list, line caps,
+ *  queue/budget limits — the probe a fleet dispatcher uses to admit a
+ *  worker. */
+struct Capabilities
+{
+    std::string storePath;
+    std::string isolate;            ///< "thread" or "process"
+    std::size_t maxPending = 0;
+    std::size_t maxClients = 0;
+    std::uint64_t maxCellsPerCampaign = 0;  ///< 0 = unlimited
+    std::uint64_t maxClientCells = 0;       ///< 0 = unlimited
+};
+
+std::string capabilitiesLine(const Capabilities &caps);
+
+/** End-of-sync marker: direction "pull" or "push", entry count. */
+std::string syncedLine(const std::string &direction,
+                       std::uint64_t entries);
 
 std::string drainingLine();
 

@@ -153,6 +153,11 @@ struct Server::Conn
     bool doneSent = false;
 
     std::size_t cellsSubmitted = 0; ///< lifetime budget accounting
+
+    /** Sync push in progress: store dump lines still expected (the
+     *  per-line cap is kMaxSyncLineBytes while nonzero). */
+    std::uint64_t syncRemaining = 0;
+    std::uint64_t syncImported = 0;
 };
 
 struct Server::State
@@ -224,11 +229,16 @@ Server::start(std::string *error)
         listen = _opts.storePath + "/serve.sock";
 
     if (listen.rfind("tcp:", 0) == 0) {
-        int port = std::atoi(listen.c_str() + 4);
+        std::string host;
+        std::uint16_t port = 0;
+        if (!parseTcpAddress(listen, &host, &port, error))
+            return false;
+        const bool hostGiven = listen.find(':', 4) != std::string::npos;
         _listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
         if (_listenFd < 0) {
             if (error)
-                *error = "cannot create TCP socket";
+                *error = std::string("cannot create TCP socket: ") +
+                         std::strerror(errno);
             return false;
         }
         int one = 1;
@@ -236,19 +246,30 @@ Server::start(std::string *error)
                      sizeof(one));
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
-        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-        addr.sin_port = htons(std::uint16_t(port));
+        if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+            if (error)
+                *error = "cannot bind " + listen + ": '" + host +
+                         "' is not an IPv4 address";
+            return false;
+        }
+        addr.sin_port = htons(port);
         if (::bind(_listenFd, reinterpret_cast<sockaddr *>(&addr),
                    sizeof(addr)) != 0) {
             if (error)
-                *error = "cannot bind " + listen + ": " +
-                         std::strerror(errno);
+                *error = "cannot bind " + listen + " (host " + host +
+                         ", port " + std::to_string(port) +
+                         "): " + std::strerror(errno);
             return false;
         }
         socklen_t len = sizeof(addr);
         ::getsockname(_listenFd, reinterpret_cast<sockaddr *>(&addr),
                       &len);
-        _boundAddress = "tcp:" + std::to_string(ntohs(addr.sin_port));
+        // Keep the bare "tcp:PORT" spelling when no host was named,
+        // so pre-fleet callers see the address shape they passed.
+        _boundAddress =
+            hostGiven ? "tcp:" + host + ":" +
+                            std::to_string(ntohs(addr.sin_port))
+                      : "tcp:" + std::to_string(ntohs(addr.sin_port));
     } else {
         sockaddr_un addr{};
         if (listen.size() >= sizeof(addr.sun_path)) {
@@ -305,8 +326,19 @@ Server::start(std::string *error)
     }
     setNonBlocking(_listenFd);
 
+    _startTime = Clock::now();
     _executor = std::thread([this] { executorLoop(); });
     return true;
+}
+
+bool
+Server::ensureSyncStore(std::string *error)
+{
+    if (_syncStore && _syncStore->isOpen())
+        return true;
+    if (!_syncStore)
+        _syncStore.reset(new store::ResultStore);
+    return _syncStore->open(_opts.storePath, error);
 }
 
 void
@@ -411,7 +443,18 @@ Server::runJob(const std::shared_ptr<Job> &job)
     };
 
     try {
-        if (_opts.isolate == "process") {
+        if (_opts.executor) {
+            JobWork work;
+            work.campaign = job->campaign;
+            work.spec = &job->spec;
+            work.maxInsts = job->maxInsts;
+            work.sample = job->sample;
+            work.journalPath = job->journalPath;
+            work.storePath = _opts.storePath;
+            work.cancel = &job->cancel;
+            work.emit = append;
+            _opts.executor(work);
+        } else if (_opts.isolate == "process") {
             runner::SupervisorOptions so;
             so.campaign = job->campaign;
             so.maxInsts = job->maxInsts;
@@ -423,11 +466,13 @@ Server::runJob(const std::shared_ptr<Job> &job)
             so.resume = true;
             so.journalSync = _opts.journalSync;
             so.interruptedAtomic = &job->cancel;
+            // Parse with the *derived* spec name: shard:<i>/<n>:<base>
+            // jobs journal their lines under the base campaign name.
             so.onLine = [&](const std::string &line) {
                 runner::CellResult r;
                 std::string key;
-                bool ok = runner::parseJournalLine(line, job->campaign,
-                                                   &r, &key) &&
+                bool ok = runner::parseJournalLine(
+                              line, job->spec.name, &r, &key) &&
                           r.ok;
                 append(line, ok, false);
             };
@@ -562,8 +607,9 @@ Server::handleSubmit(Conn &conn, const Request &req, bool allowRun)
     if (!runner::campaignByName(req.campaign, &spec)) {
         conn.out += errorLine("unknown_campaign",
                               "unknown campaign '" + req.campaign +
-                                  "' (table2..table5, smoke, or a "
-                                  "vuln:... spec)") +
+                                  "' (table2..table5, smoke, a "
+                                  "vuln:... spec, or a "
+                                  "shard:<i>/<n>:<base> slice)") +
                     "\n";
         return;
     }
@@ -585,6 +631,10 @@ Server::handleSubmit(Conn &conn, const Request &req, bool allowRun)
     const std::string key = jobKey(req.campaign, req.maxInsts, sample);
     const std::string id = jobIdFromKey(key);
     const std::size_t cells = spec.cells.size();
+    // Journal lines of a shard:<i>/<n>:<base> job carry the *base*
+    // campaign name — parse replays with the derived spec name, not
+    // the submitted one.
+    const std::string lineCampaign = spec.name;
 
     if (_opts.maxCellsPerCampaign &&
         cells > _opts.maxCellsPerCampaign) {
@@ -696,7 +746,7 @@ Server::handleSubmit(Conn &conn, const Request &req, bool allowRun)
         pos = nl + 1;
         runner::CellResult r;
         std::string k;
-        if (!runner::parseJournalLine(line, req.campaign, &r, &k))
+        if (!runner::parseJournalLine(line, lineCampaign, &r, &k))
             continue;   // heartbeat / other campaign
         out += line;
         out += '\n';
@@ -713,8 +763,76 @@ Server::handleSubmit(Conn &conn, const Request &req, bool allowRun)
 }
 
 void
+Server::handleSync(Conn &conn, const Request &req)
+{
+    if (req.mode == "pull") {
+        std::string serror;
+        if (!ensureSyncStore(&serror)) {
+            conn.out += errorLine("job_failed",
+                                  "store unavailable: " + serror) +
+                        "\n";
+            return;
+        }
+        store::ExportFilter filter;
+        filter.newerThanSeconds = double(req.newerThan);
+        std::uint64_t exported = 0;
+        if (!_syncStore->exportLines(
+                filter,
+                [&](const std::string &dump) {
+                    conn.out += dump;
+                    conn.out += '\n';
+                    return true;
+                },
+                &exported, &serror)) {
+            conn.out += errorLine("job_failed",
+                                  "sync pull failed: " + serror) +
+                        "\n";
+            return;
+        }
+        conn.out += syncedLine("pull", exported) + "\n";
+        return;
+    }
+    if (req.mode == "push") {
+        if (req.entries == 0) {
+            conn.out += syncedLine("push", 0) + "\n";
+            return;
+        }
+        // The next req.entries lines on this connection are store
+        // dump lines, not requests (and get the sync line cap).
+        conn.syncRemaining = req.entries;
+        conn.syncImported = 0;
+        return;
+    }
+    std::lock_guard<std::mutex> lock(_state->mu);
+    _state->stats.badRequests++;
+    conn.out += errorLine("bad_request",
+                          "sync needs mode \"pull\" or \"push\"") +
+                "\n";
+}
+
+void
+Server::handleSyncEntry(Conn &conn, const std::string &line)
+{
+    conn.syncRemaining--;
+    std::string key, payload;
+    std::string serror;
+    if (store::ResultStore::parseExportLine(line, &key, &payload) &&
+        ensureSyncStore(&serror) &&
+        _syncStore->publish(key, payload, nullptr))
+        conn.syncImported++;
+    if (conn.syncRemaining == 0) {
+        conn.out += syncedLine("push", conn.syncImported) + "\n";
+        conn.syncImported = 0;
+    }
+}
+
+void
 Server::handleLine(Conn &conn, const std::string &line)
 {
+    if (conn.syncRemaining > 0) {
+        handleSyncEntry(conn, line);
+        return;
+    }
     Request req;
     std::string perror;
     if (!parseRequest(line, &req, &perror)) {
@@ -744,7 +862,28 @@ Server::handleLine(Conn &conn, const std::string &line)
             h.busyRejections = _state->stats.busyRejections;
         }
         h.clients = _clients;
+        h.pid = std::uint64_t(::getpid());
+        h.uptimeSeconds = std::uint64_t(
+            std::chrono::duration_cast<std::chrono::seconds>(
+                Clock::now() - _startTime)
+                .count());
+        h.storePath = _opts.storePath;
         conn.out += healthLine(h) + "\n";
+        return;
+    }
+    if (req.op == "capabilities") {
+        Capabilities caps;
+        caps.storePath = _opts.storePath;
+        caps.isolate = _opts.isolate;
+        caps.maxPending = _opts.maxPending;
+        caps.maxClients = _opts.maxClients;
+        caps.maxCellsPerCampaign = _opts.maxCellsPerCampaign;
+        caps.maxClientCells = _opts.maxClientCells;
+        conn.out += capabilitiesLine(caps) + "\n";
+        return;
+    }
+    if (req.op == "sync") {
+        handleSync(conn, req);
         return;
     }
     if (req.op == "shutdown") {
@@ -824,12 +963,14 @@ Server::handleLine(Conn &conn, const std::string &line)
         }
         runner::CampaignSpec spec;
         std::size_t cells = 0;
+        std::string lineCampaign = req.campaign;
         if (runner::campaignByName(req.campaign, &spec)) {
             if (req.maxInsts)
                 spec = spec.withMaxInsts(req.maxInsts);
             if (sample.enabled())
                 spec = spec.withSampling(sample);
             cells = spec.cells.size();
+            lineCampaign = spec.name;   // shard jobs journal the base
         }
         std::ifstream in(jobJournalPath(_opts.storePath, id),
                          std::ios::binary);
@@ -844,7 +985,7 @@ Server::handleLine(Conn &conn, const std::string &line)
         while (std::getline(in, jline)) {
             runner::CellResult r;
             std::string k;
-            if (runner::parseJournalLine(jline, req.campaign, &r, &k))
+            if (runner::parseJournalLine(jline, lineCampaign, &r, &k))
                 settled++;
         }
         conn.out += statusLine(req.campaign, id, "journal", settled,
@@ -860,7 +1001,8 @@ Server::handleLine(Conn &conn, const std::string &line)
     conn.out += errorLine("bad_request",
                           "unknown op '" + req.op +
                               "' (hello, submit, results, status, "
-                              "cancel, health, shutdown)") +
+                              "cancel, health, capabilities, sync, "
+                              "shutdown)") +
                 "\n";
 }
 
@@ -1003,7 +1145,10 @@ Server::run()
                     ssize_t n = ::read(conn.fd, buf, sizeof(buf));
                     if (n > 0) {
                         conn.in.append(buf, std::size_t(n));
-                        if (conn.in.size() > kMaxLineBytes &&
+                        const std::size_t cap =
+                            conn.syncRemaining ? kMaxSyncLineBytes
+                                               : kMaxLineBytes;
+                        if (conn.in.size() > cap &&
                             conn.in.find('\n') ==
                                 std::string::npos) {
                             conn.out +=

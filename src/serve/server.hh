@@ -50,10 +50,12 @@
 #define SIMALPHA_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <csignal>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -62,10 +64,46 @@
 #include <vector>
 
 #include "checkpoint/checkpoint.hh"
+#include "runner/campaign.hh"
 #include "serve/proto.hh"
 
 namespace simalpha {
+
+namespace store {
+class ResultStore;
+}
+
 namespace serve {
+
+/**
+ * One accepted job handed to a custom executor: everything the
+ * built-in runner would have used — submitted identity, derived spec,
+ * journal path, cancel flag — plus the sink every settled cell's
+ * verbatim journal line goes through. The fleet dispatcher is the
+ * intended customer: it receives exactly the job Server::runJob would
+ * have run locally and executes it across workers instead, inheriting
+ * the server's admission control, idempotent attach/replay,
+ * streaming, and drain behaviour unchanged.
+ */
+struct JobWork
+{
+    std::string campaign;          ///< as submitted (job identity)
+    /** Derived spec with cap/sampling applied; valid for the call. */
+    const runner::CampaignSpec *spec = nullptr;
+    std::uint64_t maxInsts = 0;    ///< as submitted (job identity)
+    checkpoint::SampleSpec sample; ///< as submitted (job identity)
+    std::string journalPath;       ///< append-only job journal (resume)
+    std::string storePath;
+    const std::atomic<bool> *cancel = nullptr;
+    /** Settled-cell sink: verbatim journal-line bytes, whether the
+     *  cell succeeded, and whether it was served (journal/store/warm
+     *  worker) rather than computed. */
+    std::function<void(const std::string &line, bool ok, bool served)>
+        emit;
+};
+
+/** Runs one job to completion; throwing marks the job failed. */
+using JobExecutor = std::function<void(const JobWork &)>;
 
 struct ServeOptions
 {
@@ -74,8 +112,9 @@ struct ServeOptions
      *  here. Created if missing. */
     std::string storePath;
 
-    /** "tcp:PORT" for 127.0.0.1 TCP, anything else a Unix-socket
-     *  path; empty = <store>/serve.sock. */
+    /** "tcp:PORT" (127.0.0.1) or "tcp:HOST:PORT" (bind HOST, e.g.
+     *  0.0.0.0 for all interfaces) for TCP, anything else a
+     *  Unix-socket path; empty = <store>/serve.sock. */
     std::string listen;
 
     /** Runner threads per job (thread isolation); 0 = all cores. */
@@ -112,6 +151,11 @@ struct ServeOptions
     /** Test hook: while set, the executor picks up no job, so tests
      *  can fill the pending queue deterministically. */
     const std::atomic<bool> *testHoldExecutor = nullptr;
+
+    /** When set, accepted jobs run through this instead of the
+     *  built-in runner/supervisor — the hook the fleet dispatcher
+     *  plugs into. */
+    JobExecutor executor;
 };
 
 /** Cumulative daemon statistics (health replies and tests). */
@@ -148,7 +192,8 @@ class Server
     /** Thread-safe: begin drain-then-exit (as if SIGTERMed). */
     void requestShutdown();
 
-    /** Bound address: the Unix socket path, or "tcp:PORT". */
+    /** Bound address: the Unix socket path, "tcp:PORT" (loopback), or
+     *  "tcp:HOST:PORT" when --listen named a host. */
     const std::string &boundAddress() const { return _boundAddress; }
 
     ServeStats stats() const;
@@ -163,6 +208,9 @@ class Server
     void wake();
     void handleLine(Conn &conn, const std::string &line);
     void handleSubmit(Conn &conn, const Request &req, bool allowRun);
+    void handleSync(Conn &conn, const Request &req);
+    void handleSyncEntry(Conn &conn, const std::string &line);
+    bool ensureSyncStore(std::string *error);
     void flushSubscribers();
     void flushConn(Conn &conn);
     void evictDoneJobsLocked();
@@ -170,6 +218,10 @@ class Server
 
     ServeOptions _opts;
     std::string _boundAddress;
+    std::chrono::steady_clock::time_point _startTime{};
+    /** Store handle of the poll thread, for sync ops (runner jobs
+     *  open their own handles; the store is multi-handle-safe). */
+    std::unique_ptr<store::ResultStore> _syncStore;
     std::size_t _clients = 0;   ///< poll-thread-owned, for health
     int _listenFd = -1;
     int _wakeFd[2] = {-1, -1};

@@ -624,21 +624,82 @@ ResultStore::exportTo(const std::string &path, std::uint64_t *exported,
         return false;
     }
     std::ostringstream os;
+    if (!exportLines(
+            ExportFilter{},
+            [&](const std::string &line) {
+                os << line << "\n";
+                return true;
+            },
+            exported, error))
+        return false;
+    return writeAtomic(path, os.str(), 0, error);
+}
+
+bool
+ResultStore::exportLines(
+    const ExportFilter &filter,
+    const std::function<bool(const std::string &line)> &emit,
+    std::uint64_t *exported, std::string *error) const
+{
+    if (!isOpen()) {
+        if (error)
+            *error = "result store is not open";
+        return false;
+    }
+    std::error_code ec;
+    bool filtered = filter.newerThanSeconds > 0;
+    fs::file_time_type cutoff{};
+    if (filtered)
+        cutoff = fs::file_time_type::clock::now() -
+                 std::chrono::duration_cast<
+                     fs::file_time_type::duration>(
+                     std::chrono::duration<double>(
+                         filter.newerThanSeconds));
     std::uint64_t count = 0;
     for (const std::string &entry : listEntries(_root, nullptr)) {
+        if (filtered) {
+            auto mtime = fs::last_write_time(entry, ec);
+            if (ec || mtime < cutoff)
+                continue;
+        }
         std::string key, payload;
         bool corrupt = false;
         if (!readEntry(entry, &key, &payload, &corrupt))
             continue;   // unreadable or corrupt: not exportable
-        os << "{\"key\":\"" << escapeJson(key) << "\",\"payload\":\""
-           << escapeJson(payload) << "\"}\n";
+        if (!emit(formatExportLine(key, payload))) {
+            if (error)
+                *error = "export aborted by consumer";
+            return false;
+        }
         count++;
     }
-    if (!writeAtomic(path, os.str(), 0, error))
-        return false;
     if (exported)
         *exported = count;
     return true;
+}
+
+std::string
+ResultStore::formatExportLine(const std::string &key,
+                              const std::string &payload)
+{
+    return "{\"key\":\"" + escapeJson(key) + "\",\"payload\":\"" +
+           escapeJson(payload) + "\"}";
+}
+
+bool
+ResultStore::parseExportLine(const std::string &line, std::string *key,
+                             std::string *payload)
+{
+    std::size_t pos = 0;
+    if (!eatLiteral(line, &pos, "{\"key\":\"") ||
+        !readStringBody(line, &pos, key))
+        return false;
+    pos--;      // step back over the consumed closing quote
+    if (!eatLiteral(line, &pos, "\",\"payload\":\"") ||
+        !readStringBody(line, &pos, payload))
+        return false;
+    pos--;
+    return eatLiteral(line, &pos, "\"}") && pos == line.size();
 }
 
 bool
@@ -661,17 +722,8 @@ ResultStore::importFrom(const std::string &path,
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
-        std::size_t pos = 0;
         std::string key, payload;
-        if (!eatLiteral(line, &pos, "{\"key\":\"") ||
-            !readStringBody(line, &pos, &key))
-            continue;
-        pos--;      // step back over the consumed closing quote
-        if (!eatLiteral(line, &pos, "\",\"payload\":\"") ||
-            !readStringBody(line, &pos, &payload))
-            continue;
-        pos--;
-        if (!eatLiteral(line, &pos, "\"}") || pos != line.size())
+        if (!parseExportLine(line, &key, &payload))
             continue;
         if (publish(key, payload, nullptr))
             count++;

@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,16 @@ struct StoreUsage
     std::uint64_t entries = 0;      ///< well-formed *.json entries seen
     std::uint64_t bytes = 0;        ///< their total size
     std::uint64_t corrupt = 0;      ///< *.corrupt quarantine files
+};
+
+/** Which entries an exportLines() walk emits. */
+struct ExportFilter
+{
+    /** Only entries whose on-disk mtime lies within the last
+     *  this-many seconds (0 = every entry). Lets a fleet dispatcher
+     *  harvest just what a worker published during a job instead of
+     *  re-shipping the whole store. */
+    double newerThanSeconds = 0.0;
 };
 
 struct GcOptions
@@ -166,6 +177,28 @@ class ResultStore
      *  (last-writer-wins with whatever is already present). */
     bool importFrom(const std::string &path, std::uint64_t *imported,
                     std::string *error);
+
+    /**
+     * Stream every valid entry passing @p filter to @p emit as one
+     * exportTo()-format line (no trailing newline), without building
+     * the whole dump in memory — the transport the serve protocol's
+     * `sync` op uses. @p emit returning false aborts the walk (the
+     * consumer's error wins); *exported (may be null) receives the
+     * emitted count.
+     */
+    bool exportLines(
+        const ExportFilter &filter,
+        const std::function<bool(const std::string &line)> &emit,
+        std::uint64_t *exported, std::string *error) const;
+
+    /** One dump line, {"key":"...","payload":"..."} — the format
+     *  exportTo() writes and importFrom() reads. */
+    static std::string formatExportLine(const std::string &key,
+                                        const std::string &payload);
+
+    /** Parse formatExportLine() output; false on anything else. */
+    static bool parseExportLine(const std::string &line,
+                                std::string *key, std::string *payload);
 
     /** 16-hex-digit FNV-1a of @p key — the entry address. Exposed for
      *  tests and external tooling. */

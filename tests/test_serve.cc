@@ -22,7 +22,9 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -123,7 +125,9 @@ struct TestDaemon
     ClientOptions client() const
     {
         ClientOptions c;
-        c.connect = opts.listen;
+        // The bound address, not opts.listen: "tcp:0" binds a
+        // kernel-assigned port only boundAddress() knows.
+        c.connect = server ? server->boundAddress() : opts.listen;
         c.timeoutSeconds = 120.0;
         c.maxRetries = 0;
         return c;
@@ -905,4 +909,226 @@ TEST(Serve, KilledDaemonRestartsAndResumesByteIdentical)
     EXPECT_TRUE(WIFEXITED(status));
     EXPECT_EQ(WEXITSTATUS(status), 0);
     removeDir(dir);
+}
+
+// ---------------------------------------------------------------
+// TCP path: everything above runs over Unix sockets; the fleet tier
+// talks TCP, so the transport-sensitive behaviors get loopback
+// coverage of their own.
+// ---------------------------------------------------------------
+
+namespace {
+
+/** Raw loopback TCP connect to a "tcp:PORT"/"tcp:HOST:PORT" bound
+ *  address, for the hostile-input tests. */
+int
+rawConnectTcp(const std::string &bound)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    std::string error;
+    if (!parseTcpAddress(bound, &host, &port, &error))
+        return -1;
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+TEST(ServeTcp, AddressGrammarAcceptsHostPortAndRejectsGarbage)
+{
+    std::string host, error;
+    std::uint16_t port = 0;
+    ASSERT_TRUE(parseTcpAddress("tcp:9000", &host, &port, &error));
+    EXPECT_EQ(host, "127.0.0.1");
+    EXPECT_EQ(port, 9000);
+    ASSERT_TRUE(
+        parseTcpAddress("tcp:0.0.0.0:80", &host, &port, &error));
+    EXPECT_EQ(host, "0.0.0.0");
+    EXPECT_EQ(port, 80);
+
+    for (const char *bad :
+         {"tcp:", "tcp:abc", "tcp:70000", "tcp:1.2.3.4:",
+          "tcp:1.2.3.4:x", "tcp::9000", "tcp:1.2.3.4:99999"}) {
+        error.clear();
+        EXPECT_FALSE(parseTcpAddress(bad, &host, &port, &error))
+            << bad;
+        EXPECT_NE(error.find("bad TCP address"), std::string::npos)
+            << bad;
+    }
+}
+
+TEST(ServeTcp, StreamOverLoopbackIsByteIdenticalToUnixSocket)
+{
+    std::vector<std::string> viaUnix, viaTcp;
+    {
+        TestDaemon daemon("tcpref");
+        ASSERT_TRUE(daemon.start());
+        SubmitOutcome o =
+            submitCampaign(daemon.client(), "smoke", 5000);
+        ASSERT_TRUE(o.ok) << o.error;
+        viaUnix = o.lines;
+    }
+    {
+        TestDaemon daemon("tcp");
+        daemon.opts.listen = "tcp:0";   // kernel-assigned port
+        ASSERT_TRUE(daemon.start());
+        const std::string bound = daemon.server->boundAddress();
+        ASSERT_EQ(bound.rfind("tcp:", 0), 0u) << bound;
+        SubmitOutcome o =
+            submitCampaign(daemon.client(), "smoke", 5000);
+        ASSERT_TRUE(o.ok) << o.error;
+        viaTcp = o.lines;
+    }
+    // Sorted: the daemon settles cells on two runner threads, so
+    // arrival order is timing; the *byte set* must be identical.
+    EXPECT_EQ(sorted(viaTcp), sorted(viaUnix));
+    EXPECT_EQ(sorted(viaTcp), referenceLines(5000));
+}
+
+TEST(ServeTcp, ExplicitHostBindReportsHostPortAndServes)
+{
+    TestDaemon daemon("tcphost");
+    daemon.opts.listen = "tcp:127.0.0.1:0";
+    ASSERT_TRUE(daemon.start());
+    const std::string bound = daemon.server->boundAddress();
+    EXPECT_EQ(bound.rfind("tcp:127.0.0.1:", 0), 0u) << bound;
+
+    std::string reply, error;
+    ASSERT_TRUE(requestOnce(daemon.client(), "{\"op\":\"hello\"}",
+                            &reply, &error))
+        << error;
+    EXPECT_EQ(serveEvent(reply), "hello");
+}
+
+TEST(ServeTcp, BadBindAddressesFailWithClearMessages)
+{
+    {
+        TestDaemon daemon("tcpbad1");
+        daemon.opts.listen = "tcp:70000";
+        std::string error;
+        daemon.server =
+            std::make_unique<Server>(daemon.opts);
+        EXPECT_FALSE(daemon.server->start(&error));
+        EXPECT_NE(error.find("bad TCP address"), std::string::npos)
+            << error;
+    }
+    {
+        TestDaemon daemon("tcpbad2");
+        daemon.opts.listen = "tcp:not.an.ip.addr:80";
+        std::string error;
+        daemon.server =
+            std::make_unique<Server>(daemon.opts);
+        EXPECT_FALSE(daemon.server->start(&error));
+        EXPECT_NE(error.find("not an IPv4 address"),
+                  std::string::npos)
+            << error;
+    }
+}
+
+TEST(ServeTcp, OversizedLineOverTcpIsRejectedNotBuffered)
+{
+    TestDaemon daemon("tcphuge");
+    daemon.opts.listen = "tcp:0";
+    ASSERT_TRUE(daemon.start());
+
+    int fd = rawConnectTcp(daemon.server->boundAddress());
+    ASSERT_GE(fd, 0);
+    // A request line far over kMaxLineBytes, never newline-terminated:
+    // the daemon must cut the connection (or error), not buffer it.
+    std::string huge(kMaxLineBytes + 4096, 'a');
+    (void)!::write(fd, huge.data(), huge.size());
+    char buf[4096];
+    pollfd pfd{fd, POLLIN, 0};
+    ASSERT_GT(::poll(&pfd, 1, 5000), 0);
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+        std::string reply(buf, std::size_t(n));
+        EXPECT_NE(reply.find("error"), std::string::npos) << reply;
+    }   // n <= 0: dropped outright — equally acceptable
+    ::close(fd);
+
+    // The daemon survived.
+    std::string reply, error;
+    EXPECT_TRUE(requestOnce(daemon.client(), "{\"op\":\"health\"}",
+                            &reply, &error))
+        << error;
+}
+
+TEST(ServeTcp, TornTcpStreamReattachesToByteIdenticalCompletion)
+{
+    TestDaemon daemon("tcptorn");
+    daemon.opts.listen = "tcp:0";
+    ASSERT_TRUE(daemon.start());
+
+    // Tear a stream client-side: submit over raw TCP, read a little,
+    // hang up mid-job.
+    int fd = rawConnectTcp(daemon.server->boundAddress());
+    ASSERT_GE(fd, 0);
+    const std::string req =
+        "{\"op\":\"submit\",\"campaign\":\"smoke\","
+        "\"max_insts\":20000}\n";
+    ASSERT_EQ(::write(fd, req.data(), req.size()),
+              ssize_t(req.size()));
+    char buf[512];
+    pollfd pfd{fd, POLLIN, 0};
+    ASSERT_GT(::poll(&pfd, 1, 30000), 0);
+    ASSERT_GT(::read(fd, buf, sizeof(buf)), 0);
+    ::close(fd);    // the tear
+
+    // A retrying client resubmitting the same identity attaches (or
+    // replays) and collects the complete byte-identical set.
+    ClientOptions c = daemon.client();
+    c.maxRetries = 3;
+    c.backoffSeconds = 0.05;
+    SubmitOutcome o = submitCampaign(c, "smoke", 20000);
+    ASSERT_TRUE(o.ok) << o.error;
+    EXPECT_EQ(sorted(o.lines), referenceLines(20000));
+}
+
+TEST(ServeTcp, HealthAndCapabilitiesReportDaemonIdentity)
+{
+    TestDaemon daemon("tcphealth");
+    daemon.opts.listen = "tcp:0";
+    daemon.opts.maxPending = 3;
+    ASSERT_TRUE(daemon.start());
+
+    std::string reply, error;
+    ASSERT_TRUE(requestOnce(daemon.client(), "{\"op\":\"health\"}",
+                            &reply, &error))
+        << error;
+    std::map<std::string, std::string> strings;
+    std::map<std::string, std::uint64_t> numbers;
+    ASSERT_TRUE(parseServeLine(reply, &strings, &numbers));
+    EXPECT_EQ(strings["event"], "health");
+    // The fleet registry's worker-admission fields: who the daemon
+    // is, where its store lives, how deep its queue runs.
+    EXPECT_EQ(numbers["pid"], std::uint64_t(::getpid()));
+    EXPECT_EQ(strings["store_path"], daemon.opts.storePath);
+    EXPECT_TRUE(numbers.count("uptime_s"));
+    EXPECT_TRUE(numbers.count("jobs_pending"));
+
+    ASSERT_TRUE(requestOnce(daemon.client(),
+                            "{\"op\":\"capabilities\"}", &reply,
+                            &error))
+        << error;
+    strings.clear();
+    numbers.clear();
+    ASSERT_TRUE(parseServeLine(reply, &strings, &numbers));
+    EXPECT_EQ(strings["event"], "capabilities");
+    EXPECT_EQ(numbers["version"], std::uint64_t(kProtoVersion));
+    EXPECT_EQ(numbers["max_pending"], 3u);
+    EXPECT_EQ(strings["store_path"], daemon.opts.storePath);
+    EXPECT_NE(strings["ops"].find("sync"), std::string::npos);
 }

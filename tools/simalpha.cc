@@ -60,6 +60,9 @@
 #include "runner/runner.hh"
 #include "runner/shard.hh"
 #include "runner/supervisor.hh"
+#include "fleet/dispatcher.hh"
+#include "fleet/fleetbench.hh"
+#include "fleet/registry.hh"
 #include "serve/client.hh"
 #include "serve/proto.hh"
 #include "serve/server.hh"
@@ -236,6 +239,21 @@ usage()
         "                      <store>/serve.d/ so a killed daemon\n"
         "                      resumes on restart. Full queues reply\n"
         "                      `busy`; SIGTERM drains then exits\n"
+        "  simalpha fleet --store <dir> --workers <addr>[,...]\n"
+        "                 [--listen <addr>] [--sync]\n"
+        "                 [--worker-timeout s] [--connect-timeout s]\n"
+        "                 [--retries n] [--redispatch n] [--backoff s]\n"
+        "                 [--seed n] [--max-pending N] ...\n"
+        "                      multi-host front-end: speaks the same\n"
+        "                      protocol as serve, but fans each job\n"
+        "                      out across the worker daemons as\n"
+        "                      deterministic shard sub-campaigns and\n"
+        "                      merges the streams back in spec order —\n"
+        "                      clients get bytes identical to a\n"
+        "                      single-host run. A dead worker's shard\n"
+        "                      is re-dispatched (workers resume, never\n"
+        "                      recompute); --sync pre-seeds worker\n"
+        "                      stores and harvests new results back\n"
         "  simalpha submit --connect <addr> | --store <dir>\n"
         "                  --campaign <name> [--max-insts n]\n"
         "                  [--sample spec] [--out file] [--quiet]\n"
@@ -840,6 +858,126 @@ runServeCommand(int argc, char **argv, const char *argv0)
 }
 
 /**
+ * `simalpha fleet` — the multi-host front-end: a campaign-service
+ * daemon whose accepted jobs fan out across worker `simalpha serve`
+ * daemons (partitioned into deterministic shard sub-campaigns, merged
+ * back in spec order, so clients see bytes identical to a single-host
+ * run). Exit codes as `simalpha serve`.
+ */
+int
+runFleetCommand(int argc, char **argv)
+{
+    serve::ServeOptions sopts;
+    sopts.journalSync = runner::journalSyncFromEnv();
+    fleet::FleetOptions fopts;
+    fopts.seed = std::uint64_t(::getpid());
+    std::string workersText;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--store") {
+            sopts.storePath = next();
+        } else if (arg == "--listen") {
+            sopts.listen = next();
+        } else if (arg == "--workers") {
+            workersText = next();
+        } else if (arg == "--sync") {
+            fopts.syncStores = true;
+        } else if (arg == "--worker-timeout") {
+            fopts.workerTimeoutSeconds = std::strtod(next(), nullptr);
+        } else if (arg == "--connect-timeout") {
+            fopts.connectTimeoutSeconds =
+                std::strtod(next(), nullptr);
+        } else if (arg == "--retries") {
+            fopts.maxRetries = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--redispatch") {
+            fopts.maxRedispatch =
+                int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--backoff") {
+            fopts.backoffSeconds = std::strtod(next(), nullptr);
+        } else if (arg == "--seed") {
+            fopts.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--max-pending") {
+            sopts.maxPending = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--max-clients") {
+            sopts.maxClients = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--max-cells") {
+            sopts.maxCellsPerCampaign =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--max-client-cells") {
+            sopts.maxClientCells = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--drain-timeout") {
+            sopts.drainTimeoutSeconds = std::strtod(next(), nullptr);
+        } else if (arg == "--journal-sync") {
+            sopts.journalSync = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            fatal("unknown fleet option '%s'", arg.c_str());
+        }
+    }
+    if (sopts.storePath.empty())
+        fatal("fleet needs --store <dir> (the master journals and "
+              "synced results live there)");
+    if (workersText.empty())
+        fatal("fleet needs --workers <addr>[,<addr>...] (worker "
+              "daemon addresses: socket paths or tcp:[HOST:]PORT)");
+    std::string error;
+    if (!fleet::parseWorkerList(workersText, &fopts.workers, &error))
+        fatal("--workers: %s", error.c_str());
+    fopts.journalSync = sopts.journalSync;
+
+    fleet::Dispatcher dispatcher(fopts);
+    if (!dispatcher.start(&error))
+        fatal("%s", error.c_str());
+
+    sopts.executor = dispatcher.executor();
+    sopts.interrupted = &g_interrupted;
+    installInterruptHandlers();
+
+    serve::Server server(sopts);
+    if (!server.start(&error))
+        fatal("%s", error.c_str());
+    std::printf("fleet       %s\n", server.boundAddress().c_str());
+    std::printf("store       %s%s\n", sopts.storePath.c_str(),
+                fopts.syncStores ? ", store sync on" : "");
+    for (const fleet::WorkerStatus &w : dispatcher.workers())
+        std::printf("worker      %s (%s%s)\n", w.address.c_str(),
+                    w.alive ? "live" : "dead",
+                    w.alive ? (", pid " + std::to_string(w.pid))
+                                  .c_str()
+                            : "");
+    std::fflush(stdout);
+
+    int code = server.run();
+    serve::ServeStats st = server.stats();
+    fleet::FleetStats fst = dispatcher.stats();
+    std::printf("drained     %llu job(s) done, %llu shard(s) "
+                "dispatched, %llu redispatch(es)\n",
+                (unsigned long long)st.jobsDone,
+                (unsigned long long)fst.shardsDispatched,
+                (unsigned long long)fst.redispatches);
+    std::printf("merged      %llu cell(s) from workers, %llu "
+                "replayed from master journals\n",
+                (unsigned long long)fst.cellsMerged,
+                (unsigned long long)fst.cellsReplayed);
+    if (fopts.syncStores)
+        std::printf("synced      %llu entr(ies) pushed, %llu "
+                    "pulled%s%s\n",
+                    (unsigned long long)fst.syncPushedEntries,
+                    (unsigned long long)fst.syncPulledEntries,
+                    fst.lastSyncError.empty() ? "" : "; last error: ",
+                    fst.lastSyncError.c_str());
+    return code;
+}
+
+/**
  * `simalpha submit` — the service client. `--op submit` (default)
  * streams result lines to stdout as cells settle and exits with the
  * campaign's code (0 ok, 1 failed cells, 3 cancelled); the other ops
@@ -1003,12 +1141,15 @@ realMain(int argc, char **argv)
         return runStoreCommand(argc - 1, argv + 1);
     if (argc >= 2 && std::strcmp(argv[1], "bench") == 0) {
         runner::setServeBenchHook(&serve::measureServeBench);
+        runner::setFleetBenchHook(&fleet::measureFleetBench);
         return runner::runBenchCommand(argc - 1, argv + 1);
     }
     if (argc >= 2 && std::strcmp(argv[1], "vuln") == 0)
         return runVulnCommand(argc - 1, argv + 1, argv[0]);
     if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
         return runServeCommand(argc - 1, argv + 1, argv[0]);
+    if (argc >= 2 && std::strcmp(argv[1], "fleet") == 0)
+        return runFleetCommand(argc - 1, argv + 1);
     if (argc >= 2 && std::strcmp(argv[1], "submit") == 0)
         return runSubmitCommand(argc - 1, argv + 1);
 

@@ -23,3 +23,44 @@ sleep 1
     > /dev/null
 wait "$SERVE_PID"
 echo "serve smoke: OK"
+
+# Fleet smoke: two loopback worker daemons behind a fleet front-end.
+# The merged stream must be byte-identical to a single-host --jobs 1
+# run — the fleet's spec-order merge barrier is exactly that order.
+FLEET_DIR=$(mktemp -d /tmp/simalpha-tier1-fleet-XXXXXX)
+trap 'rm -rf "$SERVE_DIR" "$FLEET_DIR"' EXIT
+./tools/simalpha serve --store "$FLEET_DIR/ref" --jobs 1 \
+    > "$FLEET_DIR/ref.log" 2>&1 &
+REF_PID=$!
+sleep 1
+./tools/simalpha submit --store "$FLEET_DIR/ref" --campaign smoke \
+    --max-insts 20000 --out "$FLEET_DIR/ref.jsonl" --quiet \
+    --timeout 120
+./tools/simalpha submit --store "$FLEET_DIR/ref" --op shutdown \
+    > /dev/null
+wait "$REF_PID"
+./tools/simalpha serve --store "$FLEET_DIR/w0" --jobs 2 \
+    > "$FLEET_DIR/w0.log" 2>&1 &
+W0_PID=$!
+./tools/simalpha serve --store "$FLEET_DIR/w1" --jobs 2 \
+    > "$FLEET_DIR/w1.log" 2>&1 &
+W1_PID=$!
+sleep 1
+./tools/simalpha fleet --store "$FLEET_DIR/front" \
+    --workers "$FLEET_DIR/w0/serve.sock,$FLEET_DIR/w1/serve.sock" \
+    > "$FLEET_DIR/fleet.log" 2>&1 &
+FLEET_PID=$!
+sleep 1
+./tools/simalpha submit --store "$FLEET_DIR/front" --campaign smoke \
+    --max-insts 20000 --out "$FLEET_DIR/fleet.jsonl" --quiet \
+    --timeout 120
+./tools/simalpha submit --store "$FLEET_DIR/front" --op shutdown \
+    > /dev/null
+wait "$FLEET_PID"
+./tools/simalpha submit --store "$FLEET_DIR/w0" --op shutdown \
+    > /dev/null
+./tools/simalpha submit --store "$FLEET_DIR/w1" --op shutdown \
+    > /dev/null
+wait "$W0_PID" "$W1_PID"
+cmp "$FLEET_DIR/ref.jsonl" "$FLEET_DIR/fleet.jsonl"
+echo "fleet smoke: OK (2-worker stream byte-identical)"
