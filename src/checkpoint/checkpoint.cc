@@ -334,10 +334,16 @@ fastForward(const Program &program, std::uint64_t maxInsts)
 {
     Emulator emu(program);
     FastForwardInfo info;
+    // Batch through the predecoded dispatcher; ~0 means "to the halt".
     while (!emu.halted() &&
            (maxInsts == 0 || info.totalInsts < maxInsts)) {
-        emu.step();
-        info.totalInsts++;
+        std::uint64_t want = maxInsts == 0
+            ? std::uint64_t(1) << 30
+            : maxInsts - info.totalInsts;
+        std::uint64_t ran = emu.run(want);
+        info.totalInsts += ran;
+        if (ran == 0)
+            break;
     }
     info.finished = emu.halted();
     return info;
@@ -396,8 +402,7 @@ collectCheckpoints(const Program &program,
                              std::to_string(at) + " instructions)";
                 return false;
             }
-            emu.step();
-            at++;
+            at += emu.run(target - at);
         }
         Checkpoint c = emu.checkpoint();
         if (useStore) {

@@ -1,6 +1,9 @@
 #include "emulator.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -25,15 +28,52 @@ SparseMemory::touchPage(Addr addr)
     return *slot;
 }
 
+SparseMemory::Page *
+SparseMemory::cachedFind(Addr addr) const
+{
+    Addr page_no = addr >> kPageShift;
+    if (_lastPageNo == page_no)
+        return _lastPage;
+    Page *p = findPage(addr);
+    if (p) {
+        _lastPageNo = page_no;
+        _lastPage = p;
+    }
+    return p;
+}
+
+SparseMemory::Page &
+SparseMemory::cachedTouch(Addr addr)
+{
+    Addr page_no = addr >> kPageShift;
+    if (_lastPageNo == page_no)
+        return *_lastPage;
+    Page &p = touchPage(addr);
+    _lastPageNo = page_no;
+    _lastPage = &p;
+    return p;
+}
+
 RegVal
 SparseMemory::read64(Addr addr) const
 {
+    if constexpr (std::endian::native == std::endian::little) {
+        // Aligned accesses cannot straddle a page: one lookup + memcpy.
+        if ((addr & 7) == 0) {
+            const Page *p = cachedFind(addr);
+            if (!p)
+                return 0;
+            RegVal v;
+            std::memcpy(&v, p->data() + (addr & (kPageBytes - 1)), 8);
+            return v;
+        }
+    }
     RegVal v = 0;
     // Handle straddling page boundaries byte-by-byte; the common case is
     // an aligned access entirely within one page.
     for (int i = 0; i < 8; i++) {
         Addr a = addr + Addr(i);
-        const Page *p = findPage(a);
+        const Page *p = cachedFind(a);
         std::uint8_t byte = p ? (*p)[a & (kPageBytes - 1)] : 0;
         v |= RegVal(byte) << (8 * i);
     }
@@ -43,9 +83,16 @@ SparseMemory::read64(Addr addr) const
 void
 SparseMemory::write64(Addr addr, RegVal value)
 {
+    if constexpr (std::endian::native == std::endian::little) {
+        if ((addr & 7) == 0) {
+            Page &p = cachedTouch(addr);
+            std::memcpy(p.data() + (addr & (kPageBytes - 1)), &value, 8);
+            return;
+        }
+    }
     for (int i = 0; i < 8; i++) {
         Addr a = addr + Addr(i);
-        touchPage(a)[a & (kPageBytes - 1)] =
+        cachedTouch(a)[a & (kPageBytes - 1)] =
             std::uint8_t((value >> (8 * i)) & 0xff);
     }
 }
@@ -53,10 +100,20 @@ SparseMemory::write64(Addr addr, RegVal value)
 std::uint32_t
 SparseMemory::read32(Addr addr) const
 {
+    if constexpr (std::endian::native == std::endian::little) {
+        if ((addr & 3) == 0) {
+            const Page *p = cachedFind(addr);
+            if (!p)
+                return 0;
+            std::uint32_t v;
+            std::memcpy(&v, p->data() + (addr & (kPageBytes - 1)), 4);
+            return v;
+        }
+    }
     std::uint32_t v = 0;
     for (int i = 0; i < 4; i++) {
         Addr a = addr + Addr(i);
-        const Page *p = findPage(a);
+        const Page *p = cachedFind(a);
         std::uint8_t byte = p ? (*p)[a & (kPageBytes - 1)] : 0;
         v |= std::uint32_t(byte) << (8 * i);
     }
@@ -66,9 +123,16 @@ SparseMemory::read32(Addr addr) const
 void
 SparseMemory::write32(Addr addr, std::uint32_t value)
 {
+    if constexpr (std::endian::native == std::endian::little) {
+        if ((addr & 3) == 0) {
+            Page &p = cachedTouch(addr);
+            std::memcpy(p.data() + (addr & (kPageBytes - 1)), &value, 4);
+            return;
+        }
+    }
     for (int i = 0; i < 4; i++) {
         Addr a = addr + Addr(i);
-        touchPage(a)[a & (kPageBytes - 1)] =
+        cachedTouch(a)[a & (kPageBytes - 1)] =
             std::uint8_t((value >> (8 * i)) & 0xff);
     }
 }
@@ -110,11 +174,46 @@ asBits(double d)
 
 } // namespace
 
+DecodedInst
+Emulator::decodeOne(const Instruction &inst)
+{
+    auto src_slot = [](RegIndex r) -> std::uint8_t {
+        if (r == kNoReg || isZeroRegIndex(r))
+            return std::uint8_t(kZeroSlot);
+        return r;
+    };
+    auto dst_slot = [](RegIndex r) -> std::uint8_t {
+        if (r == kNoReg || isZeroRegIndex(r))
+            return std::uint8_t(kSinkSlot);
+        return r;
+    };
+
+    DecodedInst d;
+    d.handler = std::uint8_t(inst.op);
+    d.srcA = src_slot(inst.ra);
+    d.srcB = src_slot(inst.rb);
+    // Calls link through ra; everything else writes rc.
+    d.dst = dst_slot(inst.isCall() ? inst.ra : inst.rc);
+    d.pcRel = inst.isPcRelBranch() ? 1 : 0;
+    d.target = inst.target;
+    d.targetPc = inst.target >= 0 ? Program::kTextBase + 4 * Addr(inst.target) : 0;
+    d.imm = inst.imm;
+    return d;
+}
+
 Emulator::Emulator(const Program &program)
     : _prog(program), _pc(program.entryPc)
 {
     for (const auto &[addr, value] : program.data)
         _mem.write64(addr, value);
+
+    _dec.reserve(program.text.size());
+    for (const Instruction &inst : program.text)
+        _dec.push_back(decodeOne(inst));
+    _ip = program.indexOf(_pc);
+
+    const char *slow = std::getenv("SIMALPHA_SLOWPATH");
+    _slowpath = slow && std::strcmp(slow, "1") == 0;
 }
 
 RegVal
@@ -167,7 +266,7 @@ Checkpoint
 Emulator::checkpoint() const
 {
     Checkpoint c;
-    c.regs = _regs;
+    std::copy_n(_regs.begin(), c.regs.size(), c.regs.begin());
     c.pc = _pc;
     c.seq = _seq;
     c.halted = _halted;
@@ -178,8 +277,11 @@ Emulator::checkpoint() const
 void
 Emulator::restore(const Checkpoint &ckpt)
 {
-    _regs = ckpt.regs;
+    std::copy_n(ckpt.regs.begin(), ckpt.regs.size(), _regs.begin());
+    _regs[kZeroSlot] = 0;
+    _regs[kSinkSlot] = 0;
     _pc = ckpt.pc;
+    _ip = _prog.indexOf(_pc);
     _seq = ckpt.seq;
     _halted = ckpt.halted;
     _mem.clear();
@@ -190,6 +292,385 @@ Emulator::restore(const Checkpoint &ckpt)
 ExecutedInst
 Emulator::step()
 {
+    return _slowpath ? stepSlow() : stepFast();
+}
+
+ExecutedInst
+Emulator::stepFast()
+{
+    sim_assert(!_halted);
+
+    if (_ip < 0 || std::size_t(_ip) >= _dec.size())
+        panic("PC 0x%llx outside text segment of '%s'",
+              (unsigned long long)_pc, _prog.name.c_str());
+
+    const DecodedInst &d = _dec[std::size_t(_ip)];
+    const Instruction &inst = _prog.text[std::size_t(_ip)];
+
+    ExecutedInst rec;
+    rec.seq = _seq++;
+    rec.pc = _pc;
+    rec.inst = inst;
+
+    Addr next_pc = _pc + 4;
+    std::int64_t next_ip = _ip + 1;
+    bool taken = false;
+    bool indirect = false;
+
+    RegVal *const regs = _regs.data();
+    const RegVal a = regs[d.srcA];
+    const RegVal b = regs[d.srcB];
+    const std::int64_t sa = std::int64_t(a);
+
+    switch (Op(d.handler)) {
+      case Op::Addq: regs[d.dst] = a + b; break;
+      case Op::Subq: regs[d.dst] = a - b; break;
+      case Op::Mulq: regs[d.dst] = a * b; break;
+      case Op::And: regs[d.dst] = a & b; break;
+      case Op::Bis: regs[d.dst] = a | b; break;
+      case Op::Xor: regs[d.dst] = a ^ b; break;
+      case Op::Sll: regs[d.dst] = a << (b & 63); break;
+      case Op::Srl: regs[d.dst] = a >> (b & 63); break;
+      case Op::Cmpeq: regs[d.dst] = a == b ? 1 : 0; break;
+      case Op::Cmplt:
+        regs[d.dst] = sa < std::int64_t(b) ? 1 : 0;
+        break;
+      case Op::Cmple:
+        regs[d.dst] = sa <= std::int64_t(b) ? 1 : 0;
+        break;
+      case Op::Lda:
+        regs[d.dst] = b + RegVal(d.imm);
+        break;
+      case Op::Cmoveq:
+        if (a == 0)
+            regs[d.dst] = b;
+        break;
+      case Op::Cmovne:
+        if (a != 0)
+            regs[d.dst] = b;
+        break;
+
+      case Op::Ldq: case Op::Ldt:
+        rec.effAddr = b + RegVal(d.imm);
+        regs[d.dst] = _mem.read64(rec.effAddr);
+        break;
+      case Op::Ldl:
+        rec.effAddr = b + RegVal(d.imm);
+        regs[d.dst] =
+            RegVal(std::int64_t(std::int32_t(_mem.read32(rec.effAddr))));
+        break;
+      case Op::Stq: case Op::Stt:
+        rec.effAddr = b + RegVal(d.imm);
+        _mem.write64(rec.effAddr, a);
+        break;
+      case Op::Stl:
+        rec.effAddr = b + RegVal(d.imm);
+        _mem.write32(rec.effAddr, std::uint32_t(a));
+        break;
+
+      case Op::Addt:
+        regs[d.dst] = asBits(asDouble(a) + asDouble(b));
+        break;
+      case Op::Subt:
+        regs[d.dst] = asBits(asDouble(a) - asDouble(b));
+        break;
+      case Op::Mult:
+        regs[d.dst] = asBits(asDouble(a) * asDouble(b));
+        break;
+      case Op::Divt: case Op::Divs:
+        regs[d.dst] = asBits(asDouble(a) / asDouble(b));
+        break;
+      case Op::Sqrtt: case Op::Sqrts:
+        regs[d.dst] = asBits(std::sqrt(asDouble(b)));
+        break;
+      case Op::Cpys:
+        regs[d.dst] = a;
+        break;
+
+      case Op::Beq: taken = (a == 0); break;
+      case Op::Bne: taken = (a != 0); break;
+      case Op::Blt: taken = (sa < 0); break;
+      case Op::Ble: taken = (sa <= 0); break;
+      case Op::Bgt: taken = (sa > 0); break;
+      case Op::Bge: taken = (sa >= 0); break;
+
+      case Op::Br:
+        taken = true;
+        break;
+      case Op::Bsr:
+        regs[d.dst] = _pc + 4;
+        taken = true;
+        break;
+      case Op::Jmp:
+        taken = true;
+        indirect = true;
+        next_pc = b;
+        break;
+      case Op::Jsr:
+        regs[d.dst] = _pc + 4;
+        taken = true;
+        indirect = true;
+        next_pc = b;
+        break;
+      case Op::Ret:
+        taken = true;
+        indirect = true;
+        next_pc = b;
+        break;
+
+      case Op::Unop:
+        break;
+      case Op::Halt:
+        _halted = true;
+        rec.halted = true;
+        break;
+    }
+
+    if (taken && d.pcRel) {
+        sim_assert(d.target >= 0);
+        next_ip = d.target;
+        next_pc = d.targetPc;
+    } else if (indirect) {
+        next_ip = _prog.indexOf(next_pc);
+    }
+
+    rec.taken = taken;
+    rec.nextPc = next_pc;
+    _pc = next_pc;
+    _ip = next_ip;
+    return rec;
+}
+
+std::uint64_t
+Emulator::run(std::uint64_t max_insts)
+{
+    if (_slowpath) {
+        // Reference mode: the retained switch interpreter, one record at
+        // a time, with the per-instruction decode-equivalence assertion.
+        std::uint64_t n = 0;
+        while (n < max_insts && !_halted) {
+            stepSlow();
+            ++n;
+        }
+        return n;
+    }
+    return runBatch(max_insts);
+}
+
+std::uint64_t
+Emulator::runBatch(std::uint64_t max_insts)
+{
+    if (_halted || max_insts == 0)
+        return 0;
+
+    RegVal *const regs = _regs.data();
+    const DecodedInst *const dec = _dec.data();
+    const std::int64_t ntext = std::int64_t(_dec.size());
+    std::int64_t ip = _ip;
+    Addr pc = _pc;
+    std::uint64_t n = 0;
+    const DecodedInst *d = nullptr;
+
+#if defined(__GNUC__) || defined(__clang__)
+    // Computed-goto dispatch: one indirect jump per instruction, no
+    // bounds-checked switch and no per-step record materialization.
+    // Order must match the Op enumeration exactly.
+    static const void *kJump[] = {
+        &&L_Addq, &&L_Subq, &&L_Mulq, &&L_And, &&L_Bis, &&L_Xor,
+        &&L_Sll, &&L_Srl, &&L_Cmpeq, &&L_Cmplt, &&L_Cmple, &&L_Lda,
+        &&L_Cmoveq, &&L_Cmovne,
+        &&L_Ldq, &&L_Stq, &&L_Ldl, &&L_Stl, &&L_Ldt, &&L_Stt,
+        &&L_Addt, &&L_Subt, &&L_Mult, &&L_Divt, &&L_Divs,
+        &&L_Sqrtt, &&L_Sqrts, &&L_Cpys,
+        &&L_Beq, &&L_Bne, &&L_Blt, &&L_Ble, &&L_Bgt, &&L_Bge,
+        &&L_Br, &&L_Bsr, &&L_Jmp, &&L_Jsr, &&L_Ret,
+        &&L_Unop, &&L_Halt,
+    };
+    static_assert(sizeof(kJump) / sizeof(kJump[0]) ==
+                  std::size_t(Op::Halt) + 1,
+                  "jump table must cover every opcode");
+
+#define SIMALPHA_FETCH() \
+    do { \
+        if (n >= max_insts) \
+            goto L_done; \
+        if (ip < 0 || ip >= ntext) \
+            goto L_badpc; \
+        d = &dec[ip]; \
+        goto *kJump[d->handler]; \
+    } while (0)
+#define SIMALPHA_FALL() \
+    do { ++ip; pc += 4; ++n; SIMALPHA_FETCH(); } while (0)
+#define SIMALPHA_TAKEN() \
+    do { \
+        sim_assert(d->target >= 0); \
+        ip = d->target; \
+        pc = d->targetPc; \
+        ++n; \
+        SIMALPHA_FETCH(); \
+    } while (0)
+#define SIMALPHA_JUMP(tgt) \
+    do { \
+        pc = (tgt); \
+        ip = _prog.indexOf(pc); \
+        ++n; \
+        SIMALPHA_FETCH(); \
+    } while (0)
+
+    SIMALPHA_FETCH();
+
+L_Addq: regs[d->dst] = regs[d->srcA] + regs[d->srcB]; SIMALPHA_FALL();
+L_Subq: regs[d->dst] = regs[d->srcA] - regs[d->srcB]; SIMALPHA_FALL();
+L_Mulq: regs[d->dst] = regs[d->srcA] * regs[d->srcB]; SIMALPHA_FALL();
+L_And: regs[d->dst] = regs[d->srcA] & regs[d->srcB]; SIMALPHA_FALL();
+L_Bis: regs[d->dst] = regs[d->srcA] | regs[d->srcB]; SIMALPHA_FALL();
+L_Xor: regs[d->dst] = regs[d->srcA] ^ regs[d->srcB]; SIMALPHA_FALL();
+L_Sll:
+    regs[d->dst] = regs[d->srcA] << (regs[d->srcB] & 63);
+    SIMALPHA_FALL();
+L_Srl:
+    regs[d->dst] = regs[d->srcA] >> (regs[d->srcB] & 63);
+    SIMALPHA_FALL();
+L_Cmpeq:
+    regs[d->dst] = regs[d->srcA] == regs[d->srcB] ? 1 : 0;
+    SIMALPHA_FALL();
+L_Cmplt:
+    regs[d->dst] =
+        std::int64_t(regs[d->srcA]) < std::int64_t(regs[d->srcB]) ? 1 : 0;
+    SIMALPHA_FALL();
+L_Cmple:
+    regs[d->dst] =
+        std::int64_t(regs[d->srcA]) <= std::int64_t(regs[d->srcB]) ? 1 : 0;
+    SIMALPHA_FALL();
+L_Lda: regs[d->dst] = regs[d->srcB] + RegVal(d->imm); SIMALPHA_FALL();
+L_Cmoveq:
+    if (regs[d->srcA] == 0)
+        regs[d->dst] = regs[d->srcB];
+    SIMALPHA_FALL();
+L_Cmovne:
+    if (regs[d->srcA] != 0)
+        regs[d->dst] = regs[d->srcB];
+    SIMALPHA_FALL();
+
+L_Ldq:
+L_Ldt:
+    regs[d->dst] = _mem.read64(regs[d->srcB] + RegVal(d->imm));
+    SIMALPHA_FALL();
+L_Ldl:
+    regs[d->dst] = RegVal(std::int64_t(
+        std::int32_t(_mem.read32(regs[d->srcB] + RegVal(d->imm)))));
+    SIMALPHA_FALL();
+L_Stq:
+L_Stt:
+    _mem.write64(regs[d->srcB] + RegVal(d->imm), regs[d->srcA]);
+    SIMALPHA_FALL();
+L_Stl:
+    _mem.write32(regs[d->srcB] + RegVal(d->imm),
+                 std::uint32_t(regs[d->srcA]));
+    SIMALPHA_FALL();
+
+L_Addt:
+    regs[d->dst] = asBits(asDouble(regs[d->srcA]) + asDouble(regs[d->srcB]));
+    SIMALPHA_FALL();
+L_Subt:
+    regs[d->dst] = asBits(asDouble(regs[d->srcA]) - asDouble(regs[d->srcB]));
+    SIMALPHA_FALL();
+L_Mult:
+    regs[d->dst] = asBits(asDouble(regs[d->srcA]) * asDouble(regs[d->srcB]));
+    SIMALPHA_FALL();
+L_Divt:
+L_Divs:
+    regs[d->dst] = asBits(asDouble(regs[d->srcA]) / asDouble(regs[d->srcB]));
+    SIMALPHA_FALL();
+L_Sqrtt:
+L_Sqrts:
+    regs[d->dst] = asBits(std::sqrt(asDouble(regs[d->srcB])));
+    SIMALPHA_FALL();
+L_Cpys: regs[d->dst] = regs[d->srcA]; SIMALPHA_FALL();
+
+L_Beq:
+    if (regs[d->srcA] == 0)
+        SIMALPHA_TAKEN();
+    SIMALPHA_FALL();
+L_Bne:
+    if (regs[d->srcA] != 0)
+        SIMALPHA_TAKEN();
+    SIMALPHA_FALL();
+L_Blt:
+    if (std::int64_t(regs[d->srcA]) < 0)
+        SIMALPHA_TAKEN();
+    SIMALPHA_FALL();
+L_Ble:
+    if (std::int64_t(regs[d->srcA]) <= 0)
+        SIMALPHA_TAKEN();
+    SIMALPHA_FALL();
+L_Bgt:
+    if (std::int64_t(regs[d->srcA]) > 0)
+        SIMALPHA_TAKEN();
+    SIMALPHA_FALL();
+L_Bge:
+    if (std::int64_t(regs[d->srcA]) >= 0)
+        SIMALPHA_TAKEN();
+    SIMALPHA_FALL();
+
+L_Br: SIMALPHA_TAKEN();
+L_Bsr:
+    regs[d->dst] = pc + 4;
+    SIMALPHA_TAKEN();
+L_Jmp: SIMALPHA_JUMP(regs[d->srcB]);
+L_Jsr: {
+    // Read the target before writing the link: jsr ra,(ra) is legal.
+    const RegVal jsr_target = regs[d->srcB];
+    regs[d->dst] = pc + 4;
+    SIMALPHA_JUMP(jsr_target);
+}
+L_Ret: SIMALPHA_JUMP(regs[d->srcB]);
+
+L_Unop: SIMALPHA_FALL();
+L_Halt:
+    _halted = true;
+    pc += 4;
+    ++ip;
+    ++n;
+    goto L_done;
+
+L_badpc:
+    _pc = pc;
+    _ip = ip;
+    _seq += n;
+    panic("PC 0x%llx outside text segment of '%s'",
+          (unsigned long long)pc, _prog.name.c_str());
+
+L_done:
+    _pc = pc;
+    _ip = ip;
+    _seq += n;
+    return n;
+
+#undef SIMALPHA_FETCH
+#undef SIMALPHA_FALL
+#undef SIMALPHA_TAKEN
+#undef SIMALPHA_JUMP
+
+#else
+    // Portable fallback: the predecoded single-step path in a loop.
+    (void)regs;
+    (void)dec;
+    (void)ntext;
+    (void)ip;
+    (void)pc;
+    (void)d;
+    while (n < max_insts && !_halted) {
+        stepFast();
+        ++n;
+    }
+    return n;
+#endif
+}
+
+ExecutedInst
+Emulator::stepSlow()
+{
     sim_assert(!_halted);
 
     std::int64_t idx = _prog.indexOf(_pc);
@@ -198,6 +679,11 @@ Emulator::step()
               (unsigned long long)_pc, _prog.name.c_str());
 
     const Instruction &inst = _prog.text[std::size_t(idx)];
+
+    // Equivalence check against the predecoded image: the fast paths
+    // execute _dec, the slowpath executes the Instruction directly, and
+    // the two must describe the same operation.
+    sim_assert(_dec[std::size_t(idx)] == decodeOne(inst));
 
     ExecutedInst rec;
     rec.seq = _seq++;
@@ -324,6 +810,7 @@ Emulator::step()
     rec.taken = taken;
     rec.nextPc = next_pc;
     _pc = next_pc;
+    _ip = _prog.indexOf(_pc);
     return rec;
 }
 

@@ -38,6 +38,11 @@ struct ExecutedInst
 /**
  * Sparse byte-addressable memory backed by 4 KB pages. Loads of never-
  * written locations return zero, matching a zero-filled address space.
+ *
+ * Aligned accesses that fit inside one page (the overwhelmingly common
+ * case) take a single page lookup through a one-entry page cache and a
+ * memcpy; accesses that straddle a page boundary or are misaligned fall
+ * back to the byte loop. Both paths produce identical bytes.
  */
 class SparseMemory
 {
@@ -54,18 +59,32 @@ class SparseMemory
     std::vector<std::pair<Addr, RegVal>> exportWords() const;
 
     /** Drop every page (restore starts from a zero-filled space). */
-    void clear() { _pages.clear(); }
+    void
+    clear()
+    {
+        _pages.clear();
+        _lastPageNo = kNoPage;
+        _lastPage = nullptr;
+    }
 
   private:
     static constexpr Addr kPageShift = 12;
     static constexpr Addr kPageBytes = Addr(1) << kPageShift;
+    static constexpr Addr kNoPage = ~Addr(0);
 
     using Page = std::array<std::uint8_t, kPageBytes>;
 
     Page *findPage(Addr addr) const;
     Page &touchPage(Addr addr);
+    /** One-entry cache over findPage; only existing pages are cached
+     *  (pages are never freed except by clear(), so the pointer is
+     *  stable across rehashes). */
+    Page *cachedFind(Addr addr) const;
+    Page &cachedTouch(Addr addr);
 
     std::unordered_map<Addr, std::unique_ptr<Page>> _pages;
+    mutable Addr _lastPageNo = kNoPage;
+    mutable Page *_lastPage = nullptr;
 };
 
 /**
@@ -83,6 +102,34 @@ struct Checkpoint
     std::vector<std::pair<Addr, RegVal>> memory;
 };
 
+/**
+ * One predecoded instruction: operands resolved at decode time to slots
+ * in the extended register file (real registers 0..63, plus a hardwired
+ * zero-source slot and a write-sink slot for discarded destinations),
+ * immediates widened, and PC-relative targets resolved to text indices.
+ * The execution loops dispatch on `handler` without re-inspecting the
+ * Instruction encoding.
+ */
+struct DecodedInst
+{
+    std::uint8_t handler = 0;   ///< dense opcode, == uint8_t(Instruction::op)
+    std::uint8_t srcA = 0;      ///< extended-file slot read for `ra`
+    std::uint8_t srcB = 0;      ///< extended-file slot read for `rb`
+    std::uint8_t dst = 0;       ///< extended-file slot written
+    std::uint8_t pcRel = 0;     ///< nonzero for PC-relative control transfers
+    std::int32_t target = -1;   ///< taken successor as a text index
+    Addr targetPc = 0;          ///< taken successor as a PC (target >= 0)
+    std::int64_t imm = 0;
+
+    bool
+    operator==(const DecodedInst &o) const
+    {
+        return handler == o.handler && srcA == o.srcA && srcB == o.srcB &&
+               dst == o.dst && pcRel == o.pcRel && target == o.target &&
+               targetPc == o.targetPc && imm == o.imm;
+    }
+};
+
 class Emulator
 {
   public:
@@ -96,6 +143,19 @@ class Emulator
 
     /** Execute one instruction; undefined after halted(). */
     ExecutedInst step();
+
+    /**
+     * Architecturally execute up to `max_insts` instructions through the
+     * predecoded batch dispatcher (computed goto on GNU compilers),
+     * without materializing per-instruction records — the fast-forward
+     * path for checkpoint collection and `--sample` runs. Stops early at
+     * Halt. State afterwards is byte-identical to calling step() the
+     * same number of times. Under SIMALPHA_SLOWPATH=1 the batch runs
+     * through the retained switch interpreter instead, asserting per
+     * instruction that the predecoded image agrees with a fresh decode.
+     * @return instructions executed
+     */
+    std::uint64_t run(std::uint64_t max_insts);
 
     bool halted() const { return _halted; }
     Addr pc() const { return _pc; }
@@ -116,7 +176,7 @@ class Emulator
     void
     flipRegisterBit(std::uint64_t reg, std::uint32_t bit)
     {
-        _regs[std::size_t(reg % _regs.size())] ^=
+        _regs[std::size_t(reg % (kNumIntRegs + kNumFpRegs))] ^=
             RegVal(1) << (bit % 64);
     }
 
@@ -125,16 +185,39 @@ class Emulator
 
     const Program &program() const { return _prog; }
 
+    /** The predecoded text image (exposed for equivalence tests). */
+    const std::vector<DecodedInst> &decodedText() const { return _dec; }
+
+    /** Predecode one instruction (pure; used for the slowpath check). */
+    static DecodedInst decodeOne(const Instruction &inst);
+
   private:
+    /** Extended register file layout: slots 0..63 are the architectural
+     *  registers; kZeroSlot is a hardwired-zero source (never written);
+     *  kSinkSlot absorbs writes to zero registers / kNoReg (never
+     *  read). Remapping operands into these slots at decode time
+     *  removes every zero-register branch from the execute loops. */
+    static constexpr std::size_t kZeroSlot = kNumIntRegs + kNumFpRegs;
+    static constexpr std::size_t kSinkSlot = kZeroSlot + 1;
+
     RegVal reg(RegIndex r) const;
     void setReg(RegIndex r, RegVal v);
 
+    ExecutedInst stepFast();
+    /** The original fully-generic switch interpreter, retained as the
+     *  SIMALPHA_SLOWPATH=1 reference; asserts decode equivalence. */
+    ExecutedInst stepSlow();
+    std::uint64_t runBatch(std::uint64_t max_insts);
+
     const Program &_prog;
     SparseMemory _mem;
-    std::array<RegVal, kNumIntRegs + kNumFpRegs> _regs{};
+    std::array<RegVal, kNumIntRegs + kNumFpRegs + 2> _regs{};
+    std::vector<DecodedInst> _dec;
     Addr _pc;
+    std::int64_t _ip;           ///< text index of _pc, or -1 if outside
     InstSeq _seq = 0;
     bool _halted = false;
+    bool _slowpath = false;     ///< SIMALPHA_SLOWPATH=1 at construction
 };
 
 } // namespace simalpha

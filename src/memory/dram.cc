@@ -4,6 +4,24 @@
 
 namespace simalpha {
 
+const std::vector<std::string> &
+dramBackendNames()
+{
+    static const std::vector<std::string> names = {"classic", "openpage"};
+    return names;
+}
+
+std::unique_ptr<DramBackend>
+makeDramBackend(const DramParams &params)
+{
+    if (params.backend.empty() || params.backend == "classic")
+        return std::make_unique<Dram>(params);
+    if (params.backend == "openpage")
+        return std::make_unique<OpenPageDram>(params);
+    fatal("unknown DRAM backend '%s' (backends: classic, openpage)",
+          params.backend.c_str());
+}
+
 Dram::Dram(const DramParams &params)
     : _p(params),
       _banks(std::size_t(params.banks)),

@@ -54,7 +54,7 @@ MemorySystemParams::ds10l()
 MemorySystem::MemorySystem(const MemorySystemParams &params)
     : _p(params)
 {
-    _dram = std::make_unique<Dram>(_p.dram);
+    _dram = makeDramBackend(_p.dram);
     _l2 = std::make_unique<Cache>(_p.l2, _dram.get());
     // 128-bit backside bus between the L1s and the off-chip L2.
     _l2Bus = std::make_unique<Bus>(16, _p.l2BusCpuCyclesPerBeat);

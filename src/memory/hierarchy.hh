@@ -63,7 +63,7 @@ class MemorySystem
     Cache &icache() { return *_l1i; }
     Cache &dcache() { return *_l1d; }
     Cache &l2cache() { return *_l2; }
-    Dram &dram() { return *_dram; }
+    DramBackend &dram() { return *_dram; }
     Tlb &itlb() { return *_itlb; }
     Tlb &dtlb() { return *_dtlb; }
 
@@ -88,7 +88,7 @@ class MemorySystem
 
   private:
     MemorySystemParams _p;
-    std::unique_ptr<Dram> _dram;
+    std::unique_ptr<DramBackend> _dram;
     std::unique_ptr<Cache> _l2;
     std::unique_ptr<Bus> _l2Bus;
     std::unique_ptr<MshrPool> _sharedMaf;

@@ -248,6 +248,18 @@ smokeCampaign()
     return spec;
 }
 
+CampaignSpec
+dramSweepCampaign()
+{
+    CampaignSpec spec;
+    spec.name = "dramsweep";
+    for (const MacroProfile &p : spec2000Profiles())
+        for (const char *m :
+             {"sim-alpha+dram=classic", "sim-alpha+dram=openpage"})
+            spec.cells.push_back({m, Optimization::None, p.name, 0, 0, {}});
+    return spec;
+}
+
 std::string
 vulnCampaignName(const VulnSpec &spec)
 {
@@ -453,6 +465,8 @@ campaignByName(const std::string &name, CampaignSpec *out)
         *out = table5Campaign();
     else if (name == "smoke")
         *out = smokeCampaign();
+    else if (name == "dramsweep")
+        *out = dramSweepCampaign();
     else
         return false;
     return true;

@@ -113,6 +113,12 @@ CampaignSpec table5Campaign();
  *  tests and fault drills (`simalpha --campaign smoke`). */
 CampaignSpec smokeCampaign();
 
+/** The DRAM-policy sweep (§4.2 as an experiment axis): the ten SPEC2000
+ *  synthetics on sim-alpha under every DRAM backend, classic spelled
+ *  explicitly so the sweep axis reads off the machine column. Cap with
+ *  --max-insts for interactive runs. */
+CampaignSpec dramSweepCampaign();
+
 /**
  * A vulnerability campaign: one (machine, workload, cap) identity
  * fanned out over `cells` single-bit injections planned from `seed`
@@ -164,8 +170,9 @@ bool parseShardCampaignName(const std::string &name, std::size_t *index,
                             std::size_t *count, std::string *base,
                             std::string *error);
 
-/** Campaign by name ("table2".."table5", "smoke", a "vuln:..." spec,
- *  or a "shard:<i>/<n>:<base>" slice); false on unknown names. */
+/** Campaign by name ("table2".."table5", "smoke", "dramsweep", a
+ *  "vuln:..." spec, or a "shard:<i>/<n>:<base>" slice); false on
+ *  unknown names. */
 bool campaignByName(const std::string &name, CampaignSpec *out);
 
 } // namespace runner

@@ -12,12 +12,17 @@
 #include <sstream>
 #include <vector>
 
+#include <filesystem>
+
+#include <unistd.h>
+
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "isa/emulator.hh"
 #include "runner/artifacts.hh"
 #include "runner/campaign.hh"
 #include "runner/runner.hh"
+#include "store/store.hh"
 
 #ifndef SIMALPHA_BUILD_TYPE
 #define SIMALPHA_BUILD_TYPE "unknown"
@@ -175,6 +180,31 @@ timeInjectIdlePath(const CampaignSpec &t3, PerfPath *out,
     return true;
 }
 
+/** The emulator paths run the workload set several times and keep the
+ *  fastest pass: a single capped pass is a few milliseconds at
+ *  emulator speed, and on a shared machine scheduler noise and
+ *  frequency throttling swamp it. Interference is strictly one-sided
+ *  (it only ever slows a pass down), so the best pass is the least
+ *  contaminated estimate of the code's real rate, and using the same
+ *  estimator for the pinned baseline and the smoke gate keeps their
+ *  ratio meaningful. */
+constexpr int kEmulatorBenchPasses = 10;
+
+/** Keep (insts, seconds) of the fastest pass seen so far. */
+void
+keepBestPass(std::uint64_t insts,
+             std::chrono::steady_clock::time_point t0,
+             std::chrono::steady_clock::time_point t1, PerfPath *out)
+{
+    double seconds = elapsedSeconds(t0, t1);
+    if (out->seconds == 0.0 ||
+        (seconds > 0.0 &&
+         double(insts) / seconds > double(out->insts) / out->seconds)) {
+        out->insts = insts;
+        out->seconds = seconds;
+    }
+}
+
 /** Time the raw functional Emulator over the same workload set. */
 bool
 timeEmulatorPath(const CampaignSpec &t3, std::uint64_t max_insts,
@@ -194,21 +224,139 @@ timeEmulatorPath(const CampaignSpec &t3, std::uint64_t max_insts,
         progs.push_back(p);
     }
 
-    std::uint64_t insts = 0;
-    auto t0 = std::chrono::steady_clock::now();
-    for (const Program &p : progs) {
-        Emulator emu(p);
-        std::uint64_t n = 0;
-        while (!emu.halted() && (max_insts == 0 || n < max_insts)) {
-            emu.step();
-            n++;
+    *out = PerfPath{};
+    for (int pass = 0; pass < kEmulatorBenchPasses; pass++) {
+        std::uint64_t insts = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        for (const Program &p : progs) {
+            Emulator emu(p);
+            std::uint64_t n = 0;
+            while (!emu.halted() &&
+                   (max_insts == 0 || n < max_insts)) {
+                emu.step();
+                n++;
+            }
+            insts += n;
         }
-        insts += n;
+        auto t1 = std::chrono::steady_clock::now();
+        keepBestPass(insts, t0, t1, out);
     }
+    finishPath(out);
+    return true;
+}
+
+/** The predecoded batch loop over the same workloads: run() amortizes
+ *  fetch/dispatch across whole batches, so this row is the emulator's
+ *  raw-dispatch ceiling. */
+bool
+timeEmuPrePath(const CampaignSpec &t3, std::uint64_t max_insts,
+               PerfPath *out, std::string *error)
+{
+    std::vector<std::string> names;
+    for (const Cell &c : t3.cells)
+        if (std::find(names.begin(), names.end(), c.workload) ==
+            names.end())
+            names.push_back(c.workload);
+
+    std::vector<Program> progs;
+    for (const std::string &n : names) {
+        Program p;
+        if (!buildWorkload(n, &p, error))
+            return false;
+        progs.push_back(p);
+    }
+
+    *out = PerfPath{};
+    for (int pass = 0; pass < kEmulatorBenchPasses; pass++) {
+        std::uint64_t insts = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        for (const Program &p : progs) {
+            Emulator emu(p);
+            std::uint64_t n = 0;
+            while (!emu.halted() &&
+                   (max_insts == 0 || n < max_insts)) {
+                std::uint64_t ran = emu.run(
+                    max_insts == 0 ? std::uint64_t(1) << 30
+                                   : max_insts - n);
+                if (ran == 0)
+                    break;
+                n += ran;
+            }
+            insts += n;
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        keepBestPass(insts, t0, t1, out);
+    }
+    finishPath(out);
+    return true;
+}
+
+/**
+ * The indexed warm-store replay rate: fill a private store with the
+ * whole capped campaign, build its binary shard indexes, then time a
+ * warm rerun of the same campaign against it — every cell served by
+ * an index record (pread + FNV check), zero per-entry JSON parsing.
+ * Fill and index build stay outside the timed region.
+ */
+bool
+timeWarmStorePath(const CampaignSpec &t3, PerfPath *out,
+                  std::string *error)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::string root =
+        (fs::temp_directory_path(ec) /
+         ("simalpha-bench-store-" + std::to_string(long(::getpid()))))
+            .string();
+
+    auto fail = [&](const std::string &msg) {
+        *error = "warm-store: " + msg;
+        fs::remove_all(root, ec);
+        return false;
+    };
+
+    {
+        RunnerOptions ro;
+        ro.jobs = 1;
+        ro.storePath = root;
+        ExperimentRunner cold(ro);
+        CampaignResult cr = cold.run(t3);
+        for (const CellResult &r : cr.cells)
+            if (!r.ok)
+                return fail("cold " + r.cell.machine + "/" +
+                            r.cell.workload + " failed: " + r.error);
+    }
+    {
+        store::ResultStore s;
+        std::string serr;
+        store::IndexOutcome io;
+        if (!s.open(root, &serr) || !s.buildIndexes(&io, &serr))
+            return fail(serr);
+    }
+
+    RunnerOptions ro;
+    ro.jobs = 1;
+    ro.storePath = root;
+    ExperimentRunner warm(ro);
+    auto t0 = std::chrono::steady_clock::now();
+    CampaignResult cr = warm.run(t3);
     auto t1 = std::chrono::steady_clock::now();
+
+    std::uint64_t insts = 0;
+    for (const CellResult &r : cr.cells) {
+        if (!r.ok)
+            return fail("warm " + r.cell.machine + "/" +
+                        r.cell.workload + " failed: " + r.error);
+        insts += r.instsCommitted;
+    }
+    if (warm.storeCounters().hits < cr.cells.size())
+        return fail("warm rerun missed the store (" +
+                    std::to_string(warm.storeCounters().hits) + "/" +
+                    std::to_string(cr.cells.size()) + " hits)");
     out->insts = insts;
     out->seconds = elapsedSeconds(t0, t1);
     finishPath(out);
+    fs::remove_all(root, ec);
     return true;
 }
 
@@ -239,6 +387,8 @@ entryToJson(std::ostringstream &o, const char *key, const PerfEntry &e)
     o << ",";
     pathToJson(o, "emulator", e.emulator);
     o << ",";
+    pathToJson(o, "emu_pre", e.emuPre);
+    o << ",";
     pathToJson(o, "sampled", e.sampled);
     o << ",";
     pathToJson(o, "inject_idle", e.injectIdle);
@@ -250,6 +400,8 @@ entryToJson(std::ostringstream &o, const char *key, const PerfEntry &e)
     pathToJson(o, "fleet_cold", e.fleetCold);
     o << ",";
     pathToJson(o, "fleet_warm", e.fleetWarm);
+    o << ",";
+    pathToJson(o, "warm_store", e.warmStore);
     o << "}";
 }
 
@@ -480,6 +632,10 @@ entryFromJson(const Json &parent, const char *key, PerfEntry *e,
         !pathFromJson(*j, "abstract", &e->abstracted, error) ||
         !pathFromJson(*j, "emulator", &e->emulator, error))
         return false;
+    // Optional: files written before the predecoded batch row existed.
+    if (j->obj.count("emu_pre") &&
+        !pathFromJson(*j, "emu_pre", &e->emuPre, error))
+        return false;
     // Optional: trajectory files written before the sampled path
     // existed have no "sampled" object; its absence is not drift.
     if (j->obj.count("sampled") &&
@@ -505,6 +661,10 @@ entryFromJson(const Json &parent, const char *key, PerfEntry *e,
         return false;
     if (j->obj.count("fleet_warm") &&
         !pathFromJson(*j, "fleet_warm", &e->fleetWarm, error))
+        return false;
+    // Optional: files written before the indexed warm-store row.
+    if (j->obj.count("warm_store") &&
+        !pathFromJson(*j, "warm_store", &e->warmStore, error))
         return false;
     e->valid = true;
     return true;
@@ -564,7 +724,11 @@ measurePerf(std::uint64_t max_insts, PerfEntry *out, std::string *error)
         return false;
     if (!timeEmulatorPath(t3, max_insts, &e.emulator, error))
         return false;
+    if (!timeEmuPrePath(t3, max_insts, &e.emuPre, error))
+        return false;
     if (!timeSampledPath(t3, max_insts, &e.sampled, error))
+        return false;
+    if (!timeWarmStorePath(t3, &e.warmStore, error))
         return false;
     if (!timeInjectIdlePath(t3, &e.injectIdle, error))
         return false;
@@ -652,7 +816,9 @@ runBenchCommand(int argc, char **argv)
     std::string out_path = "BENCH_perf.json";
     std::string check_path;
     std::uint64_t max_insts = kPerfBenchDefaultMaxInsts;
+    bool cap_explicit = false;
     bool set_baseline = false;
+    bool smoke = false;
 
     for (int i = 1; i < argc; i++) {
         auto next = [&]() -> const char * {
@@ -663,21 +829,26 @@ runBenchCommand(int argc, char **argv)
             }
             return argv[++i];
         };
-        if (std::strcmp(argv[i], "--quick") == 0)
+        if (std::strcmp(argv[i], "--quick") == 0) {
             max_insts = kPerfBenchQuickMaxInsts;
-        else if (std::strcmp(argv[i], "--max-insts") == 0)
+            cap_explicit = true;
+        } else if (std::strcmp(argv[i], "--max-insts") == 0) {
             max_insts = std::strtoull(next(), nullptr, 10);
-        else if (std::strcmp(argv[i], "--out") == 0)
+            cap_explicit = true;
+        } else if (std::strcmp(argv[i], "--out") == 0)
             out_path = next();
         else if (std::strcmp(argv[i], "--check") == 0)
             check_path = next();
         else if (std::strcmp(argv[i], "--set-baseline") == 0)
             set_baseline = true;
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
         else {
             std::fprintf(
                 stderr,
                 "usage: simalpha bench [--quick] [--max-insts N] "
-                "[--out FILE] [--check FILE] [--set-baseline]\n");
+                "[--out FILE] [--check FILE] [--set-baseline] "
+                "[--smoke]\n");
             return 2;
         }
     }
@@ -690,6 +861,88 @@ runBenchCommand(int argc, char **argv)
             return 1;
         }
         std::printf("bench: %s: schema ok\n", check_path.c_str());
+        return 0;
+    }
+
+    if (smoke) {
+        std::string text, error;
+        PerfReport r;
+        if (!readFile(out_path, &text, &error) ||
+            !parsePerfReport(text, &r, &error)) {
+            std::fprintf(stderr,
+                         "bench: --smoke needs a valid trajectory "
+                         "file %s: %s\n",
+                         out_path.c_str(), error.c_str());
+            return 1;
+        }
+        if (!r.baseline.valid || r.baseline.detailed.ips <= 0.0 ||
+            r.baseline.emulator.ips <= 0.0) {
+            std::fprintf(stderr,
+                         "bench: --smoke: %s has no usable pinned "
+                         "baseline (run `simalpha bench "
+                         "--set-baseline` first)\n",
+                         out_path.c_str());
+            return 1;
+        }
+
+        setQuiet(true);
+        std::uint64_t cap =
+            cap_explicit ? max_insts : r.baseline.maxInsts;
+        std::printf("bench: smoke at max_insts=%llu vs baseline "
+                    "(build=%s)...\n",
+                    (unsigned long long)cap,
+                    r.baseline.buildType.c_str());
+        std::fflush(stdout);
+
+        CampaignSpec t3 = table3Campaign();
+        if (cap)
+            t3 = t3.withMaxInsts(cap);
+        // Up to three attempts, keeping the best ips seen per path
+        // and stopping as soon as both clear the floor. Interference
+        // on a shared machine is one-sided (it only ever slows a
+        // trial down), so retrying shields the gate from transient
+        // throttling while a genuine regression still fails every
+        // attempt.
+        PerfPath det, emu;
+        double det_ratio = 0.0, emu_ratio = 0.0;
+        for (int attempt = 0; attempt < 3; attempt++) {
+            PerfPath d, e2;
+            if (!timeMachinePath(t3, "sim-alpha", &d, &error) ||
+                !timeEmulatorPath(t3, cap, &e2, &error)) {
+                std::fprintf(stderr,
+                             "bench: smoke measurement failed: %s\n",
+                             error.c_str());
+                return 1;
+            }
+            if (attempt == 0 || d.ips > det.ips)
+                det = d;
+            if (attempt == 0 || e2.ips > emu.ips)
+                emu = e2;
+            det_ratio = det.ips / r.baseline.detailed.ips;
+            emu_ratio = emu.ips / r.baseline.emulator.ips;
+            if (det_ratio >= 0.8 && emu_ratio >= 0.8)
+                break;
+        }
+        printPath("detailed", det);
+        printPath("emulator", emu);
+        std::printf("detailed vs baseline: %.2fx, emulator vs "
+                    "baseline: %.2fx (floor 0.80x)\n",
+                    det_ratio, emu_ratio);
+        if (r.baseline.buildType != SIMALPHA_BUILD_TYPE) {
+            std::printf("bench: smoke: build type %s differs from "
+                        "baseline %s — thresholds reported, not "
+                        "enforced\n",
+                        SIMALPHA_BUILD_TYPE,
+                        r.baseline.buildType.c_str());
+            return 0;
+        }
+        if (det_ratio < 0.8 || emu_ratio < 0.8) {
+            std::fprintf(stderr,
+                         "bench: smoke FAILED: ips regressed more "
+                         "than 20%% against the pinned baseline\n");
+            return 1;
+        }
+        std::printf("bench: smoke OK\n");
         return 0;
     }
 
@@ -747,8 +1000,10 @@ runBenchCommand(int argc, char **argv)
     printPath("detailed", e.detailed);
     printPath("abstract", e.abstracted);
     printPath("emulator", e.emulator);
+    printPath("emu-pre", e.emuPre);
     printPath("sampled", e.sampled);
     printPath("inj-idle", e.injectIdle);
+    printPath("warmstore", e.warmStore);
     if (e.serveCold.seconds > 0.0 || e.serveWarm.seconds > 0.0) {
         printPath("srv-cold", e.serveCold);
         printPath("srv-warm", e.serveWarm);

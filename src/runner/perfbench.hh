@@ -44,6 +44,15 @@ struct PerfEntry
     PerfPath abstracted;
     PerfPath emulator;
     /**
+     * The functional emulator driven through its predecoded batch
+     * loop (Emulator::run()) instead of one step() call per
+     * instruction — the raw-dispatch ceiling. The delta against
+     * `emulator` is the per-call overhead step() pays to keep its
+     * precise single-instruction contract. Absent in trajectory files
+     * written before predecode existed; parse treats it as optional.
+     */
+    PerfPath emuPre;
+    /**
      * Checkpoint-sampled sim-alpha over the same workloads at 10x the
      * detailed cap: `insts` counts the instructions the sampled run
      * *represents* (the functional fast-forward length), so `ips` is
@@ -85,6 +94,15 @@ struct PerfEntry
      */
     PerfPath fleetCold;
     PerfPath fleetWarm;
+    /**
+     * A warm rerun of the same campaign against a result store whose
+     * shards carry a freshly built binary index: the cold fill and
+     * the index build happen outside the timed region, so this row is
+     * the pure replay rate of index-served lookups (pread by offset +
+     * FNV check, zero per-entry JSON parsing). Absent in trajectory
+     * files written before the store index existed; optional.
+     */
+    PerfPath warmStore;
     bool valid = false;
 };
 
@@ -152,6 +170,13 @@ bool checkPerfFile(const std::string &path, std::string *error);
  *   --out FILE      trajectory file (default BENCH_perf.json)
  *   --check FILE    validate FILE's schema only; no measurement
  *   --set-baseline  pin this measurement as the new baseline too
+ *   --smoke         regression gate: re-measure only the detailed and
+ *                   emulator rows at the pinned baseline's cap and
+ *                   fail (exit 1) if either drops below 80% of the
+ *                   baseline ips. Never writes the trajectory file;
+ *                   when the running build type differs from the
+ *                   baseline's the thresholds are reported but not
+ *                   enforced (cross-build ips are incomparable).
  * Exit codes: 0 ok, 1 measurement/validation failure, 2 usage.
  */
 int runBenchCommand(int argc, char **argv);

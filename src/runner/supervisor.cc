@@ -230,7 +230,7 @@ superviseCampaign(const SupervisorOptions &opts)
     CampaignSpec spec;
     if (!campaignByName(opts.campaign, &spec))
         throw ConfigError("unknown campaign '" + opts.campaign +
-                          "' (table2..table5, smoke)");
+                          "' (table2..table5, smoke, dramsweep)");
     if (opts.maxInsts)
         spec = spec.withMaxInsts(opts.maxInsts);
     if (opts.sample.enabled())

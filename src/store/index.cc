@@ -1,0 +1,290 @@
+#include "index.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace simalpha {
+namespace store {
+
+const char *const kShardIndexFile = "index.bin";
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'A', 'I', 'D', 'X', '1', '\n', '\0'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 32;
+constexpr std::size_t kRecordBytes = 32;
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t len)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < len; i++) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint32_t
+loadU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; i--)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t
+loadU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; i--)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+void
+appendU32(std::string *out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; i++, v >>= 8)
+        out->push_back(char(v & 0xFF));
+}
+
+void
+appendU64(std::string *out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; i++, v >>= 8)
+        out->push_back(char(v & 0xFF));
+}
+
+} // namespace
+
+ShardIndex::~ShardIndex()
+{
+    if (_map)
+        ::munmap(const_cast<unsigned char *>(_map), _mapLen);
+}
+
+std::unique_ptr<ShardIndex>
+ShardIndex::load(const std::string &shardDir, bool *corrupt)
+{
+    if (corrupt)
+        *corrupt = false;
+    std::string path = shardDir + "/" + kShardIndexFile;
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return nullptr; // absent (or unreadable): shard is unindexed
+
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode) ||
+        std::size_t(st.st_size) < kHeaderBytes) {
+        ::close(fd);
+        if (corrupt)
+            *corrupt = true;
+        return nullptr;
+    }
+    std::size_t len = std::size_t(st.st_size);
+    void *map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED) {
+        if (corrupt)
+            *corrupt = true;
+        return nullptr;
+    }
+
+    std::unique_ptr<ShardIndex> idx(new ShardIndex());
+    idx->_map = static_cast<const unsigned char *>(map);
+    idx->_mapLen = len;
+
+    const unsigned char *p = idx->_map;
+    std::uint32_t count = loadU32(p + 8);
+    std::uint32_t version = loadU32(p + 12);
+    std::uint64_t heap_bytes = loadU64(p + 16);
+    std::uint64_t file_check = loadU64(p + 24);
+    std::uint64_t body = len - kHeaderBytes;
+    if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0 ||
+        version != kVersion ||
+        std::uint64_t(count) * kRecordBytes + heap_bytes != body ||
+        fnv1a64(p + kHeaderBytes, std::size_t(body)) != file_check) {
+        if (corrupt)
+            *corrupt = true;
+        return nullptr;
+    }
+
+    idx->_count = count;
+    idx->_records = p + kHeaderBytes;
+    idx->_heap = reinterpret_cast<const char *>(
+        p + kHeaderBytes + std::size_t(count) * kRecordBytes);
+    idx->_heapBytes = heap_bytes;
+    return idx;
+}
+
+bool
+ShardIndex::decodeAt(std::size_t i, Record *out) const
+{
+    const unsigned char *r = _records + i * kRecordBytes;
+    std::uint32_t key_off = loadU32(r + 8);
+    std::uint32_t key_len = loadU32(r + 12);
+    if (std::uint64_t(key_off) + key_len > _heapBytes)
+        return false; // malformed record: treat as not found
+    out->keyHash = loadU64(r);
+    out->key = std::string_view(_heap + key_off, key_len);
+    out->payloadOff = loadU32(r + 16);
+    out->payloadLen = loadU32(r + 20);
+    out->payloadCheck = loadU64(r + 24);
+    return true;
+}
+
+bool
+ShardIndex::findByHash(std::uint64_t keyHash, Record *out) const
+{
+    std::size_t lo = 0, hi = _count;
+    while (lo < hi) {
+        std::size_t mid = lo + (hi - lo) / 2;
+        std::uint64_t h = loadU64(_records + mid * kRecordBytes);
+        if (h < keyHash)
+            lo = mid + 1;
+        else if (h > keyHash)
+            hi = mid;
+        else
+            return decodeAt(mid, out);
+    }
+    return false;
+}
+
+bool
+ShardIndex::find(std::string_view key, std::uint64_t keyHash,
+                 Record *out) const
+{
+    Record rec;
+    if (!findByHash(keyHash, &rec) || rec.key != key)
+        return false;
+    *out = rec;
+    return true;
+}
+
+bool
+ShardIndex::recordAt(std::size_t i, Record *out) const
+{
+    if (i >= _count)
+        return false;
+    return decodeAt(i, out);
+}
+
+bool
+writeShardIndex(const std::string &shardDir,
+                std::vector<IndexEntry> entries, std::string *error)
+{
+    std::string path = shardDir + "/" + kShardIndexFile;
+    if (entries.empty()) {
+        // No entries left: an absent index is the canonical empty one.
+        if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+            if (error)
+                *error = path + ": " + std::strerror(errno);
+            return false;
+        }
+        return true;
+    }
+
+    struct Keyed
+    {
+        std::uint64_t hash;
+        const IndexEntry *entry;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(entries.size());
+    for (const IndexEntry &e : entries)
+        keyed.push_back({fnv1a64(e.key.data(), e.key.size()), &e});
+    std::sort(keyed.begin(), keyed.end(),
+              [](const Keyed &a, const Keyed &b) {
+                  if (a.hash != b.hash)
+                      return a.hash < b.hash;
+                  return a.entry->key < b.entry->key;
+              });
+
+    std::string heap;
+    std::string records;
+    records.reserve(keyed.size() * kRecordBytes);
+    for (const Keyed &k : keyed) {
+        appendU64(&records, k.hash);
+        appendU32(&records, std::uint32_t(heap.size()));
+        appendU32(&records, std::uint32_t(k.entry->key.size()));
+        appendU32(&records, k.entry->payloadOff);
+        appendU32(&records, k.entry->payloadLen);
+        appendU64(&records, k.entry->payloadCheck);
+        heap += k.entry->key;
+    }
+
+    std::string content(kMagic, sizeof(kMagic));
+    appendU32(&content, std::uint32_t(keyed.size()));
+    appendU32(&content, kVersion);
+    appendU64(&content, std::uint64_t(heap.size()));
+    appendU64(&content,
+              fnv1a64((records + heap).data(),
+                      records.size() + heap.size()));
+    content += records;
+    content += heap;
+
+    // Serialize concurrent rebuilds of the same shard, then publish
+    // atomically so readers only ever map a complete index.
+    std::string lock_path = path + ".lock";
+    int lock_fd = ::open(lock_path.c_str(),
+                         O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (lock_fd >= 0)
+        ::flock(lock_fd, LOCK_EX);
+
+    std::string tmp = path + ".tmp." + std::to_string(std::uint64_t(::getpid()));
+    bool ok = false;
+    int fd = ::open(tmp.c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        if (error)
+            *error = tmp + ": " + std::strerror(errno);
+    } else {
+        std::size_t off = 0;
+        ok = true;
+        while (off < content.size()) {
+            ssize_t n = ::write(fd, content.data() + off,
+                                content.size() - off);
+            if (n <= 0) {
+                if (error)
+                    *error = tmp + ": " + std::strerror(errno);
+                ok = false;
+                break;
+            }
+            off += std::size_t(n);
+        }
+        if (ok && ::fsync(fd) != 0) {
+            if (error)
+                *error = tmp + ": " + std::strerror(errno);
+            ok = false;
+        }
+        ::close(fd);
+        if (ok && ::rename(tmp.c_str(), path.c_str()) != 0) {
+            if (error)
+                *error = path + ": " + std::strerror(errno);
+            ok = false;
+        }
+        if (!ok)
+            ::unlink(tmp.c_str());
+    }
+
+    if (lock_fd >= 0) {
+        ::flock(lock_fd, LOCK_UN);
+        ::close(lock_fd);
+    }
+    return ok;
+}
+
+} // namespace store
+} // namespace simalpha

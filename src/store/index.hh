@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Binary per-shard index over the result store's JSON entries.
+ *
+ * Each shard directory <root>/<hh>/ may carry an `index.bin` mapping
+ * every entry key in the shard to the byte range of its payload inside
+ * the existing entry file. A warm lookup that goes through the index
+ * does one mmap'd binary search plus one pread of the payload bytes,
+ * verified against the record's FNV-1a — no JSON header parse, no key
+ * unescaping, and byte-identity for free because the payload bytes
+ * served are the verbatim blob the entry file already holds.
+ *
+ * The index is strictly an accelerator and strictly rebuildable:
+ *  - entries published after the index was built are simply absent from
+ *    it and fall back to the scan path;
+ *  - entries republished with different bytes fail the record's payload
+ *    check and fall back to the scan path;
+ *  - a corrupt index file is quarantined as index.bin.corrupt and the
+ *    shard behaves as if unindexed.
+ * Nothing ever trusts the index over the entry file's own bytes.
+ *
+ * On-disk layout (all integers little-endian):
+ *
+ *     header  (32 bytes): magic "SAIDX1\n\0", u32 version=1, u32 count,
+ *                         u64 heapBytes, u64 fileCheck
+ *     records (count × 32 bytes, sorted by keyHash):
+ *                         u64 keyHash, u32 keyOff, u32 keyLen,
+ *                         u32 payloadOff, u32 payloadLen,
+ *                         u64 payloadCheck
+ *     heap    (heapBytes): concatenated raw key bytes
+ *
+ * fileCheck is the FNV-1a of everything after the header, so a torn or
+ * bit-flipped index reads as corrupt, never as wrong answers. Within a
+ * shard, key hashes are unique (two keys with equal hashes would share
+ * one entry file), so records are binary-searchable by hash alone.
+ */
+
+#ifndef SIMALPHA_STORE_INDEX_HH
+#define SIMALPHA_STORE_INDEX_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simalpha {
+namespace store {
+
+/** The index file's name inside a shard directory. */
+extern const char *const kShardIndexFile;
+
+/** A loaded, immutable, mmap'd shard index. */
+class ShardIndex
+{
+  public:
+    struct Record
+    {
+        std::string_view key;           ///< view into the mmap'd heap
+        std::uint64_t keyHash = 0;
+        std::uint32_t payloadOff = 0;   ///< offset within the entry file
+        std::uint32_t payloadLen = 0;
+        std::uint64_t payloadCheck = 0; ///< FNV-1a of the payload bytes
+    };
+
+    /**
+     * mmap and validate <shardDir>/index.bin.
+     * @return the index, or nullptr when the file is absent (normal) or
+     *         invalid (*corrupt set true — caller quarantines)
+     */
+    static std::unique_ptr<ShardIndex> load(const std::string &shardDir,
+                                            bool *corrupt);
+
+    ~ShardIndex();
+    ShardIndex(const ShardIndex &) = delete;
+    ShardIndex &operator=(const ShardIndex &) = delete;
+
+    std::size_t size() const { return _count; }
+
+    /** Binary-search @p keyHash and confirm the full key bytes. */
+    bool find(std::string_view key, std::uint64_t keyHash,
+              Record *out) const;
+
+    /** Binary-search @p keyHash alone (hashes are unique per shard). */
+    bool findByHash(std::uint64_t keyHash, Record *out) const;
+
+    /** Record @p i in hash order (for index-driven export walks). */
+    bool recordAt(std::size_t i, Record *out) const;
+
+  private:
+    ShardIndex() = default;
+
+    const unsigned char *_map = nullptr;
+    std::size_t _mapLen = 0;
+    std::uint32_t _count = 0;
+    const unsigned char *_records = nullptr;
+    const char *_heap = nullptr;
+    std::uint64_t _heapBytes = 0;
+
+    bool decodeAt(std::size_t i, Record *out) const;
+};
+
+/**
+ * Build (or rebuild) a shard's index.bin from `entries` — already
+ * validated (key, payloadOff, payloadLen, payloadCheck) tuples for
+ * every entry file in the shard. Written atomically (temp + rename)
+ * under an advisory flock on index.bin.lock. An empty entry list
+ * removes the index file instead.
+ */
+struct IndexEntry
+{
+    std::string key;
+    std::uint32_t payloadOff = 0;
+    std::uint32_t payloadLen = 0;
+    std::uint64_t payloadCheck = 0;
+};
+
+bool writeShardIndex(const std::string &shardDir,
+                     std::vector<IndexEntry> entries,
+                     std::string *error);
+
+} // namespace store
+} // namespace simalpha
+
+#endif // SIMALPHA_STORE_INDEX_HH

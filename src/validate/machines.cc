@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "memory/dram.hh"
 #include "validate/manifest.hh"
 
 namespace simalpha {
@@ -74,6 +75,56 @@ applyRuuOptimization(RuuCoreParams &p, Optimization opt)
 }
 
 /**
+ * Strip a trailing `+dram=<backend>` suffix off a machine name. The
+ * backend is validated against dramBackendNames() so a typo in a
+ * campaign cell stays a reportable error instead of a fatal inside the
+ * memory system.
+ * @return false (with *error filled) on an unknown backend name
+ */
+bool
+splitDramSuffix(std::string *name, std::string *backend,
+                std::string *error)
+{
+    backend->clear();
+    auto pos = name->find("+dram=");
+    if (pos == std::string::npos)
+        return true;
+    std::string b = name->substr(pos + 6);
+    const auto &known = dramBackendNames();
+    if (std::find(known.begin(), known.end(), b) == known.end()) {
+        if (error) {
+            std::string list;
+            for (const auto &k : known) {
+                if (!list.empty())
+                    list += ", ";
+                list += k;
+            }
+            *error = "unknown DRAM backend '" + b + "' in machine '" +
+                     *name + "' (backends: " + list + ")";
+        }
+        return false;
+    }
+    name->resize(pos);
+    *backend = b;
+    return true;
+}
+
+/**
+ * Select a non-default DRAM backend on built params. `+dram=classic` is
+ * the default spelled out: params (and with them the manifest hash and
+ * every store key) stay identical to the bare machine name.
+ */
+template <typename Params>
+void
+applyDramBackend(Params &p, const std::string &backend)
+{
+    if (backend.empty() || backend == "classic")
+        return;
+    p.mem.dram.backend = backend;
+    p.name += "+dram=" + backend;
+}
+
+/**
  * Build the AlphaCoreParams for a detailed-core configuration name.
  * @return false (with *error filled) if the name is not recognised.
  */
@@ -117,17 +168,23 @@ std::unique_ptr<Machine>
 tryMakeMachine(const std::string &name, Optimization opt,
                std::string *error)
 {
-    if (name == "sim-outorder") {
+    std::string base = name, dram_backend;
+    if (!splitDramSuffix(&base, &dram_backend, error))
+        return nullptr;
+
+    if (base == "sim-outorder") {
         RuuCoreParams p = RuuCoreParams::simOutorder();
         if (opt == Optimization::MoreRegs && p.physRegs == 0)
             p.physRegs = 40;    // separate-regfile variant baseline
         applyRuuOptimization(p, opt);
+        applyDramBackend(p, dram_backend);
         return std::make_unique<RuuCore>(p);
     }
 
     AlphaCoreParams p;
-    if (!buildAlphaParams(name, opt, &p, error))
+    if (!buildAlphaParams(base, opt, &p, error))
         return nullptr;
+    applyDramBackend(p, dram_backend);
     return std::make_unique<AlphaCore>(p);
 }
 
@@ -176,18 +233,24 @@ bool
 tryDescribeMachine(const std::string &name, Optimization opt,
                    Config *out, std::string *error)
 {
-    if (name == "sim-outorder") {
+    std::string base = name, dram_backend;
+    if (!splitDramSuffix(&base, &dram_backend, error))
+        return false;
+
+    if (base == "sim-outorder") {
         RuuCoreParams p = RuuCoreParams::simOutorder();
         if (opt == Optimization::MoreRegs && p.physRegs == 0)
             p.physRegs = 40;
         applyRuuOptimization(p, opt);
+        applyDramBackend(p, dram_backend);
         *out = describe(p);
         return true;
     }
 
     AlphaCoreParams p;
-    if (!buildAlphaParams(name, opt, &p, error))
+    if (!buildAlphaParams(base, opt, &p, error))
         return false;
+    applyDramBackend(p, dram_backend);
     *out = describe(p);
     return true;
 }

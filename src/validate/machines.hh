@@ -11,6 +11,10 @@
  *                      X in {addr eret luse pref spec stwt vbuf maps
  *                            slot trap}
  *   "sim-outorder"     the abstract RUU machine
+ *
+ * Any name may carry a `+dram=<backend>` suffix (backends: classic,
+ * openpage) selecting the DRAM timing backend for that cell;
+ * `+dram=classic` is the default spelled out and changes nothing.
  */
 
 #ifndef SIMALPHA_VALIDATE_MACHINES_HH

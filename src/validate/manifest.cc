@@ -38,6 +38,14 @@ describeMemory(const MemorySystemParams &m, Config &c)
     c.set("dram.open_page", m.dram.openPage);
     c.set("dram.flat_latency", std::int64_t(m.dram.flatLatency));
     c.set("dram.reordering_controller", m.dram.reorderingController);
+    // The backend key is emitted only when it differs from classic:
+    // every pre-backend manifest (and its hash, and every store key and
+    // golden artifact derived from it) must stay byte-identical.
+    if (!m.dram.backend.empty() && m.dram.backend != "classic") {
+        c.set("dram.backend", m.dram.backend);
+        c.set("dram.write_to_read_cycles",
+              std::int64_t(m.dram.writeToReadCycles));
+    }
 
     c.set("itlb.entries", std::int64_t(m.itlb.entries));
     c.set("itlb.hardware_walk", m.itlb.hardwareWalk);

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * The pluggable DRAM backend (`ctest -L dram`): the factory and name
+ * registry, determinism and reset() of both backends, the openpage
+ * model's row-buffer/turnaround properties, the `+dram=<backend>`
+ * machine-name suffix (including the invariant that `+dram=classic`
+ * changes nothing — manifest, store keys, and cycle counts must stay
+ * byte-identical to the bare name), and the dramsweep campaign's cell
+ * grammar. Run under -DSIMALPHA_SANITIZE=address and =undefined: the
+ * bank model indexes per-bank state straight off address bits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/config.hh"
+#include "memory/dram.hh"
+#include "runner/campaign.hh"
+#include "validate/machines.hh"
+#include "validate/manifest.hh"
+
+using namespace simalpha;
+using simalpha::runner::CampaignSpec;
+
+namespace {
+
+/** Replay one access pattern, returning each access's done cycle. */
+std::vector<Cycle>
+replay(DramBackend &d, const std::vector<std::pair<Addr, bool>> &seq)
+{
+    std::vector<Cycle> done;
+    Cycle now = 0;
+    for (const auto &[addr, is_write] : seq) {
+        AccessResult r = d.access(addr, is_write, now);
+        done.push_back(r.done);
+        now += 2;
+    }
+    return done;
+}
+
+/** A mixed pattern: row hits, row conflicts, and write-read turns. */
+std::vector<std::pair<Addr, bool>>
+mixedPattern()
+{
+    std::vector<std::pair<Addr, bool>> seq;
+    for (int i = 0; i < 40; i++) {
+        Addr row = Addr(i % 3) * 0x10000;       // three rows, same banks
+        seq.push_back({row + Addr(i) * 64, i % 5 == 0});
+    }
+    return seq;
+}
+
+} // namespace
+
+TEST(DramBackend, RegistryListsEveryConstructibleBackend)
+{
+    const std::vector<std::string> &names = dramBackendNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_NE(std::find(names.begin(), names.end(), "classic"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "openpage"),
+              names.end());
+    for (const std::string &n : names) {
+        DramParams p;
+        p.backend = n;
+        std::unique_ptr<DramBackend> d = makeDramBackend(p);
+        ASSERT_NE(d, nullptr) << n;
+        EXPECT_EQ(d->backendName(), n);
+    }
+}
+
+TEST(DramBackend, ClassicIsDeterministicAndResetRestoresFreshState)
+{
+    DramParams p;
+    Dram a(p), b(p);
+    std::vector<Cycle> first = replay(a, mixedPattern());
+    EXPECT_EQ(first, replay(b, mixedPattern()));
+    EXPECT_GT(a.rowHits() + a.rowMisses(), 0u);
+
+    a.reset();
+    EXPECT_EQ(a.rowHits(), 0u);
+    EXPECT_EQ(a.rowMisses(), 0u);
+    EXPECT_EQ(replay(a, mixedPattern()), first)
+        << "reset() did not restore freshly-constructed timing";
+}
+
+TEST(DramBackend, OpenPageIsDeterministicAndResetRestoresFreshState)
+{
+    DramParams p;
+    p.backend = "openpage";
+    OpenPageDram a(p), b(p);
+    std::vector<Cycle> first = replay(a, mixedPattern());
+    EXPECT_EQ(first, replay(b, mixedPattern()));
+
+    a.reset();
+    EXPECT_EQ(a.rowHits(), 0u);
+    EXPECT_EQ(a.rowMisses(), 0u);
+    EXPECT_EQ(replay(a, mixedPattern()), first);
+}
+
+TEST(DramBackend, OpenPageRowBufferHitsAreCheaperThanMisses)
+{
+    DramParams p;
+    p.backend = "openpage";
+    OpenPageDram d(p);
+
+    // Back-to-back reads in one row: the second is a row-buffer hit.
+    Cycle miss = d.access(0x0, false, 0).done;
+    Cycle hit = d.access(0x40, false, miss + 100).done - (miss + 100);
+    EXPECT_EQ(d.rowHits(), 1u);
+    EXPECT_EQ(d.rowMisses(), 1u);
+    EXPECT_LT(hit, miss) << "a row hit should be cheaper than the "
+                            "activate it skipped";
+
+    // Same bank, different row: precharge + activate again.
+    Cycle far = miss + 1000;
+    Cycle conflict = d.access(0x100000, false, far).done - far;
+    EXPECT_GT(conflict, hit);
+    EXPECT_EQ(d.rowMisses(), 2u);
+}
+
+TEST(DramBackend, OpenPageChargesWriteToReadTurnaround)
+{
+    DramParams p;
+    p.backend = "openpage";
+
+    // Read-after-read vs read-after-write on one open row, with long
+    // idle gaps so bus/bank occupancy can't mask the turnaround.
+    OpenPageDram rr(p);
+    rr.access(0x0, false, 0);
+    Cycle after_read = rr.access(0x40, false, 1000).done - 1000;
+
+    OpenPageDram wr(p);
+    wr.access(0x0, true, 0);
+    Cycle after_write = wr.access(0x40, false, 1000).done - 1000;
+
+    EXPECT_GT(after_write, after_read)
+        << "write-to-read turnaround was not charged";
+}
+
+TEST(DramMachine, SuffixSelectsBackendAndClassicIsTheDefault)
+{
+    std::string error;
+    std::unique_ptr<Machine> open = validate::tryMakeMachine(
+        "sim-alpha+dram=openpage", validate::Optimization::None,
+        &error);
+    ASSERT_NE(open, nullptr) << error;
+    EXPECT_NE(open->name().find("+dram=openpage"), std::string::npos);
+
+    // `+dram=classic` is the default spelled out: same machine name,
+    // and (below) the same manifest and cycle counts.
+    std::unique_ptr<Machine> classic = validate::tryMakeMachine(
+        "sim-alpha+dram=classic", validate::Optimization::None,
+        &error);
+    ASSERT_NE(classic, nullptr) << error;
+    EXPECT_EQ(classic->name(), "sim-alpha");
+
+    EXPECT_TRUE(validate::isKnownMachine("sim-outorder+dram=openpage"));
+    EXPECT_FALSE(validate::isKnownMachine("sim-alpha+dram=bogus"));
+}
+
+TEST(DramMachine, UnknownBackendIsASoftReportableError)
+{
+    std::string error;
+    std::unique_ptr<Machine> m = validate::tryMakeMachine(
+        "sim-alpha+dram=bogus", validate::Optimization::None, &error);
+    EXPECT_EQ(m, nullptr);
+    EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+    EXPECT_NE(error.find("openpage"), std::string::npos)
+        << "the error should list the valid backends: " << error;
+}
+
+TEST(DramMachine, ManifestRecordsBackendOnlyWhenNonDefault)
+{
+    std::string error;
+    Config bare, classic, open;
+    ASSERT_TRUE(validate::tryDescribeMachine(
+        "sim-alpha", validate::Optimization::None, &bare, &error))
+        << error;
+    ASSERT_TRUE(validate::tryDescribeMachine(
+        "sim-alpha+dram=classic", validate::Optimization::None,
+        &classic, &error))
+        << error;
+    ASSERT_TRUE(validate::tryDescribeMachine(
+        "sim-alpha+dram=openpage", validate::Optimization::None,
+        &open, &error))
+        << error;
+
+    // The invariant every pre-existing golden hash and store key rides
+    // on: classic — spelled or defaulted — emits no dram.backend key.
+    EXPECT_FALSE(bare.has("dram.backend"));
+    EXPECT_FALSE(classic.has("dram.backend"));
+    EXPECT_EQ(bare.keys(), classic.keys());
+
+    EXPECT_TRUE(open.has("dram.backend"));
+    EXPECT_EQ(open.getString("dram.backend"), "openpage");
+    EXPECT_TRUE(open.has("dram.write_to_read_cycles"));
+}
+
+TEST(DramMachine, ClassicSuffixRunsCycleIdenticalToBareName)
+{
+    std::string error;
+    Program p;
+    ASSERT_TRUE(runner::buildWorkload("C-Ca", &p, &error)) << error;
+
+    std::unique_ptr<Machine> bare = validate::tryMakeMachine(
+        "sim-alpha", validate::Optimization::None, &error);
+    ASSERT_NE(bare, nullptr) << error;
+    std::unique_ptr<Machine> classic = validate::tryMakeMachine(
+        "sim-alpha+dram=classic", validate::Optimization::None,
+        &error);
+    ASSERT_NE(classic, nullptr) << error;
+
+    RunResult a = bare->run(p, 20000);
+    RunResult b = classic->run(p, 20000);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instsCommitted, b.instsCommitted);
+    EXPECT_EQ(a.machine, b.machine);
+}
+
+TEST(DramMachine, OpenPageBackendRunsDeterministically)
+{
+    std::string error;
+    Program p;
+    ASSERT_TRUE(runner::buildWorkload("C-Ca", &p, &error)) << error;
+
+    RunResult first, second;
+    {
+        std::unique_ptr<Machine> m = validate::tryMakeMachine(
+            "sim-alpha+dram=openpage", validate::Optimization::None,
+            &error);
+        ASSERT_NE(m, nullptr) << error;
+        first = m->run(p, 20000);
+    }
+    {
+        std::unique_ptr<Machine> m = validate::tryMakeMachine(
+            "sim-alpha+dram=openpage", validate::Optimization::None,
+            &error);
+        ASSERT_NE(m, nullptr) << error;
+        second = m->run(p, 20000);
+    }
+    EXPECT_GT(first.cycles, 0u);
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_EQ(first.instsCommitted, second.instsCommitted);
+}
+
+TEST(DramSweep, CampaignFansEveryProfileAcrossBothBackends)
+{
+    CampaignSpec spec;
+    ASSERT_TRUE(runner::campaignByName("dramsweep", &spec));
+    EXPECT_EQ(spec.name, "dramsweep");
+    ASSERT_GT(spec.cells.size(), 0u);
+    EXPECT_EQ(spec.cells.size() % 2, 0u);
+
+    std::size_t classic = 0, openpage = 0;
+    for (const auto &cell : spec.cells) {
+        ASSERT_TRUE(validate::isKnownMachine(cell.machine))
+            << cell.machine;
+        if (cell.machine.find("+dram=classic") != std::string::npos)
+            classic++;
+        if (cell.machine.find("+dram=openpage") != std::string::npos)
+            openpage++;
+    }
+    EXPECT_EQ(classic, spec.cells.size() / 2);
+    EXPECT_EQ(openpage, spec.cells.size() / 2);
+}

@@ -271,7 +271,10 @@ usage()
         "store maintenance (simalpha store <verb> --store <dir>):\n"
         "  stats               entry count, bytes, quarantined blobs\n"
         "  verify              integrity-check every entry; corrupt\n"
-        "                      ones are quarantined (exit 1 if any)\n"
+        "                      ones are quarantined (exit 1 if any);\n"
+        "                      --rebuild-index also rebuilds every\n"
+        "                      shard's binary index.bin and reports\n"
+        "                      index-vs-scan agreement\n"
         "  gc                  evict least-recently-used entries; needs\n"
         "                      --max-bytes <n> and/or --max-age <secs>\n"
         "  export --to <f>     dump every entry as JSONL\n"
@@ -492,8 +495,8 @@ runCampaign(const CampaignCli &cli)
 
     runner::CampaignSpec spec;
     if (!runner::campaignByName(cli.campaign, &spec))
-        fatal("unknown campaign '%s' (table2..table5, smoke, or a "
-              "vuln:... spec)",
+        fatal("unknown campaign '%s' (table2..table5, smoke, dramsweep, "
+              "or a vuln:... spec)",
               cli.campaign.c_str());
     if (cli.maxInsts)
         spec = spec.withMaxInsts(cli.maxInsts);
@@ -671,6 +674,7 @@ runStoreCommand(int argc, char **argv)
     std::string root, to_path, from_path;
     std::uint64_t max_bytes = 0;
     double max_age = 0.0;
+    bool rebuild_index = false;
 
     for (int i = 2; i < argc; i++) {
         std::string arg = argv[i];
@@ -689,6 +693,8 @@ runStoreCommand(int argc, char **argv)
             to_path = next();
         else if (arg == "--from")
             from_path = next();
+        else if (arg == "--rebuild-index")
+            rebuild_index = true;
         else
             fatal("unknown store option '%s'", arg.c_str());
     }
@@ -727,6 +733,21 @@ runStoreCommand(int argc, char **argv)
         if (u.corrupt)
             std::printf("quarantine  %llu blob(s) on disk\n",
                         (unsigned long long)u.corrupt);
+        if (rebuild_index) {
+            store::IndexOutcome o;
+            if (!s.buildIndexes(&o, &error))
+                fatal("%s", error.c_str());
+            std::printf("indexed     %llu entries across %llu "
+                        "shard index(es)\n",
+                        (unsigned long long)o.entries,
+                        (unsigned long long)o.shards);
+            std::printf("agreement   %llu record(s) confirmed, "
+                        "%llu stale dropped, %llu corrupt "
+                        "index(es) quarantined\n",
+                        (unsigned long long)o.agreed,
+                        (unsigned long long)o.staleDropped,
+                        (unsigned long long)o.corruptIndexes);
+        }
         return corrupt.empty() ? 0 : 1;
     }
     if (verb == "gc") {
